@@ -1,0 +1,33 @@
+//! Criterion bench for the Fig 16 / Table 2 cluster comparison.
+use criterion::{criterion_group, criterion_main, Criterion};
+use palladium_bench::{boutique_run, Scale};
+use palladium_core::system::SystemKind;
+use palladium_workloads::boutique::ChainKind;
+
+fn bench(c: &mut Criterion) {
+    for system in [
+        SystemKind::PalladiumDne,
+        SystemKind::PalladiumCne,
+        SystemKind::Spright,
+        SystemKind::NightCore,
+    ] {
+        let r = boutique_run(system, ChainKind::HomeQuery, 20, Scale::QUICK);
+        eprintln!(
+            "fig16 {} Home@20: {:.0} RPS, {:.2} ms, sw-copies {}",
+            system.label(),
+            r.rps,
+            r.mean_latency.as_millis_f64(),
+            r.software_copy_bytes
+        );
+        c.bench_function(&format!("fig16/{}/home20", system.label()), |b| {
+            b.iter(|| boutique_run(system, ChainKind::HomeQuery, 20, Scale::QUICK))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion bench for the Fig 9 channel comparison: measures the
+//! simulation cost of one quick sweep point per channel and reports the
+//! paper metrics once on startup.
+use criterion::{criterion_group, criterion_main, Criterion};
+use palladium_core::driver::channel::{ChannelSim, ChannelSimConfig};
+use palladium_ipc::ChannelKind;
+use palladium_simnet::Nanos;
+
+fn quick(kind: ChannelKind, fns: usize) -> ChannelSimConfig {
+    let mut cfg = ChannelSimConfig::new(kind, fns);
+    cfg.duration = Nanos::from_millis(20);
+    cfg.warmup = Nanos::from_millis(4);
+    cfg
+}
+
+fn bench(c: &mut Criterion) {
+    for kind in [ChannelKind::ComchE, ChannelKind::ComchP, ChannelKind::Tcp] {
+        let r = ChannelSim::new(quick(kind, 20)).run();
+        eprintln!(
+            "fig09 {kind:?} @20fns: {:.3} ms RTT, {:.0} RPS",
+            r.mean_latency.as_millis_f64(),
+            r.rps
+        );
+        c.bench_function(&format!("fig09/{kind:?}/20fns"), |b| {
+            b.iter(|| ChannelSim::new(quick(kind, 20)).run())
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

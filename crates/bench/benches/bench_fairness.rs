@@ -1,0 +1,26 @@
+//! Criterion bench for the Fig 15 multi-tenancy comparison.
+use criterion::{criterion_group, criterion_main, Criterion};
+use palladium_core::driver::fairness::{FairnessSim, FairnessSimConfig};
+use palladium_core::dwrr::SchedPolicy;
+
+fn bench(c: &mut Criterion) {
+    for policy in [SchedPolicy::Dwrr, SchedPolicy::Fcfs] {
+        let report = FairnessSim::new(FairnessSimConfig::paper(policy, 0.01)).run();
+        let totals: Vec<String> = report
+            .totals
+            .iter()
+            .map(|(t, n)| format!("T{}={}", t.raw(), n))
+            .collect();
+        eprintln!("fig15 {policy:?}: {}", totals.join(" "));
+        c.bench_function(&format!("fig15/{policy:?}"), |b| {
+            b.iter(|| FairnessSim::new(FairnessSimConfig::paper(policy, 0.01)).run())
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion bench for the Fig 13 ingress comparison.
+use criterion::{criterion_group, criterion_main, Criterion};
+use palladium_core::driver::ingress_sweep::{IngressSim, IngressSimConfig};
+use palladium_core::system::IngressKind;
+use palladium_simnet::Nanos;
+
+fn quick(kind: IngressKind) -> IngressSimConfig {
+    let mut cfg = IngressSimConfig::fig13(kind, 40);
+    cfg.duration = Nanos::from_millis(60);
+    cfg.warmup = Nanos::from_millis(15);
+    cfg
+}
+
+fn bench(c: &mut Criterion) {
+    for kind in [
+        IngressKind::Palladium,
+        IngressKind::FStackDeferred,
+        IngressKind::KernelDeferred,
+    ] {
+        let r = IngressSim::new(quick(kind)).sweep();
+        eprintln!(
+            "fig13 {kind:?} @40 clients: {:.0} RPS, {:.3} ms",
+            r.rps,
+            r.mean_latency.as_millis_f64()
+        );
+        c.bench_function(&format!("fig13/{kind:?}/40clients"), |b| {
+            b.iter(|| IngressSim::new(quick(kind)).sweep())
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench for the Fig 11 off-path vs on-path comparison.
+use criterion::{criterion_group, criterion_main, Criterion};
+use palladium_baselines::{EchoConfig, EchoSim, PathMode};
+use palladium_simnet::Nanos;
+
+fn quick(conns: usize) -> EchoConfig {
+    let mut cfg = EchoConfig::new(1024).connections(conns);
+    cfg.duration = Nanos::from_millis(15);
+    cfg.warmup = Nanos::from_millis(3);
+    cfg
+}
+
+fn bench(c: &mut Criterion) {
+    for mode in [PathMode::OffPath, PathMode::OnPath] {
+        let r = EchoSim::new(quick(30)).run_path_mode(mode);
+        eprintln!(
+            "fig11 {mode:?} @30conns/1KB: {:.0} RPS, {:.2} µs",
+            r.rps,
+            r.mean_latency.as_micros_f64()
+        );
+        c.bench_function(&format!("fig11/{mode:?}/30conns"), |b| {
+            b.iter(|| EchoSim::new(quick(30)).run_path_mode(mode))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

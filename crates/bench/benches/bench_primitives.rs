@@ -1,0 +1,32 @@
+//! Criterion bench for the Fig 12 primitive selection.
+use criterion::{criterion_group, criterion_main, Criterion};
+use palladium_baselines::{EchoConfig, EchoSim, Primitive};
+use palladium_simnet::Nanos;
+
+fn quick(payload: u32) -> EchoConfig {
+    let mut cfg = EchoConfig::new(payload);
+    cfg.duration = Nanos::from_millis(15);
+    cfg.warmup = Nanos::from_millis(3);
+    cfg
+}
+
+fn bench(c: &mut Criterion) {
+    for prim in Primitive::ALL {
+        let r = EchoSim::new(quick(4096)).run_primitive(prim);
+        eprintln!(
+            "fig12 {} @4KB: {:.1} µs RTT",
+            prim.label(),
+            r.mean_latency.as_micros_f64()
+        );
+        c.bench_function(&format!("fig12/{}/4KB", prim.label()), |b| {
+            b.iter(|| EchoSim::new(quick(4096)).run_primitive(prim))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

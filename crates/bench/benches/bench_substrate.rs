@@ -1,0 +1,100 @@
+//! Substrate micro-benches and ablations: the RC fabric under loss, the
+//! mempool allocator, DWRR scheduling and the hugepage-vs-4K MTT ablation
+//! (DESIGN.md design-choice list).
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion};
+use palladium_core::dwrr::{SchedPolicy, TenantScheduler};
+use palladium_membuf::{
+    CopyMeter, MmapExporter, NodeId, Owner, PoolId, Region, TenantId, UnifiedPool,
+};
+use palladium_rdma::{RdmaConfig, RdmaEvent, RdmaNet, RqEntry, WorkRequest, WrId};
+use palladium_simnet::{FaultPlan, Nanos, Sim};
+
+fn echo_n(drop: f64, n: u64) -> u64 {
+    let mut net = RdmaNet::new(RdmaConfig::default(), 2, 42);
+    for node in [NodeId(0), NodeId(1)] {
+        let mut e =
+            MmapExporter::new(PoolId(node.raw()), TenantId(1), Region::hugepages(4 << 20));
+        net.register_mr(node, &e.export_rdma()).unwrap();
+    }
+    let (qa, _) = net.connect_immediate(NodeId(0), NodeId(1), TenantId(1));
+    net.set_fault(FaultPlan::dropping(drop));
+    for i in 0..(n + 64) {
+        net.post_recv(
+            NodeId(1),
+            TenantId(1),
+            RqEntry { wr_id: WrId(i), pool: PoolId(1), capacity: 8192 },
+        )
+        .unwrap();
+    }
+    let mut sim: Sim<RdmaEvent> = Sim::new();
+    for i in 0..n {
+        let step = net
+            .post_send(
+                sim.now(),
+                NodeId(0),
+                qa,
+                WorkRequest::send(WrId(1000 + i), Bytes::from(vec![0u8; 512]), i),
+            )
+            .unwrap();
+        for t in step.events {
+            sim.schedule(t.after, t.value);
+        }
+    }
+    let mut delivered = 0;
+    while let Some((now, ev)) = sim.next() {
+        let step = net.handle(now, ev);
+        for t in step.events {
+            sim.schedule(t.after, t.value);
+        }
+        delivered += net.poll_cq(NodeId(1), 64).len() as u64;
+    }
+    delivered
+}
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("rc/clean/128msgs", |b| b.iter(|| echo_n(0.0, 128)));
+    c.bench_function("rc/lossy20/128msgs", |b| b.iter(|| echo_n(0.2, 128)));
+
+    c.bench_function("mempool/alloc_free_cycle", |b| {
+        let mut pool = UnifiedPool::new(PoolId(1), TenantId(1), 1024, 4096);
+        let mut meter = CopyMeter::new();
+        b.iter(|| {
+            let tok = pool.alloc(Owner::Engine).unwrap();
+            pool.write(&tok, b"x", &mut meter).unwrap();
+            pool.free(tok).unwrap();
+        })
+    });
+
+    c.bench_function("dwrr/enqueue_dequeue", |b| {
+        let mut s: TenantScheduler<u64> = TenantScheduler::new(SchedPolicy::Dwrr, 64);
+        for t in 1..=8u16 {
+            s.register_tenant(TenantId(t), t as u32);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            s.enqueue(TenantId(1 + (i % 8) as u16), 64, i);
+            i += 1;
+            s.dequeue()
+        })
+    });
+
+    // Ablation: hugepages vs 4K pages — MTT entries beyond the device
+    // cache charge a per-op penalty (DESIGN.md §3.1 item 3).
+    let huge = Region::hugepages(512 << 20).mtt_entries();
+    let small = Region::small_pages(512 << 20).mtt_entries();
+    let cache = RdmaConfig::default().mtt_cache_entries;
+    eprintln!(
+        "ablation mtt: hugepages {huge} entries (cache {cache}: {}), 4K pages {small} entries ({})",
+        if huge <= cache { "fits" } else { "thrashes" },
+        if small <= cache { "fits" } else { "thrashes" },
+    );
+    let _ = Nanos::ZERO;
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! # palladium-bench — harnesses regenerating every table and figure
+//!
+//! Each `fig*`/`table*` binary reruns one experiment of the paper's §4 and
+//! prints the same rows/series the paper plots. The shared logic lives in
+//! [`experiments`] so the binaries, the `all_experiments` runner, the
+//! criterion benches and the integration tests all execute the same code.
+//!
+//! Absolute numbers come from the calibrated simulation (DESIGN.md §6);
+//! EXPERIMENTS.md records paper-versus-measured per artefact. The *shapes*
+//! — who wins, by what factor, where the crossovers sit — are asserted by
+//! the test suite.
+
+pub mod experiments;
+
+pub use experiments::*;
+
+/// Render a simple aligned table to stdout.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let header_line: Vec<String> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| format!("{:>w$}", h, w = widths[i]))
+        .collect();
+    println!("{}", header_line.join("  "));
+    for row in rows {
+        let line: Vec<String> = row
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths.get(i).copied().unwrap_or(8)))
+            .collect();
+        println!("{}", line.join("  "));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn print_table_does_not_panic() {
+        super::print_table(
+            "t",
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["33".into(), "4".into()]],
+        );
+    }
+}

@@ -1,0 +1,163 @@
+//! The ingress gateway's horizontal autoscaler.
+//!
+//! Worker processes busy-poll (DPDK), so raw core usage is always 100 %;
+//! the master instead measures *useful* CPU time spent on data-plane work
+//! inside each worker's event loop (§3.6) and applies a hysteresis policy:
+//! spawn a worker when average useful utilization exceeds 60 %, reap one
+//! when it drops below 30 %. Scaling restarts worker processes, causing the
+//! brief service blip visible in Fig 14 (2).
+
+use palladium_simnet::Nanos;
+
+/// The hysteresis policy configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct AutoscalerConfig {
+    /// Spawn a worker above this average useful utilization.
+    pub scale_up_above: f64,
+    /// Reap a worker below this average useful utilization.
+    pub scale_down_below: f64,
+    /// Minimum workers.
+    pub min_workers: usize,
+    /// Maximum workers (cores available to the gateway).
+    pub max_workers: usize,
+    /// How often the master evaluates the policy.
+    pub eval_interval: Nanos,
+    /// Service interruption while workers restart after a scaling action
+    /// (the Fig 14 (2) blip).
+    pub reload_blip: Nanos,
+}
+
+impl Default for AutoscalerConfig {
+    fn default() -> Self {
+        AutoscalerConfig {
+            scale_up_above: 0.60,
+            scale_down_below: 0.30,
+            min_workers: 1,
+            max_workers: 24,
+            eval_interval: Nanos::from_millis(500),
+            reload_blip: Nanos::from_millis(120),
+        }
+    }
+}
+
+/// A scaling decision.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ScaleAction {
+    /// Keep the current worker count.
+    Hold,
+    /// Spawn one worker.
+    Up,
+    /// Reap one worker.
+    Down,
+}
+
+/// The master process's scaling logic (pure, for testability).
+#[derive(Debug)]
+pub struct Autoscaler {
+    cfg: AutoscalerConfig,
+    workers: usize,
+    /// Decisions taken (up, down) — for reports.
+    pub ups: u32,
+    /// Scale-down decisions taken.
+    pub downs: u32,
+}
+
+impl Autoscaler {
+    /// Start with the minimum worker count.
+    pub fn new(cfg: AutoscalerConfig) -> Self {
+        Autoscaler {
+            workers: cfg.min_workers,
+            cfg,
+            ups: 0,
+            downs: 0,
+        }
+    }
+
+    /// Current worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Configuration.
+    pub fn config(&self) -> &AutoscalerConfig {
+        &self.cfg
+    }
+
+    /// Evaluate the policy against the average useful utilization measured
+    /// over the last interval. Applies and returns the action.
+    pub fn evaluate(&mut self, avg_useful_util: f64) -> ScaleAction {
+        if avg_useful_util > self.cfg.scale_up_above && self.workers < self.cfg.max_workers {
+            self.workers += 1;
+            self.ups += 1;
+            ScaleAction::Up
+        } else if avg_useful_util < self.cfg.scale_down_below && self.workers > self.cfg.min_workers
+        {
+            self.workers -= 1;
+            self.downs += 1;
+            ScaleAction::Down
+        } else {
+            ScaleAction::Hold
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scaler() -> Autoscaler {
+        Autoscaler::new(AutoscalerConfig::default())
+    }
+
+    #[test]
+    fn scales_up_above_60() {
+        let mut s = scaler();
+        assert_eq!(s.evaluate(0.61), ScaleAction::Up);
+        assert_eq!(s.workers(), 2);
+        assert_eq!(s.ups, 1);
+    }
+
+    #[test]
+    fn scales_down_below_30() {
+        let mut s = scaler();
+        s.evaluate(0.9); // up to 2
+        assert_eq!(s.evaluate(0.29), ScaleAction::Down);
+        assert_eq!(s.workers(), 1);
+        assert_eq!(s.downs, 1);
+    }
+
+    #[test]
+    fn hysteresis_band_holds() {
+        let mut s = scaler();
+        s.evaluate(0.9); // 2 workers
+        for util in [0.30, 0.45, 0.60] {
+            assert_eq!(s.evaluate(util), ScaleAction::Hold, "util {util}");
+        }
+        assert_eq!(s.workers(), 2);
+    }
+
+    #[test]
+    fn respects_bounds() {
+        let mut s = Autoscaler::new(AutoscalerConfig {
+            min_workers: 1,
+            max_workers: 2,
+            ..Default::default()
+        });
+        assert_eq!(s.evaluate(0.9), ScaleAction::Up);
+        assert_eq!(s.evaluate(0.9), ScaleAction::Hold, "at max");
+        assert_eq!(s.evaluate(0.1), ScaleAction::Down);
+        assert_eq!(s.evaluate(0.1), ScaleAction::Hold, "at min");
+    }
+
+    #[test]
+    fn oscillation_resistance() {
+        // A load level between the thresholds after one scale-up must not
+        // flap: 2 workers at 45% hold forever.
+        let mut s = scaler();
+        s.evaluate(0.9);
+        for _ in 0..100 {
+            assert_eq!(s.evaluate(0.45), ScaleAction::Hold);
+        }
+        assert_eq!(s.workers(), 2);
+    }
+}

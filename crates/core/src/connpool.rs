@@ -1,0 +1,272 @@
+//! The RC connection pool with shadow-QP management.
+//!
+//! Establishing an RC connection costs tens of milliseconds (§3.3), so the
+//! DNE keeps a pool of pre-established connections per peer node. To hold
+//! many connections without thrashing the RNIC's QP-context cache, the pool
+//! follows the shadow-QP scheme of RoGUE \[52\]: a QP is *active* when it has
+//! work queued, *inactive* otherwise; inactive QPs cost the RNIC nothing.
+//! The pool caps concurrently active QPs per node and picks the
+//! least-congested eligible connection for each transmission — no cross-node
+//! state synchronization required.
+
+use std::collections::HashMap;
+
+use palladium_membuf::{NodeId, TenantId};
+use palladium_rdma::{Qpn, RdmaNet};
+
+/// Identity of one pooled connection (local endpoint).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PooledConn {
+    /// Peer node.
+    pub peer: NodeId,
+    /// Tenant the connection belongs to.
+    pub tenant: TenantId,
+    /// Local QP number.
+    pub qpn: Qpn,
+}
+
+/// Configuration of the pool.
+#[derive(Clone, Copy, Debug)]
+pub struct ConnPoolConfig {
+    /// Connections established per (peer, tenant) pair at warm-up.
+    pub conns_per_peer: usize,
+    /// Maximum QPs allowed to be active simultaneously on this node (the
+    /// anti-thrash cap, kept at or below the RNIC QP-cache capacity).
+    pub max_active: usize,
+}
+
+impl Default for ConnPoolConfig {
+    fn default() -> Self {
+        ConnPoolConfig {
+            conns_per_peer: 4,
+            max_active: 256,
+        }
+    }
+}
+
+/// The per-node connection pool owned by a network engine.
+#[derive(Debug)]
+pub struct ConnPool {
+    node: NodeId,
+    cfg: ConnPoolConfig,
+    conns: Vec<PooledConn>,
+    /// Selection statistics per QPN (for tests/reports).
+    picks: HashMap<u32, u64>,
+}
+
+impl ConnPool {
+    /// An empty pool for `node`.
+    pub fn new(node: NodeId, cfg: ConnPoolConfig) -> Self {
+        ConnPool {
+            node,
+            cfg,
+            conns: Vec::new(),
+            picks: HashMap::new(),
+        }
+    }
+
+    /// Node this pool belongs to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Warm up connections to `peer` for `tenant` on the given fabric,
+    /// using immediate establishment (the paper's pools are pre-established
+    /// before traffic; the multi-ms handshake cost is what the pool hides).
+    /// Returns the local QPNs created.
+    pub fn warm_up(&mut self, net: &mut RdmaNet, peer: NodeId, tenant: TenantId) -> Vec<Qpn> {
+        let mut qpns = Vec::new();
+        for _ in 0..self.cfg.conns_per_peer {
+            let (qa, _qb) = net.connect_immediate(self.node, peer, tenant);
+            self.conns.push(PooledConn {
+                peer,
+                tenant,
+                qpn: qa,
+            });
+            qpns.push(qa);
+        }
+        qpns
+    }
+
+    /// Adopt an externally established connection.
+    pub fn adopt(&mut self, peer: NodeId, tenant: TenantId, qpn: Qpn) {
+        self.conns.push(PooledConn { peer, tenant, qpn });
+    }
+
+    /// Number of pooled connections to `peer` for `tenant`.
+    pub fn pool_size(&self, peer: NodeId, tenant: TenantId) -> usize {
+        self.conns
+            .iter()
+            .filter(|c| c.peer == peer && c.tenant == tenant)
+            .count()
+    }
+
+    /// Count of currently active QPs on this node (shadow-QP criterion:
+    /// outstanding work > 0), per the live fabric state.
+    pub fn active_count(&self, net: &RdmaNet) -> usize {
+        self.conns
+            .iter()
+            .filter(|c| {
+                net.rnic(self.node)
+                    .qp(c.qpn)
+                    .map(|q| q.is_active())
+                    .unwrap_or(false)
+            })
+            .count()
+    }
+
+    /// Select the least-congested connection to `peer` for `tenant`
+    /// (§3.2's TX stage). Prefers already-active QPs when the active cap is
+    /// reached (activating another would thrash the QP cache); among
+    /// eligible QPs picks the smallest outstanding-work count, tie-broken
+    /// by QPN for determinism.
+    pub fn select(&mut self, net: &RdmaNet, peer: NodeId, tenant: TenantId) -> Option<Qpn> {
+        let rnic = net.rnic(self.node);
+        let at_cap = self.active_count(net) >= self.cfg.max_active;
+        let mut best: Option<(usize, Qpn)> = None;
+        for c in self
+            .conns
+            .iter()
+            .filter(|c| c.peer == peer && c.tenant == tenant)
+        {
+            let Ok(qp) = rnic.qp(c.qpn) else { continue };
+            if qp.state != palladium_rdma::QpState::Rts {
+                continue;
+            }
+            let active = qp.is_active();
+            if at_cap && !active {
+                continue; // don't wake inactive QPs beyond the cap
+            }
+            let load = qp.outstanding();
+            match best {
+                Some((l, q)) if (load, c.qpn.0) >= (l, q.0) => {}
+                _ => best = Some((load, c.qpn)),
+            }
+        }
+        // If the cap excluded everything (e.g. all this pair's QPs are
+        // inactive while other pairs hog the cap), fall back to the least
+        // loaded connection regardless — starving a tenant would be worse
+        // than a cache miss.
+        if best.is_none() {
+            best = self
+                .conns
+                .iter()
+                .filter(|c| c.peer == peer && c.tenant == tenant)
+                .filter_map(|c| {
+                    rnic.qp(c.qpn)
+                        .ok()
+                        .filter(|q| q.state == palladium_rdma::QpState::Rts)
+                        .map(|q| (q.outstanding(), c.qpn))
+                })
+                .min_by_key(|&(l, q)| (l, q.0));
+        }
+        let picked = best.map(|(_, q)| q);
+        if let Some(q) = picked {
+            *self.picks.entry(q.0).or_default() += 1;
+        }
+        picked
+    }
+
+    /// How often each QPN was selected (diagnostics).
+    pub fn pick_count(&self, qpn: Qpn) -> u64 {
+        self.picks.get(&qpn.0).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use palladium_membuf::{MmapExporter, PoolId, Region};
+    use palladium_rdma::{RdmaConfig, WorkRequest, WrId};
+    use palladium_simnet::Nanos;
+
+    fn net() -> RdmaNet {
+        let mut net = RdmaNet::new(RdmaConfig::default(), 2, 7);
+        for node in [NodeId(0), NodeId(1)] {
+            let mut e =
+                MmapExporter::new(PoolId(node.raw()), TenantId(1), Region::hugepages(4 << 20));
+            net.register_mr(node, &e.export_rdma()).unwrap();
+        }
+        net
+    }
+
+    #[test]
+    fn warm_up_creates_connections() {
+        let mut net = net();
+        let mut pool = ConnPool::new(NodeId(0), ConnPoolConfig::default());
+        let qpns = pool.warm_up(&mut net, NodeId(1), TenantId(1));
+        assert_eq!(qpns.len(), 4);
+        assert_eq!(pool.pool_size(NodeId(1), TenantId(1)), 4);
+        assert_eq!(pool.active_count(&net), 0, "fresh QPs are inactive");
+    }
+
+    #[test]
+    fn select_prefers_least_congested() {
+        let mut net = net();
+        let mut pool = ConnPool::new(NodeId(0), ConnPoolConfig::default());
+        let qpns = pool.warm_up(&mut net, NodeId(1), TenantId(1));
+        // Load the first QP with unsent work by posting without running the
+        // simulation (the doorbell event is never handled).
+        for _ in 0..3 {
+            net.post_send(
+                Nanos::ZERO,
+                NodeId(0),
+                qpns[0],
+                WorkRequest::send(WrId(1), Bytes::from_static(b"x"), 0),
+            )
+            .unwrap();
+        }
+        let picked = pool.select(&net, NodeId(1), TenantId(1)).unwrap();
+        assert_ne!(picked, qpns[0], "loaded QP must not be picked");
+        assert_eq!(pool.pick_count(picked), 1);
+    }
+
+    #[test]
+    fn active_cap_avoids_waking_inactive_qps() {
+        let mut net = net();
+        let mut pool = ConnPool::new(
+            NodeId(0),
+            ConnPoolConfig {
+                conns_per_peer: 3,
+                max_active: 1,
+            },
+        );
+        let qpns = pool.warm_up(&mut net, NodeId(1), TenantId(1));
+        // Activate exactly one QP.
+        net.post_send(
+            Nanos::ZERO,
+            NodeId(0),
+            qpns[1],
+            WorkRequest::send(WrId(1), Bytes::from_static(b"x"), 0),
+        )
+        .unwrap();
+        assert_eq!(pool.active_count(&net), 1);
+        // At the cap: selection must reuse the active QP rather than waking
+        // another (which would thrash the QP cache).
+        let picked = pool.select(&net, NodeId(1), TenantId(1)).unwrap();
+        assert_eq!(picked, qpns[1]);
+    }
+
+    #[test]
+    fn select_unknown_pair_is_none() {
+        let mut net = net();
+        let mut pool = ConnPool::new(NodeId(0), ConnPoolConfig::default());
+        pool.warm_up(&mut net, NodeId(1), TenantId(1));
+        assert!(pool.select(&net, NodeId(1), TenantId(9)).is_none());
+    }
+
+    #[test]
+    fn per_tenant_pools_are_disjoint() {
+        let mut net = net();
+        let mut pool = ConnPool::new(NodeId(0), ConnPoolConfig::default());
+        pool.warm_up(&mut net, NodeId(1), TenantId(1));
+        // Register tenant 2's MR so its connections can be established.
+        let mut e2 = MmapExporter::new(PoolId(10), TenantId(2), Region::hugepages(2 << 20));
+        net.register_mr(NodeId(0), &e2.export_rdma()).unwrap();
+        pool.warm_up(&mut net, NodeId(1), TenantId(2));
+        let q1 = pool.select(&net, NodeId(1), TenantId(1)).unwrap();
+        let q2 = pool.select(&net, NodeId(1), TenantId(2)).unwrap();
+        assert_ne!(q1, q2, "tenants never share QPs (isolation, §2.1)");
+    }
+}

@@ -1,0 +1,119 @@
+//! The unified I/O library linked into every function runtime (§3.5).
+//!
+//! User code calls `send()`/`recv()`; the library consults the intra-node
+//! routing table (read-only, shared in the unified pool) and transparently
+//! dispatches either over SK_MSG (destination co-located, Fig 7 green
+//! arrow) or over Comch to the network engine (remote destination, violet
+//! arrows). The developer never selects a transport.
+
+use palladium_membuf::{BufDesc, FnId};
+
+use crate::routing::RouteTables;
+
+/// Where the library decided a message goes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Dispatch {
+    /// Destination runs on this node: hand off over SK_MSG.
+    Local,
+    /// Destination is remote: hand the descriptor to the network engine.
+    Remote,
+    /// Destination unknown to the routing state.
+    Unroutable,
+}
+
+/// The per-function I/O library handle.
+#[derive(Debug)]
+pub struct IoLib {
+    /// The function this instance is linked into.
+    pub owner: FnId,
+    /// Messages sent via the local path.
+    pub local_sends: u64,
+    /// Messages sent via the engine.
+    pub remote_sends: u64,
+}
+
+impl IoLib {
+    /// Library instance for `owner`.
+    pub fn new(owner: FnId) -> Self {
+        IoLib {
+            owner,
+            local_sends: 0,
+            remote_sends: 0,
+        }
+    }
+
+    /// The unified `send()`: route-query the descriptor's destination.
+    /// Pure decision — the driver performs the chosen hand-off and charges
+    /// its costs.
+    pub fn send(&mut self, routes: &RouteTables, desc: &BufDesc) -> Dispatch {
+        if routes.is_local(desc.dst_fn) {
+            self.local_sends += 1;
+            Dispatch::Local
+        } else if routes.node_of(desc.dst_fn).is_some() {
+            self.remote_sends += 1;
+            Dispatch::Remote
+        } else {
+            Dispatch::Unroutable
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::{Coordinator, DeployEvent};
+    use palladium_membuf::{NodeId, PoolId, TenantId};
+
+    fn desc(dst: u16) -> BufDesc {
+        BufDesc {
+            tenant: TenantId(1),
+            pool: PoolId(0),
+            buf_idx: 0,
+            len: 0,
+            src_fn: FnId(1),
+            dst_fn: FnId(dst),
+        }
+    }
+
+    fn routes() -> RouteTables {
+        let mut c = Coordinator::new();
+        c.apply(DeployEvent::Created {
+            f: FnId(1),
+            tenant: TenantId(1),
+            node: NodeId(0),
+        });
+        c.apply(DeployEvent::Created {
+            f: FnId(2),
+            tenant: TenantId(1),
+            node: NodeId(0),
+        });
+        c.apply(DeployEvent::Created {
+            f: FnId(3),
+            tenant: TenantId(1),
+            node: NodeId(1),
+        });
+        c.tables_for(NodeId(0))
+    }
+
+    #[test]
+    fn local_destination_uses_skmsg() {
+        let mut io = IoLib::new(FnId(1));
+        assert_eq!(io.send(&routes(), &desc(2)), Dispatch::Local);
+        assert_eq!(io.local_sends, 1);
+        assert_eq!(io.remote_sends, 0);
+    }
+
+    #[test]
+    fn remote_destination_uses_engine() {
+        let mut io = IoLib::new(FnId(1));
+        assert_eq!(io.send(&routes(), &desc(3)), Dispatch::Remote);
+        assert_eq!(io.remote_sends, 1);
+    }
+
+    #[test]
+    fn unknown_destination_is_unroutable() {
+        let mut io = IoLib::new(FnId(1));
+        assert_eq!(io.send(&routes(), &desc(99)), Dispatch::Unroutable);
+        assert_eq!(io.local_sends + io.remote_sends, 0);
+    }
+}

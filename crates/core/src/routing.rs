@@ -1,0 +1,185 @@
+//! Routing state: intra-node and inter-node function routes, and the
+//! control-plane coordinator that maintains them.
+//!
+//! Palladium keeps two tables (§3.5.5): the intra-node table (read-only to
+//! functions, stored in the unified pool) listing locally running
+//! functions, and the inter-node table (on the DPU) mapping remote
+//! functions to their nodes. A CNI-like coordinator listens for function
+//! deployment events and synchronizes both.
+
+use std::collections::HashMap;
+
+use palladium_membuf::{FnId, NodeId, TenantId};
+
+/// One node's view of the routing state.
+#[derive(Debug, Default, Clone)]
+pub struct RouteTables {
+    /// Functions running on this node.
+    local: HashMap<FnId, TenantId>,
+    /// Function → node for every function in the cluster (inter-node table,
+    /// kept on the DPU for the DNE's TX stage).
+    global: HashMap<FnId, NodeId>,
+}
+
+impl RouteTables {
+    /// Empty tables.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Is `f` deployed on this node? (The I/O library's first routing
+    /// query, Fig 7 "route query".)
+    pub fn is_local(&self, f: FnId) -> bool {
+        self.local.contains_key(&f)
+    }
+
+    /// Node hosting `f`, from the inter-node table.
+    pub fn node_of(&self, f: FnId) -> Option<NodeId> {
+        self.global.get(&f).copied()
+    }
+
+    /// Tenant of a locally deployed function.
+    pub fn local_tenant(&self, f: FnId) -> Option<TenantId> {
+        self.local.get(&f).copied()
+    }
+
+    /// Locally deployed functions, sorted for determinism.
+    pub fn local_functions(&self) -> Vec<FnId> {
+        let mut v: Vec<FnId> = self.local.keys().copied().collect();
+        v.sort();
+        v
+    }
+}
+
+/// A function deployment event (creation or termination).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeployEvent {
+    /// Function started on a node.
+    Created {
+        /// The function.
+        f: FnId,
+        /// Its tenant.
+        tenant: TenantId,
+        /// Where it runs.
+        node: NodeId,
+    },
+    /// Function terminated.
+    Terminated {
+        /// The function.
+        f: FnId,
+    },
+}
+
+/// The control-plane coordinator: holds the authoritative deployment map
+/// and pushes per-node tables (the CNI-like component of §3.5.5).
+#[derive(Debug, Default)]
+pub struct Coordinator {
+    placements: HashMap<FnId, (TenantId, NodeId)>,
+}
+
+impl Coordinator {
+    /// A coordinator with no deployments.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Apply a deployment event.
+    pub fn apply(&mut self, ev: DeployEvent) {
+        match ev {
+            DeployEvent::Created { f, tenant, node } => {
+                self.placements.insert(f, (tenant, node));
+            }
+            DeployEvent::Terminated { f } => {
+                self.placements.remove(&f);
+            }
+        }
+    }
+
+    /// Where a function runs.
+    pub fn placement(&self, f: FnId) -> Option<(TenantId, NodeId)> {
+        self.placements.get(&f).copied()
+    }
+
+    /// Build the routing tables for `node` (what the coordinator syncs to
+    /// each worker).
+    pub fn tables_for(&self, node: NodeId) -> RouteTables {
+        let mut t = RouteTables::new();
+        for (&f, &(tenant, n)) in &self.placements {
+            t.global.insert(f, n);
+            if n == node {
+                t.local.insert(f, tenant);
+            }
+        }
+        t
+    }
+
+    /// Total deployed functions.
+    pub fn len(&self) -> usize {
+        self.placements.len()
+    }
+
+    /// True when nothing is deployed.
+    pub fn is_empty(&self) -> bool {
+        self.placements.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coordinator_syncs_tables() {
+        let mut c = Coordinator::new();
+        c.apply(DeployEvent::Created {
+            f: FnId(1),
+            tenant: TenantId(1),
+            node: NodeId(0),
+        });
+        c.apply(DeployEvent::Created {
+            f: FnId(2),
+            tenant: TenantId(1),
+            node: NodeId(1),
+        });
+        let t0 = c.tables_for(NodeId(0));
+        assert!(t0.is_local(FnId(1)));
+        assert!(!t0.is_local(FnId(2)));
+        assert_eq!(t0.node_of(FnId(2)), Some(NodeId(1)));
+        assert_eq!(t0.local_tenant(FnId(1)), Some(TenantId(1)));
+        assert_eq!(t0.local_functions(), vec![FnId(1)]);
+    }
+
+    #[test]
+    fn termination_removes_routes() {
+        let mut c = Coordinator::new();
+        c.apply(DeployEvent::Created {
+            f: FnId(1),
+            tenant: TenantId(1),
+            node: NodeId(0),
+        });
+        c.apply(DeployEvent::Terminated { f: FnId(1) });
+        let t = c.tables_for(NodeId(0));
+        assert!(!t.is_local(FnId(1)));
+        assert_eq!(t.node_of(FnId(1)), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn redeployment_moves_function() {
+        let mut c = Coordinator::new();
+        c.apply(DeployEvent::Created {
+            f: FnId(1),
+            tenant: TenantId(1),
+            node: NodeId(0),
+        });
+        // Auto-scaling moved the function to node 1.
+        c.apply(DeployEvent::Created {
+            f: FnId(1),
+            tenant: TenantId(1),
+            node: NodeId(1),
+        });
+        assert!(!c.tables_for(NodeId(0)).is_local(FnId(1)));
+        assert!(c.tables_for(NodeId(1)).is_local(FnId(1)));
+        assert_eq!(c.len(), 1);
+    }
+}

@@ -1,0 +1,247 @@
+//! System definitions: the six data planes of the §4.3 evaluation plus the
+//! ablation variants, expressed as a single declarative spec the chain
+//! driver wires up. Also the Table 1 capability matrix.
+
+use crate::config::EngineLocation;
+use crate::dwrr::SchedPolicy;
+
+/// Which serverless data plane a cluster runs.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum SystemKind {
+    /// Palladium with the DPU-offloaded network engine.
+    PalladiumDne,
+    /// Palladium with the engine on a host CPU core (apples-to-apples
+    /// DPU-offload ablation, §4.3).
+    PalladiumCne,
+    /// FUYAO with the F-Stack ingress (one-sided WRITE + receiver copy).
+    FuyaoF,
+    /// FUYAO with the kernel ingress.
+    FuyaoK,
+    /// SPRIGHT: intra-node shared memory, kernel TCP across nodes,
+    /// F-Stack ingress.
+    Spright,
+    /// NightCore: single-node shared memory, built-in kernel ingress.
+    NightCore,
+}
+
+impl SystemKind {
+    /// Every system of the Fig 16 / Table 2 comparison, in paper order.
+    pub const ALL: [SystemKind; 6] = [
+        SystemKind::PalladiumDne,
+        SystemKind::PalladiumCne,
+        SystemKind::FuyaoF,
+        SystemKind::FuyaoK,
+        SystemKind::Spright,
+        SystemKind::NightCore,
+    ];
+
+    /// Display name matching the paper's labels.
+    pub fn label(self) -> &'static str {
+        match self {
+            SystemKind::PalladiumDne => "Palladium (DNE)",
+            SystemKind::PalladiumCne => "Palladium (CNE)",
+            SystemKind::FuyaoF => "FUYAO-F",
+            SystemKind::FuyaoK => "FUYAO-K",
+            SystemKind::Spright => "SPRIGHT",
+            SystemKind::NightCore => "NightCore",
+        }
+    }
+
+    /// The declarative wiring for this system.
+    pub fn spec(self) -> SystemSpec {
+        match self {
+            SystemKind::PalladiumDne => SystemSpec {
+                kind: self,
+                ingress: IngressKind::Palladium,
+                inter_node: InterNode::TwoSidedRdma,
+                engine_loc: EngineLocation::Dpu,
+                sched: SchedPolicy::Dwrr,
+                single_node: false,
+                receiver_polls: false,
+            },
+            SystemKind::PalladiumCne => SystemSpec {
+                kind: self,
+                ingress: IngressKind::Palladium,
+                inter_node: InterNode::TwoSidedRdma,
+                engine_loc: EngineLocation::Cpu,
+                sched: SchedPolicy::Dwrr,
+                single_node: false,
+                receiver_polls: false,
+            },
+            SystemKind::FuyaoF => SystemSpec {
+                kind: self,
+                ingress: IngressKind::FStackDeferred,
+                inter_node: InterNode::OneSidedRecvCopy,
+                engine_loc: EngineLocation::Cpu,
+                sched: SchedPolicy::Fcfs,
+                single_node: false,
+                receiver_polls: true,
+            },
+            SystemKind::FuyaoK => SystemSpec {
+                kind: self,
+                ingress: IngressKind::KernelDeferred,
+                inter_node: InterNode::OneSidedRecvCopy,
+                engine_loc: EngineLocation::Cpu,
+                sched: SchedPolicy::Fcfs,
+                single_node: false,
+                receiver_polls: true,
+            },
+            SystemKind::Spright => SystemSpec {
+                kind: self,
+                ingress: IngressKind::FStackDeferred,
+                inter_node: InterNode::KernelTcp,
+                engine_loc: EngineLocation::Cpu,
+                sched: SchedPolicy::Fcfs,
+                single_node: false,
+                receiver_polls: false,
+            },
+            SystemKind::NightCore => SystemSpec {
+                kind: self,
+                ingress: IngressKind::KernelDeferred,
+                inter_node: InterNode::None,
+                engine_loc: EngineLocation::Cpu,
+                sched: SchedPolicy::Fcfs,
+                single_node: true,
+                receiver_polls: false,
+            },
+        }
+    }
+
+    /// Table 1 capability row.
+    pub fn capabilities(self) -> Capabilities {
+        match self {
+            SystemKind::PalladiumDne | SystemKind::PalladiumCne => Capabilities {
+                multi_tenancy: true,
+                distributed_zero_copy: true,
+                dpu_offloading: self == SystemKind::PalladiumDne,
+                eliminates_proto_in_cluster: true,
+            },
+            SystemKind::FuyaoF | SystemKind::FuyaoK => Capabilities {
+                multi_tenancy: false,
+                distributed_zero_copy: false, // receiver-side copy
+                dpu_offloading: true,
+                eliminates_proto_in_cluster: false,
+            },
+            SystemKind::Spright => Capabilities {
+                multi_tenancy: false,
+                distributed_zero_copy: false,
+                dpu_offloading: false,
+                eliminates_proto_in_cluster: false,
+            },
+            SystemKind::NightCore => Capabilities {
+                multi_tenancy: false,
+                distributed_zero_copy: false,
+                dpu_offloading: false,
+                eliminates_proto_in_cluster: false,
+            },
+        }
+    }
+}
+
+/// How external HTTP traffic enters the cluster.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum IngressKind {
+    /// Early HTTP/TCP→RDMA conversion at the cluster edge (§3.6).
+    Palladium,
+    /// Deferred conversion, F-Stack proxy at the edge + TCP to workers.
+    FStackDeferred,
+    /// Deferred conversion, kernel-stack proxy (interrupt-driven).
+    KernelDeferred,
+}
+
+/// How inter-node function hops travel.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum InterNode {
+    /// Two-sided RDMA SEND/RECV through the engine (Palladium, §2.1).
+    TwoSidedRdma,
+    /// One-sided WRITE into a dedicated pool + receiver-side copy (FUYAO).
+    OneSidedRecvCopy,
+    /// Kernel TCP between node-local engines (SPRIGHT).
+    KernelTcp,
+    /// No inter-node path: all functions co-located (NightCore).
+    None,
+}
+
+/// Full declarative wiring of one system.
+#[derive(Clone, Copy, Debug)]
+pub struct SystemSpec {
+    /// Which system this is.
+    pub kind: SystemKind,
+    /// Ingress design.
+    pub ingress: IngressKind,
+    /// Inter-node transport.
+    pub inter_node: InterNode,
+    /// Engine location (DPU vs CPU).
+    pub engine_loc: EngineLocation,
+    /// TX scheduling policy.
+    pub sched: SchedPolicy,
+    /// All functions forced onto one node?
+    pub single_node: bool,
+    /// Does the receiver pin a core busy-polling for one-sided arrivals?
+    pub receiver_polls: bool,
+}
+
+/// Table 1 capability flags.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Capabilities {
+    /// Multi-tenancy support for the RDMA fabric.
+    pub multi_tenancy: bool,
+    /// Distributed zero-copy data plane.
+    pub distributed_zero_copy: bool,
+    /// DPU offloading.
+    pub dpu_offloading: bool,
+    /// Eliminates protocol processing within the cluster.
+    pub eliminates_proto_in_cluster: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_table1_matrix() {
+        // Palladium is the only row with all four capabilities (Table 1).
+        let p = SystemKind::PalladiumDne.capabilities();
+        assert!(
+            p.multi_tenancy
+                && p.distributed_zero_copy
+                && p.dpu_offloading
+                && p.eliminates_proto_in_cluster
+        );
+        let f = SystemKind::FuyaoF.capabilities();
+        assert!(f.dpu_offloading && !f.multi_tenancy && !f.distributed_zero_copy);
+        let s = SystemKind::Spright.capabilities();
+        assert!(!s.dpu_offloading && !s.distributed_zero_copy);
+        let n = SystemKind::NightCore.capabilities();
+        assert!(!n.multi_tenancy && !n.dpu_offloading);
+    }
+
+    #[test]
+    fn specs_are_consistent() {
+        for k in SystemKind::ALL {
+            let s = k.spec();
+            assert_eq!(s.kind, k);
+            if s.single_node {
+                assert_eq!(s.inter_node, InterNode::None);
+            }
+            if s.receiver_polls {
+                assert_eq!(s.inter_node, InterNode::OneSidedRecvCopy);
+            }
+        }
+        assert_eq!(
+            SystemKind::PalladiumDne.spec().engine_loc,
+            EngineLocation::Dpu
+        );
+        assert_eq!(
+            SystemKind::PalladiumCne.spec().engine_loc,
+            EngineLocation::Cpu
+        );
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(SystemKind::PalladiumDne.label(), "Palladium (DNE)");
+        assert_eq!(SystemKind::FuyaoK.label(), "FUYAO-K");
+        assert_eq!(SystemKind::ALL.len(), 6);
+    }
+}

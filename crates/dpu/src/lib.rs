@@ -1,0 +1,24 @@
+//! # palladium-dpu — the DPU SoC substrate
+//!
+//! The Bluefield-2 stand-in (hardware-gate substitution, DESIGN.md §1):
+//!
+//! * [`soc`] — the wimpy ARM processing complex: 8 × A72 @ 2.0 GHz against
+//!   3.7 GHz host cores, a ≈2.2× service-time multiplier for protocol work.
+//! * [`dma`] — the SoC DMA engine: ≈2.6 µs per 64 B operation and a single
+//!   serially-served channel, the bottleneck that makes *on-path* DPU
+//!   offloading lose to *off-path* + cross-processor shared memory
+//!   (§4.1.1 / Fig 11).
+//! * [`mmap_import`] — the DPU-side `doca_mmap_create_from_export` table:
+//!   host pools become DPU-visible only through explicit PCI grants, with
+//!   tenant-scoped revocation.
+//!
+//! The DNE itself (the engine that runs *on* this SoC) lives in
+//! `palladium-core::dne`; this crate is the hardware it runs on.
+
+pub mod dma;
+pub mod mmap_import;
+pub mod soc;
+
+pub use dma::{SocDma, SocDmaSpec};
+pub use mmap_import::ImportTable;
+pub use soc::{DpuSoc, SocSpec};

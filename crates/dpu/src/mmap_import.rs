@@ -1,0 +1,109 @@
+//! The DPU-side import table for cross-processor shared memory.
+//!
+//! The DNE's core thread receives mmap export descriptors from the host's
+//! shared-memory agents (over Comch) and re-creates the mappings with
+//! `doca_mmap_create_from_export()` (§3.4.2, Fig 6 step 2). Only pools
+//! imported here are visible to code on the DPU — the security boundary the
+//! off-path design relies on: the DNE sees tenant pools because the host
+//! explicitly granted them, never because it could reach into host memory
+//! at will.
+
+use std::collections::HashMap;
+
+use palladium_membuf::{create_from_export, Grant, ImportError, MmapExport, PoolId, TenantId};
+
+/// The DPU's table of imported host pools.
+#[derive(Debug, Default)]
+pub struct ImportTable {
+    imports: HashMap<PoolId, MmapExport>,
+    /// Revocation epoch: bumped on tenant teardown; stale handles die.
+    epoch: u64,
+}
+
+impl ImportTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `doca_mmap_create_from_export()` — import a pool exported with a PCI
+    /// grant.
+    pub fn import(&mut self, export: &MmapExport) -> Result<(), ImportError> {
+        let validated = create_from_export(export, Grant::Pci, None)?;
+        self.imports.insert(validated.pool, validated);
+        Ok(())
+    }
+
+    /// May DPU code touch buffers of `pool`?
+    pub fn can_access(&self, pool: PoolId) -> bool {
+        self.imports.contains_key(&pool)
+    }
+
+    /// Tenant owning an imported pool.
+    pub fn tenant_of(&self, pool: PoolId) -> Option<TenantId> {
+        self.imports.get(&pool).map(|x| x.tenant)
+    }
+
+    /// Drop all imports belonging to `tenant` (teardown / revocation).
+    /// Returns the number of mappings dropped.
+    pub fn revoke_tenant(&mut self, tenant: TenantId) -> usize {
+        let before = self.imports.len();
+        self.imports.retain(|_, x| x.tenant != tenant);
+        let dropped = before - self.imports.len();
+        if dropped > 0 {
+            self.epoch += 1;
+        }
+        dropped
+    }
+
+    /// Current revocation epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of imported pools.
+    pub fn len(&self) -> usize {
+        self.imports.len()
+    }
+
+    /// True when nothing is imported.
+    pub fn is_empty(&self) -> bool {
+        self.imports.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use palladium_membuf::{MmapExporter, Region};
+
+    #[test]
+    fn import_requires_pci_grant() {
+        let mut table = ImportTable::new();
+        let mut e = MmapExporter::new(PoolId(1), TenantId(1), Region::hugepages(4 << 20));
+        let rdma_only = e.export_rdma();
+        assert!(table.import(&rdma_only).is_err());
+        assert!(!table.can_access(PoolId(1)));
+        let pci = e.export_pci();
+        table.import(&pci).unwrap();
+        assert!(table.can_access(PoolId(1)));
+        assert_eq!(table.tenant_of(PoolId(1)), Some(TenantId(1)));
+    }
+
+    #[test]
+    fn revoke_drops_tenant_mappings() {
+        let mut table = ImportTable::new();
+        let mut e1 = MmapExporter::new(PoolId(1), TenantId(1), Region::hugepages(2 << 20));
+        let mut e2 = MmapExporter::new(PoolId(2), TenantId(2), Region::hugepages(2 << 20));
+        table.import(&e1.export_pci()).unwrap();
+        table.import(&e2.export_pci()).unwrap();
+        assert_eq!(table.len(), 2);
+        assert_eq!(table.revoke_tenant(TenantId(1)), 1);
+        assert!(!table.can_access(PoolId(1)));
+        assert!(table.can_access(PoolId(2)));
+        assert_eq!(table.epoch(), 1);
+        // Revoking again is a no-op and does not bump the epoch.
+        assert_eq!(table.revoke_tenant(TenantId(1)), 0);
+        assert_eq!(table.epoch(), 1);
+    }
+}

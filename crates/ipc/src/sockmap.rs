@@ -1,0 +1,193 @@
+//! The eBPF sockmap — `BPF_MAP_TYPE_SOCKMAP` — and the `SK_MSG` fast path.
+//!
+//! Palladium's intra-node data plane (§3.5.3, Fig 8) hands 16-byte buffer
+//! descriptors between co-located functions through eBPF `SK_MSG`: the
+//! source function's `send()` triggers the SK_MSG program, which looks up
+//! the destination function's socket in the sockmap and redirects the
+//! descriptor directly to it — bypassing the kernel protocol stack entirely.
+//!
+//! The reproduction keeps the exact structure: a sockmap keyed by function
+//! id holding socket file descriptors, a verdict program that routes
+//! descriptors, and delivery queues per socket. Timing costs live in
+//! [`crate::costs`]; drivers charge them to the right cores.
+
+use std::collections::HashMap;
+
+use palladium_membuf::{BufDesc, FnId};
+
+/// A socket file descriptor (node-local).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct SockFd(pub u32);
+
+/// Errors from sockmap operations.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SockmapError {
+    /// No socket registered for the destination function.
+    NoRoute(FnId),
+    /// The fd is not in the map (stale entry / torn-down function).
+    StaleFd(SockFd),
+}
+
+/// The sockmap plus per-socket delivery queues — one instance per node.
+#[derive(Debug, Default)]
+pub struct Sockmap {
+    /// `BPF_MAP_TYPE_SOCKMAP`: function id → socket fd.
+    map: HashMap<FnId, SockFd>,
+    /// Kernel-side socket receive queues (descriptors, in order).
+    queues: HashMap<SockFd, Vec<BufDesc>>,
+    next_fd: u32,
+    /// Messages redirected so far.
+    pub redirects: u64,
+}
+
+impl Sockmap {
+    /// An empty sockmap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a function's socket (done at function deployment by the
+    /// runtime, mirroring `bpf_map_update_elem`).
+    pub fn register(&mut self, f: FnId) -> SockFd {
+        let fd = SockFd(self.next_fd);
+        self.next_fd += 1;
+        self.map.insert(f, fd);
+        self.queues.insert(fd, Vec::new());
+        fd
+    }
+
+    /// Remove a function (teardown).
+    pub fn unregister(&mut self, f: FnId) {
+        if let Some(fd) = self.map.remove(&f) {
+            self.queues.remove(&fd);
+        }
+    }
+
+    /// The SK_MSG verdict program: route `desc` to its destination
+    /// function's socket queue. Returns the destination fd on success.
+    pub fn sk_msg_redirect(&mut self, desc: BufDesc) -> Result<SockFd, SockmapError> {
+        let fd = *self
+            .map
+            .get(&desc.dst_fn)
+            .ok_or(SockmapError::NoRoute(desc.dst_fn))?;
+        let queue = self.queues.get_mut(&fd).ok_or(SockmapError::StaleFd(fd))?;
+        queue.push(desc);
+        self.redirects += 1;
+        Ok(fd)
+    }
+
+    /// Drain up to `max` descriptors from a function's socket (its
+    /// `recv()` / epoll-readiness path).
+    pub fn recv(&mut self, f: FnId, max: usize) -> Vec<BufDesc> {
+        let Some(fd) = self.map.get(&f) else {
+            return Vec::new();
+        };
+        let Some(q) = self.queues.get_mut(fd) else {
+            return Vec::new();
+        };
+        let n = max.min(q.len());
+        q.drain(..n).collect()
+    }
+
+    /// Descriptors waiting on a function's socket.
+    pub fn pending(&self, f: FnId) -> usize {
+        self.map
+            .get(&f)
+            .and_then(|fd| self.queues.get(fd))
+            .map(|q| q.len())
+            .unwrap_or(0)
+    }
+
+    /// Is the function registered?
+    pub fn contains(&self, f: FnId) -> bool {
+        self.map.contains_key(&f)
+    }
+
+    /// Number of registered sockets.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no sockets are registered.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use palladium_membuf::{PoolId, TenantId};
+
+    fn desc(src: u16, dst: u16) -> BufDesc {
+        BufDesc {
+            tenant: TenantId(1),
+            pool: PoolId(1),
+            buf_idx: 7,
+            len: 64,
+            src_fn: FnId(src),
+            dst_fn: FnId(dst),
+        }
+    }
+
+    #[test]
+    fn redirect_routes_to_destination() {
+        let mut sm = Sockmap::new();
+        sm.register(FnId(1));
+        let fd2 = sm.register(FnId(2));
+        let got = sm.sk_msg_redirect(desc(1, 2)).unwrap();
+        assert_eq!(got, fd2);
+        assert_eq!(sm.pending(FnId(2)), 1);
+        assert_eq!(sm.pending(FnId(1)), 0);
+        let received = sm.recv(FnId(2), 16);
+        assert_eq!(received.len(), 1);
+        assert_eq!(received[0].buf_idx, 7);
+        assert_eq!(sm.redirects, 1);
+    }
+
+    #[test]
+    fn unknown_destination_is_no_route() {
+        let mut sm = Sockmap::new();
+        sm.register(FnId(1));
+        assert_eq!(
+            sm.sk_msg_redirect(desc(1, 9)),
+            Err(SockmapError::NoRoute(FnId(9)))
+        );
+    }
+
+    #[test]
+    fn unregister_removes_route_and_queue() {
+        let mut sm = Sockmap::new();
+        sm.register(FnId(1));
+        sm.register(FnId(2));
+        sm.sk_msg_redirect(desc(1, 2)).unwrap();
+        sm.unregister(FnId(2));
+        assert!(!sm.contains(FnId(2)));
+        assert_eq!(sm.pending(FnId(2)), 0);
+        assert!(sm.sk_msg_redirect(desc(1, 2)).is_err());
+        assert_eq!(sm.len(), 1);
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut sm = Sockmap::new();
+        sm.register(FnId(1));
+        sm.register(FnId(2));
+        for i in 0..5 {
+            let mut d = desc(1, 2);
+            d.buf_idx = i;
+            sm.sk_msg_redirect(d).unwrap();
+        }
+        let got = sm.recv(FnId(2), 3);
+        assert_eq!(got.iter().map(|d| d.buf_idx).collect::<Vec<_>>(), [0, 1, 2]);
+        let rest = sm.recv(FnId(2), 16);
+        assert_eq!(rest.iter().map(|d| d.buf_idx).collect::<Vec<_>>(), [3, 4]);
+    }
+
+    #[test]
+    fn recv_on_unknown_function_is_empty() {
+        let mut sm = Sockmap::new();
+        assert!(sm.recv(FnId(3), 4).is_empty());
+        assert!(sm.is_empty());
+    }
+}

@@ -1,0 +1,108 @@
+//! Common identifiers shared across the workspace.
+//!
+//! Kept in the memory crate because buffers, tenants and functions are the
+//! vocabulary every other layer speaks. All ids are small integers wrapped in
+//! newtypes so they cannot be confused with each other.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $raw:ty) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub $raw);
+
+        impl $name {
+            /// Raw integer value.
+            #[inline]
+            pub const fn raw(self) -> $raw {
+                self.0
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A worker, ingress or client node in the cluster.
+    NodeId,
+    u16
+);
+id_type!(
+    /// A serverless function instance.
+    FnId,
+    u16
+);
+id_type!(
+    /// A tenant — in Palladium, each function chain is its own tenant with a
+    /// private unified memory pool (§3.4.1).
+    TenantId,
+    u16
+);
+id_type!(
+    /// A unified shared-memory pool.
+    PoolId,
+    u16
+);
+
+/// Who currently owns a buffer. Palladium's buffer lifecycle follows
+/// exclusive-ownership semantics (§3.5.1): only the owner may read, write or
+/// recycle a buffer.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Owner {
+    /// On the free list.
+    Free,
+    /// Owned by a function's runtime.
+    Function(FnId),
+    /// Owned by a network engine (DNE or CNE).
+    Engine,
+    /// Posted to the RNIC receive queue (awaiting inbound data).
+    Rnic,
+    /// Owned by the ingress gateway worker.
+    Ingress,
+    /// Descriptor handed off and in flight between owners; redeemable exactly
+    /// once.
+    InTransit,
+}
+
+impl Owner {
+    /// True for owners allowed to read/write payload bytes.
+    pub fn can_access(self) -> bool {
+        !matches!(self, Owner::Free | Owner::InTransit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_compare_and_format() {
+        assert_eq!(FnId(3), FnId(3));
+        assert_ne!(FnId(3), FnId(4));
+        assert_eq!(format!("{:?}", TenantId(7)), "TenantId(7)");
+        assert_eq!(format!("{}", NodeId(2)), "2");
+        assert_eq!(PoolId(9).raw(), 9);
+    }
+
+    #[test]
+    fn owner_access_rules() {
+        assert!(Owner::Function(FnId(1)).can_access());
+        assert!(Owner::Engine.can_access());
+        assert!(Owner::Rnic.can_access());
+        assert!(Owner::Ingress.can_access());
+        assert!(!Owner::Free.can_access());
+        assert!(!Owner::InTransit.can_access());
+    }
+}

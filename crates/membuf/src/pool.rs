@@ -1,0 +1,588 @@
+//! The unified shared-memory pool: pool-based buffer allocation with
+//! exclusive-ownership semantics.
+//!
+//! This is the reproduction of Palladium's per-tenant unified memory pool
+//! (§3.4): a fixed number of equal-size buffers reserved up front
+//! (`rte_mempool_get()`/`rte_mempool_put()` in the paper's DPDK
+//! implementation), shared by every function of one tenant, by the network
+//! engine, and — through cross-processor mmap — by the RNIC.
+//!
+//! Ownership is enforced with *move-only tokens* ([`BufToken`]): holding the
+//! token is the capability to read, write or recycle the buffer, emulating
+//! the paper's token-passing scheme (§3.5.1) that guarantees lock-free
+//! single-producer/single-consumer buffer access. Converting a token into a
+//! [`BufDesc`] (for SK_MSG/Comch hand-off) marks the buffer `InTransit`;
+//! redeeming the descriptor on the other side reclaims exclusive ownership.
+//! Double-redeem, stale-generation and wrong-pool accesses are all hard
+//! errors — the test suite and the property tests lean on this.
+
+use std::fmt;
+
+use crate::desc::BufDesc;
+use crate::ids::{FnId, Owner, PoolId, TenantId};
+use crate::meter::{CopyMeter, MoveKind};
+
+/// Errors surfaced by pool operations.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PoolError {
+    /// The free list is empty — allocation failed.
+    Exhausted,
+    /// Token or descriptor references a different pool.
+    WrongPool,
+    /// Token generation does not match the slot (stale/duplicated token).
+    StaleToken,
+    /// Buffer is not in the expected ownership state.
+    BadOwner {
+        /// Ownership state found on the slot.
+        found: Owner,
+    },
+    /// Payload larger than the pool's buffer size.
+    TooLarge,
+    /// Descriptor index out of range.
+    BadIndex,
+}
+
+impl fmt::Display for PoolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PoolError::Exhausted => write!(f, "memory pool exhausted"),
+            PoolError::WrongPool => write!(f, "token references another pool"),
+            PoolError::StaleToken => write!(f, "stale buffer token (generation mismatch)"),
+            PoolError::BadOwner { found } => {
+                write!(f, "buffer in unexpected ownership state {found:?}")
+            }
+            PoolError::TooLarge => write!(f, "payload exceeds pool buffer size"),
+            PoolError::BadIndex => write!(f, "buffer index out of range"),
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// The unforgeable capability to one buffer. Move-only by construction (no
+/// `Clone`): Rust's move semantics *are* the token passing.
+#[derive(Debug, PartialEq, Eq)]
+pub struct BufToken {
+    pool: PoolId,
+    idx: u32,
+    gen: u32,
+}
+
+impl BufToken {
+    /// Pool this token belongs to.
+    pub fn pool(&self) -> PoolId {
+        self.pool
+    }
+
+    /// Buffer index within the pool.
+    pub fn idx(&self) -> u32 {
+        self.idx
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Slot {
+    gen: u32,
+    owner: Owner,
+    len: u32,
+}
+
+/// Statistics a pool keeps about itself.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Successful allocations.
+    pub allocs: u64,
+    /// Buffers returned to the free list.
+    pub frees: u64,
+    /// Allocation failures due to exhaustion.
+    pub alloc_failures: u64,
+    /// High-water mark of concurrently allocated buffers.
+    pub max_in_use: u32,
+}
+
+/// A fixed-size pool of equal-size buffers with real backing storage.
+pub struct UnifiedPool {
+    id: PoolId,
+    tenant: TenantId,
+    buf_size: u32,
+    data: Vec<u8>,
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    stats: PoolStats,
+}
+
+impl UnifiedPool {
+    /// A pool of `n_bufs` buffers of `buf_size` bytes each, owned by
+    /// `tenant`.
+    pub fn new(id: PoolId, tenant: TenantId, n_bufs: u32, buf_size: u32) -> Self {
+        assert!(n_bufs > 0, "pool must hold at least one buffer");
+        assert!(buf_size > 0, "buffers must be non-empty");
+        UnifiedPool {
+            id,
+            tenant,
+            buf_size,
+            data: vec![0u8; n_bufs as usize * buf_size as usize],
+            slots: (0..n_bufs)
+                .map(|_| Slot {
+                    gen: 0,
+                    owner: Owner::Free,
+                    len: 0,
+                })
+                .collect(),
+            // LIFO free list: most-recently-freed first for cache warmth,
+            // like rte_mempool's per-core cache.
+            free: (0..n_bufs).rev().collect(),
+            stats: PoolStats::default(),
+        }
+    }
+
+    /// Pool identifier.
+    pub fn id(&self) -> PoolId {
+        self.id
+    }
+
+    /// Owning tenant.
+    pub fn tenant(&self) -> TenantId {
+        self.tenant
+    }
+
+    /// Size of each buffer in bytes.
+    pub fn buf_size(&self) -> u32 {
+        self.buf_size
+    }
+
+    /// Total number of buffers.
+    pub fn capacity(&self) -> u32 {
+        self.slots.len() as u32
+    }
+
+    /// Buffers currently on the free list.
+    pub fn available(&self) -> u32 {
+        self.free.len() as u32
+    }
+
+    /// Buffers currently allocated (owned by someone or in transit).
+    pub fn in_use(&self) -> u32 {
+        self.capacity() - self.available()
+    }
+
+    /// Pool statistics.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+
+    /// Total backing bytes (for MR registration / MTT sizing).
+    pub fn backing_len(&self) -> u64 {
+        self.data.len() as u64
+    }
+
+    /// Allocate one buffer for `owner`. O(1): pops the free list — the
+    /// paper's motivation for pool-based allocation over malloc (§3.4).
+    pub fn alloc(&mut self, owner: Owner) -> Result<BufToken, PoolError> {
+        debug_assert!(owner.can_access(), "cannot allocate for a passive owner");
+        let Some(idx) = self.free.pop() else {
+            self.stats.alloc_failures += 1;
+            return Err(PoolError::Exhausted);
+        };
+        let slot = &mut self.slots[idx as usize];
+        slot.owner = owner;
+        slot.len = 0;
+        let gen = slot.gen;
+        self.stats.allocs += 1;
+        self.stats.max_in_use = self.stats.max_in_use.max(self.in_use());
+        Ok(BufToken {
+            pool: self.id,
+            idx,
+            gen,
+        })
+    }
+
+    fn check(&self, tok: &BufToken) -> Result<usize, PoolError> {
+        if tok.pool != self.id {
+            return Err(PoolError::WrongPool);
+        }
+        let idx = tok.idx as usize;
+        if idx >= self.slots.len() {
+            return Err(PoolError::BadIndex);
+        }
+        if self.slots[idx].gen != tok.gen {
+            return Err(PoolError::StaleToken);
+        }
+        Ok(idx)
+    }
+
+    /// Return a buffer to the free list, consuming the token. The slot
+    /// generation bumps so any stale copies of descriptors are invalidated.
+    pub fn free(&mut self, tok: BufToken) -> Result<(), PoolError> {
+        let idx = self.check(&tok)?;
+        let slot = &mut self.slots[idx];
+        if !slot.owner.can_access() {
+            return Err(PoolError::BadOwner { found: slot.owner });
+        }
+        slot.owner = Owner::Free;
+        slot.len = 0;
+        slot.gen = slot.gen.wrapping_add(1);
+        self.free.push(tok.idx);
+        self.stats.frees += 1;
+        Ok(())
+    }
+
+    /// Write `payload` into the buffer (software copy — metered). Sets the
+    /// valid length. Used by functions producing output and by the explicit
+    /// cross-security-domain copy path (§3.1 security model).
+    pub fn write(
+        &mut self,
+        tok: &BufToken,
+        payload: &[u8],
+        meter: &mut CopyMeter,
+    ) -> Result<(), PoolError> {
+        self.fill(tok, payload, MoveKind::Software, meter)
+    }
+
+    /// Write `payload` via a hardware DMA engine (not a software copy).
+    pub fn dma_write(
+        &mut self,
+        tok: &BufToken,
+        payload: &[u8],
+        kind: MoveKind,
+        meter: &mut CopyMeter,
+    ) -> Result<(), PoolError> {
+        debug_assert!(
+            !matches!(kind, MoveKind::Software),
+            "use write() for software copies"
+        );
+        self.fill(tok, payload, kind, meter)
+    }
+
+    fn fill(
+        &mut self,
+        tok: &BufToken,
+        payload: &[u8],
+        kind: MoveKind,
+        meter: &mut CopyMeter,
+    ) -> Result<(), PoolError> {
+        let idx = self.check(tok)?;
+        if payload.len() > self.buf_size as usize {
+            return Err(PoolError::TooLarge);
+        }
+        let slot = &mut self.slots[idx];
+        if !slot.owner.can_access() {
+            return Err(PoolError::BadOwner { found: slot.owner });
+        }
+        let base = idx * self.buf_size as usize;
+        self.data[base..base + payload.len()].copy_from_slice(payload);
+        slot.len = payload.len() as u32;
+        meter.record(kind, payload.len() as u64);
+        Ok(())
+    }
+
+    /// Produce `payload` into the buffer *in place* — the function writing
+    /// its output directly through the shared mapping. This is data
+    /// production, not a transport copy, so it is deliberately unmetered
+    /// (the paper's zero-copy definition concerns copies introduced by the
+    /// data plane, not the application computing its result).
+    pub fn produce(&mut self, tok: &BufToken, payload: &[u8]) -> Result<(), PoolError> {
+        let mut scratch = CopyMeter::new();
+        self.fill(tok, payload, MoveKind::Software, &mut scratch)
+    }
+
+    /// Set the valid length without touching bytes — models in-place
+    /// production where the function wrote through the mapping directly
+    /// (zero-copy path: no meter entry because no copy happened).
+    pub fn set_len(&mut self, tok: &BufToken, len: u32) -> Result<(), PoolError> {
+        let idx = self.check(tok)?;
+        if len > self.buf_size {
+            return Err(PoolError::TooLarge);
+        }
+        self.slots[idx].len = len;
+        Ok(())
+    }
+
+    /// Read the valid payload of a buffer.
+    pub fn read(&self, tok: &BufToken) -> Result<&[u8], PoolError> {
+        let idx = self.check(tok)?;
+        let slot = &self.slots[idx];
+        if !slot.owner.can_access() {
+            return Err(PoolError::BadOwner { found: slot.owner });
+        }
+        let base = idx * self.buf_size as usize;
+        Ok(&self.data[base..base + slot.len as usize])
+    }
+
+    /// Valid payload length.
+    pub fn len_of(&self, tok: &BufToken) -> Result<u32, PoolError> {
+        let idx = self.check(tok)?;
+        Ok(self.slots[idx].len)
+    }
+
+    /// Current owner of the buffer a token points to.
+    pub fn owner_of(&self, tok: &BufToken) -> Result<Owner, PoolError> {
+        let idx = self.check(tok)?;
+        Ok(self.slots[idx].owner)
+    }
+
+    /// Hand the buffer off: consume the token, mark the slot `InTransit`,
+    /// and produce the 16-byte descriptor that travels over SK_MSG / Comch /
+    /// the RDMA fabric's completion path.
+    pub fn into_transit(
+        &mut self,
+        tok: BufToken,
+        src: FnId,
+        dst: FnId,
+    ) -> Result<BufDesc, PoolError> {
+        let idx = self.check(&tok)?;
+        let slot = &mut self.slots[idx];
+        if !slot.owner.can_access() {
+            return Err(PoolError::BadOwner { found: slot.owner });
+        }
+        slot.owner = Owner::InTransit;
+        Ok(BufDesc {
+            tenant: self.tenant,
+            pool: self.id,
+            buf_idx: tok.idx,
+            len: slot.len,
+            src_fn: src,
+            dst_fn: dst,
+        })
+    }
+
+    /// Redeem a descriptor into exclusive ownership. Fails if the buffer is
+    /// not in transit — i.e. a descriptor cannot be redeemed twice, the
+    /// lock-free SPSC guarantee of §3.5.1.
+    pub fn redeem(&mut self, desc: &BufDesc, new_owner: Owner) -> Result<BufToken, PoolError> {
+        debug_assert!(new_owner.can_access(), "cannot redeem to a passive owner");
+        if desc.pool != self.id {
+            return Err(PoolError::WrongPool);
+        }
+        let idx = desc.buf_idx as usize;
+        if idx >= self.slots.len() {
+            return Err(PoolError::BadIndex);
+        }
+        let slot = &mut self.slots[idx];
+        if slot.owner != Owner::InTransit {
+            return Err(PoolError::BadOwner { found: slot.owner });
+        }
+        slot.owner = new_owner;
+        Ok(BufToken {
+            pool: self.id,
+            idx: desc.buf_idx,
+            gen: slot.gen,
+        })
+    }
+
+    /// Transfer ownership in place (e.g. RNIC→Engine on CQE) without going
+    /// through a descriptor.
+    pub fn transfer(
+        &mut self,
+        tok: &BufToken,
+        from: Owner,
+        to: Owner,
+    ) -> Result<(), PoolError> {
+        let idx = self.check(tok)?;
+        let slot = &mut self.slots[idx];
+        if slot.owner != from {
+            return Err(PoolError::BadOwner { found: slot.owner });
+        }
+        slot.owner = to;
+        Ok(())
+    }
+}
+
+impl fmt::Debug for UnifiedPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("UnifiedPool")
+            .field("id", &self.id)
+            .field("tenant", &self.tenant)
+            .field("buf_size", &self.buf_size)
+            .field("capacity", &self.capacity())
+            .field("available", &self.available())
+            .finish()
+    }
+}
+
+/// Copy a payload between two buffers, potentially across pools — the
+/// explicit CPU copy Palladium requires at security-domain boundaries
+/// (§3.1). Always metered as a software copy.
+pub fn copy_across(
+    src_pool: &UnifiedPool,
+    src: &BufToken,
+    dst_pool: &mut UnifiedPool,
+    dst: &BufToken,
+    meter: &mut CopyMeter,
+) -> Result<(), PoolError> {
+    let payload = src_pool.read(src)?.to_vec();
+    dst_pool.write(dst, &payload, meter)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> UnifiedPool {
+        UnifiedPool::new(PoolId(1), TenantId(1), 4, 1024)
+    }
+
+    #[test]
+    fn alloc_write_read_free() {
+        let mut p = pool();
+        let mut m = CopyMeter::new();
+        let tok = p.alloc(Owner::Function(FnId(1))).unwrap();
+        p.write(&tok, b"hello palladium", &mut m).unwrap();
+        assert_eq!(p.read(&tok).unwrap(), b"hello palladium");
+        assert_eq!(p.len_of(&tok).unwrap(), 15);
+        assert_eq!(m.sw_bytes, 15);
+        p.free(tok).unwrap();
+        assert_eq!(p.available(), 4);
+        assert_eq!(p.stats().allocs, 1);
+        assert_eq!(p.stats().frees, 1);
+    }
+
+    #[test]
+    fn exhaustion_fails_cleanly() {
+        let mut p = pool();
+        let toks: Vec<_> = (0..4).map(|_| p.alloc(Owner::Engine).unwrap()).collect();
+        assert_eq!(p.alloc(Owner::Engine), Err(PoolError::Exhausted));
+        assert_eq!(p.stats().alloc_failures, 1);
+        assert_eq!(p.stats().max_in_use, 4);
+        for t in toks {
+            p.free(t).unwrap();
+        }
+        assert!(p.alloc(Owner::Engine).is_ok());
+    }
+
+    #[test]
+    fn stale_token_rejected_after_free() {
+        let mut p = pool();
+        let tok = p.alloc(Owner::Engine).unwrap();
+        let idx = tok.idx();
+        p.free(tok).unwrap();
+        // Forge a token with the old generation by allocating the same slot
+        // and checking the generation moved on.
+        let tok2 = loop {
+            let t = p.alloc(Owner::Engine).unwrap();
+            if t.idx() == idx {
+                break t;
+            }
+        };
+        let stale = BufToken {
+            pool: PoolId(1),
+            idx,
+            gen: tok2.gen.wrapping_sub(1),
+        };
+        assert_eq!(p.read(&stale), Err(PoolError::StaleToken));
+    }
+
+    #[test]
+    fn wrong_pool_rejected() {
+        let mut p1 = UnifiedPool::new(PoolId(1), TenantId(1), 2, 64);
+        let p2 = UnifiedPool::new(PoolId(2), TenantId(2), 2, 64);
+        let tok = p1.alloc(Owner::Engine).unwrap();
+        assert_eq!(p2.read(&tok), Err(PoolError::WrongPool));
+        p1.free(tok).unwrap();
+    }
+
+    #[test]
+    fn oversized_write_rejected() {
+        let mut p = UnifiedPool::new(PoolId(1), TenantId(1), 1, 8);
+        let mut m = CopyMeter::new();
+        let tok = p.alloc(Owner::Engine).unwrap();
+        assert_eq!(
+            p.write(&tok, &[0u8; 9], &mut m),
+            Err(PoolError::TooLarge)
+        );
+        assert_eq!(m.sw_bytes, 0, "failed writes must not be metered");
+    }
+
+    #[test]
+    fn transit_roundtrip_moves_ownership() {
+        let mut p = pool();
+        let mut m = CopyMeter::new();
+        let tok = p.alloc(Owner::Function(FnId(1))).unwrap();
+        p.write(&tok, b"payload", &mut m).unwrap();
+        let desc = p.into_transit(tok, FnId(1), FnId(2)).unwrap();
+        assert_eq!(desc.len, 7);
+        // While in transit nobody can read.
+        let probe = BufToken {
+            pool: desc.pool,
+            idx: desc.buf_idx,
+            gen: 0,
+        };
+        assert!(matches!(p.read(&probe), Err(PoolError::BadOwner { .. })));
+        // Redeem on the receiving side: zero bytes copied.
+        let tok2 = p.redeem(&desc, Owner::Function(FnId(2))).unwrap();
+        assert_eq!(p.read(&tok2).unwrap(), b"payload");
+        assert_eq!(m.sw_ops, 1, "only the initial produce copied");
+        p.free(tok2).unwrap();
+    }
+
+    #[test]
+    fn double_redeem_rejected() {
+        let mut p = pool();
+        let tok = p.alloc(Owner::Function(FnId(1))).unwrap();
+        let desc = p.into_transit(tok, FnId(1), FnId(2)).unwrap();
+        let _tok2 = p.redeem(&desc, Owner::Function(FnId(2))).unwrap();
+        assert!(matches!(
+            p.redeem(&desc, Owner::Function(FnId(3))),
+            Err(PoolError::BadOwner { .. })
+        ));
+    }
+
+    #[test]
+    fn transfer_requires_expected_owner() {
+        let mut p = pool();
+        let tok = p.alloc(Owner::Rnic).unwrap();
+        assert!(matches!(
+            p.transfer(&tok, Owner::Engine, Owner::Rnic),
+            Err(PoolError::BadOwner { .. })
+        ));
+        p.transfer(&tok, Owner::Rnic, Owner::Engine).unwrap();
+        assert_eq!(p.owner_of(&tok).unwrap(), Owner::Engine);
+        p.free(tok).unwrap();
+    }
+
+    #[test]
+    fn copy_across_pools_is_metered() {
+        let mut a = UnifiedPool::new(PoolId(1), TenantId(1), 1, 64);
+        let mut b = UnifiedPool::new(PoolId(2), TenantId(2), 1, 64);
+        let mut m = CopyMeter::new();
+        let ta = a.alloc(Owner::Function(FnId(1))).unwrap();
+        a.write(&ta, b"cross-domain", &mut m).unwrap();
+        let tb = b.alloc(Owner::Function(FnId(2))).unwrap();
+        copy_across(&a, &ta, &mut b, &tb, &mut m).unwrap();
+        assert_eq!(b.read(&tb).unwrap(), b"cross-domain");
+        assert_eq!(m.sw_ops, 2);
+        assert!(!m.is_zero_copy());
+    }
+
+    #[test]
+    fn dma_write_is_not_a_software_copy() {
+        let mut p = pool();
+        let mut m = CopyMeter::new();
+        let tok = p.alloc(Owner::Rnic).unwrap();
+        p.dma_write(&tok, &[7u8; 256], MoveKind::RnicDma, &mut m)
+            .unwrap();
+        assert!(m.is_zero_copy());
+        assert_eq!(m.rnic_dma_bytes, 256);
+        assert_eq!(p.read(&tok).unwrap(), &[7u8; 256][..]);
+    }
+
+    #[test]
+    fn set_len_models_in_place_production() {
+        let mut p = pool();
+        let tok = p.alloc(Owner::Function(FnId(1))).unwrap();
+        p.set_len(&tok, 512).unwrap();
+        assert_eq!(p.len_of(&tok).unwrap(), 512);
+        assert_eq!(p.set_len(&tok, 2048), Err(PoolError::TooLarge));
+    }
+
+    #[test]
+    fn lifo_reuse_for_cache_warmth() {
+        let mut p = pool();
+        let tok = p.alloc(Owner::Engine).unwrap();
+        let first_idx = tok.idx();
+        p.free(tok).unwrap();
+        let tok2 = p.alloc(Owner::Engine).unwrap();
+        assert_eq!(tok2.idx(), first_idx, "most recently freed is reused first");
+        p.free(tok2).unwrap();
+    }
+}

@@ -1,0 +1,128 @@
+//! Wire-level packet vocabulary for the simulated fabric.
+//!
+//! The fabric itself (serialization, propagation, fault injection) is
+//! orchestrated by [`crate::net::RdmaNet`]; this module defines what travels
+//! on it.
+
+use bytes::Bytes;
+
+use palladium_membuf::NodeId;
+
+use crate::verbs::{Qpn, WorkRequest, WrId};
+
+/// A frame in flight between two RNICs.
+#[derive(Clone, Debug)]
+pub struct Packet {
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Originating QP on `src`.
+    pub src_qpn: Qpn,
+    /// Target QP on `dst`.
+    pub dst_qpn: Qpn,
+    /// Payload.
+    pub kind: PacketKind,
+    /// Set by the fault injector; the receiving RNIC's CRC check drops the
+    /// frame and lets the go-back-N machinery recover.
+    pub corrupted: bool,
+}
+
+/// Frame contents.
+#[derive(Clone, Debug)]
+pub enum PacketKind {
+    /// A data-bearing message (SEND / WRITE / READ request) with its PSN.
+    Data {
+        /// Sequence number within the connection.
+        psn: u64,
+        /// The work request (payload travels with it).
+        wr: WorkRequest,
+    },
+    /// Cumulative acknowledgement of every PSN `<= upto`.
+    Ack {
+        /// Highest acknowledged PSN.
+        upto: u64,
+    },
+    /// Out-of-sequence NAK: "I still expect `expected`".
+    Nak {
+        /// PSN the receiver expects next.
+        expected: u64,
+    },
+    /// Receiver-not-ready NAK for a SEND that found no RQ buffer.
+    RnrNak {
+        /// PSN of the rejected SEND.
+        psn: u64,
+    },
+    /// Response to a one-sided READ. Modelled as reliable (no Palladium
+    /// experiment exercises READ; see `net` module docs).
+    ReadResp {
+        /// WR id of the originating READ.
+        wr_id: WrId,
+        /// PSN of the originating READ request.
+        orig_psn: u64,
+        /// The fetched bytes.
+        data: Bytes,
+    },
+}
+
+impl Packet {
+    /// Wire size of this frame in bytes, given the per-message header size.
+    pub fn wire_bytes(&self, header_bytes: u64, ack_bytes: u64) -> u64 {
+        match &self.kind {
+            PacketKind::Data { wr, .. } => header_bytes + wr.wire_payload_len(),
+            PacketKind::Ack { .. } | PacketKind::Nak { .. } | PacketKind::RnrNak { .. } => {
+                ack_bytes
+            }
+            PacketKind::ReadResp { data, .. } => header_bytes + data.len() as u64,
+        }
+    }
+
+    /// True for control frames (ACK family) that skip receive-queue logic.
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self.kind,
+            PacketKind::Ack { .. } | PacketKind::Nak { .. } | PacketKind::RnrNak { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verbs::WorkRequest;
+
+    #[test]
+    fn wire_sizes() {
+        let data = Packet {
+            src: NodeId(0),
+            dst: NodeId(1),
+            src_qpn: Qpn(1),
+            dst_qpn: Qpn(2),
+            kind: PacketKind::Data {
+                psn: 0,
+                wr: WorkRequest::send(WrId(1), Bytes::from(vec![0u8; 4096]), 0),
+            },
+            corrupted: false,
+        };
+        assert_eq!(data.wire_bytes(40, 64), 4136);
+        assert!(!data.is_control());
+
+        let ack = Packet {
+            kind: PacketKind::Ack { upto: 5 },
+            ..data.clone()
+        };
+        assert_eq!(ack.wire_bytes(40, 64), 64);
+        assert!(ack.is_control());
+
+        let rr = Packet {
+            kind: PacketKind::ReadResp {
+                wr_id: WrId(1),
+                orig_psn: 3,
+                data: Bytes::from(vec![0u8; 100]),
+            },
+            ..data
+        };
+        assert_eq!(rr.wire_bytes(40, 64), 140);
+        assert!(!rr.is_control());
+    }
+}

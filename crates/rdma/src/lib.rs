@@ -1,0 +1,41 @@
+//! # palladium-rdma — the simulated RDMA substrate
+//!
+//! A from-scratch, protocol-faithful stand-in for the ConnectX-6 RNIC +
+//! 200 Gbps fabric the Palladium paper evaluates on (the hardware gate this
+//! reproduction substitutes per DESIGN.md §1):
+//!
+//! * [`verbs`] — the IB-verbs vocabulary: QPs, work requests, completions.
+//! * [`qp`] — the Reliable Connected state machine: PSNs, cumulative ACKs,
+//!   go-back-N retransmission, RNR NAK/retry, shadow-QP activity tracking.
+//! * [`rnic`] — the device model: per-tenant shared RQs, the node-wide
+//!   shared CQ, MR registration gated on DOCA RDMA grants, QP-context-cache
+//!   and MTT-cache pressure penalties.
+//! * [`fabric`] — wire frames.
+//! * [`net`] — [`net::RdmaNet`], the sub-simulator drivers embed; see its
+//!   module docs for the event-trampoline pattern.
+//! * [`config`] — every timing constant, calibrated against numbers the
+//!   paper itself reports (DESIGN.md §6).
+//!
+//! What the substitution preserves: the *protocol-level* properties
+//! Palladium's design arguments rest on — two-sided SENDs consume
+//! receiver-posted buffers (no receiver-obliviousness), one-sided WRITEs
+//! land without receiver involvement (hence the data-race problem of §2.1),
+//! RC delivers exactly-once in-order under loss, connection setup costs tens
+//! of milliseconds (hence the connection pool), and active QPs beyond the
+//! device cache thrash (hence shadow QPs and the active-QP cap).
+
+pub mod config;
+pub mod fabric;
+pub mod mr;
+pub mod net;
+pub mod qp;
+pub mod rnic;
+pub mod verbs;
+
+pub use config::RdmaConfig;
+pub use fabric::{Packet, PacketKind};
+pub use mr::{MemoryRegion, MrError, MrKey, MrTable};
+pub use net::{RdmaEvent, RdmaNet, RdmaOutput, Step};
+pub use qp::{Inflight, RcQp, RxDecision};
+pub use rnic::{Rnic, RnicError, RqEntry};
+pub use verbs::{Cqe, CqeKind, CqeStatus, OpKind, QpState, Qpn, RemoteAddr, WorkRequest, WrId};

@@ -1,0 +1,159 @@
+//! Fault injection for the simulated fabric and devices.
+//!
+//! Mirrors the knobs smoltcp exposes for its examples (`--drop-chance`,
+//! `--corrupt-chance`, rate limits): the reproduction's RC transport must
+//! keep delivering exactly-once, in-order under any of these faults, and the
+//! integration tests exercise exactly that.
+
+use crate::rng::SimRng;
+use crate::time::Nanos;
+
+/// What the fault injector decided to do with one packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Deliver untouched.
+    Pass,
+    /// Silently drop.
+    Drop,
+    /// Deliver but flip bits (the receiver's integrity check must catch it).
+    Corrupt,
+}
+
+/// A declarative fault plan applied to a link or device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Probability a packet is dropped, `0.0 ..= 1.0`.
+    pub drop_chance: f64,
+    /// Probability a surviving packet is corrupted.
+    pub corrupt_chance: f64,
+    /// Additional uniformly distributed delay applied per packet, `0` to
+    /// `max_extra_delay` — models cross-traffic induced queueing.
+    pub max_extra_delay: Nanos,
+    /// Faults apply only after this instant (lets tests warm up cleanly).
+    pub active_after: Nanos,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::NONE
+    }
+}
+
+impl FaultPlan {
+    /// The fault-free plan.
+    pub const NONE: FaultPlan = FaultPlan {
+        drop_chance: 0.0,
+        corrupt_chance: 0.0,
+        max_extra_delay: Nanos::ZERO,
+        active_after: Nanos::ZERO,
+    };
+
+    /// A plan that only drops packets.
+    pub fn dropping(p: f64) -> Self {
+        FaultPlan {
+            drop_chance: p,
+            ..FaultPlan::NONE
+        }
+    }
+
+    /// A plan that only corrupts packets.
+    pub fn corrupting(p: f64) -> Self {
+        FaultPlan {
+            corrupt_chance: p,
+            ..FaultPlan::NONE
+        }
+    }
+
+    /// True when this plan can never touch a packet.
+    pub fn is_none(&self) -> bool {
+        self.drop_chance <= 0.0
+            && self.corrupt_chance <= 0.0
+            && self.max_extra_delay.is_zero()
+    }
+
+    /// Decide the fate of one packet at time `now`.
+    pub fn judge(&self, now: Nanos, rng: &mut SimRng) -> Verdict {
+        if now < self.active_after || self.is_none() {
+            return Verdict::Pass;
+        }
+        if rng.chance(self.drop_chance) {
+            return Verdict::Drop;
+        }
+        if rng.chance(self.corrupt_chance) {
+            return Verdict::Corrupt;
+        }
+        Verdict::Pass
+    }
+
+    /// Extra queueing delay for one (surviving) packet.
+    pub fn extra_delay(&self, now: Nanos, rng: &mut SimRng) -> Nanos {
+        if now < self.active_after || self.max_extra_delay.is_zero() {
+            return Nanos::ZERO;
+        }
+        Nanos(rng.range(0, self.max_extra_delay.as_nanos() + 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_always_passes() {
+        let mut rng = SimRng::seed_from(1);
+        let plan = FaultPlan::NONE;
+        for _ in 0..100 {
+            assert_eq!(plan.judge(Nanos(0), &mut rng), Verdict::Pass);
+        }
+        assert!(plan.is_none());
+    }
+
+    #[test]
+    fn drop_rate_is_calibrated() {
+        let mut rng = SimRng::seed_from(2);
+        let plan = FaultPlan::dropping(0.15);
+        let drops = (0..10_000)
+            .filter(|_| plan.judge(Nanos(0), &mut rng) == Verdict::Drop)
+            .count();
+        assert!((1_300..1_700).contains(&drops), "got {drops}");
+    }
+
+    #[test]
+    fn corrupt_applies_to_survivors() {
+        let mut rng = SimRng::seed_from(3);
+        let plan = FaultPlan {
+            drop_chance: 0.5,
+            corrupt_chance: 1.0,
+            ..FaultPlan::NONE
+        };
+        for _ in 0..100 {
+            let v = plan.judge(Nanos(0), &mut rng);
+            assert!(v == Verdict::Drop || v == Verdict::Corrupt);
+        }
+    }
+
+    #[test]
+    fn inactive_before_activation_time() {
+        let mut rng = SimRng::seed_from(4);
+        let plan = FaultPlan {
+            drop_chance: 1.0,
+            active_after: Nanos(1_000),
+            ..FaultPlan::NONE
+        };
+        assert_eq!(plan.judge(Nanos(999), &mut rng), Verdict::Pass);
+        assert_eq!(plan.judge(Nanos(1_000), &mut rng), Verdict::Drop);
+    }
+
+    #[test]
+    fn extra_delay_bounded() {
+        let mut rng = SimRng::seed_from(5);
+        let plan = FaultPlan {
+            max_extra_delay: Nanos(500),
+            ..FaultPlan::NONE
+        };
+        for _ in 0..1_000 {
+            assert!(plan.extra_delay(Nanos(0), &mut rng) <= Nanos(500));
+        }
+        assert_eq!(FaultPlan::NONE.extra_delay(Nanos(0), &mut rng), Nanos::ZERO);
+    }
+}

@@ -1,0 +1,40 @@
+//! # palladium-simnet — deterministic discrete-event simulation kernel
+//!
+//! The Palladium paper evaluates on hardware this repository cannot assume
+//! (Bluefield-2 DPUs, ConnectX-6 RNICs, a 200 Gbps switched fabric). Every
+//! experiment is therefore reproduced on a *deterministic discrete-event
+//! simulation*: substrate crates implement the real protocol and data-path
+//! logic as passive state machines, and this crate provides the clock, the
+//! event queue, the queueing primitives and the measurement machinery that
+//! drive them.
+//!
+//! Design notes (following the smoltcp/tokio guides this workspace builds
+//! against):
+//!
+//! * **Passive state machines, explicit polling.** Nothing in this kernel
+//!   spawns threads or hides control flow; drivers pop events and poke
+//!   components, which return [`Timed`] effects.
+//! * **Determinism.** Ties in the event queue break by insertion order and
+//!   all randomness flows from a seeded [`SimRng`]; identical configurations
+//!   produce identical traces, which the test suite asserts.
+//! * **Queueing first.** Every latency/throughput curve in the paper is a
+//!   queueing phenomenon; [`FifoServer`]/[`ServerBank`] model each core, DMA
+//!   engine and NIC port so saturation emerges instead of being scripted.
+
+pub mod fault;
+pub mod queue;
+pub mod rate;
+pub mod rng;
+pub mod server;
+pub mod sim;
+pub mod stats;
+pub mod time;
+
+pub use fault::{FaultPlan, Verdict};
+pub use queue::{EventId, EventQueue};
+pub use rate::TokenBucket;
+pub use rng::SimRng;
+pub use server::{FifoServer, ServerBank};
+pub use sim::{Sim, Timed};
+pub use stats::{Counters, Samples, UtilizationBins, WindowedRate};
+pub use time::{cycles_time, wire_time, Nanos};

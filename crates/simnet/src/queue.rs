@@ -1,0 +1,189 @@
+//! The event queue at the heart of the DES kernel.
+//!
+//! Events are ordered by `(time, sequence)`: two events scheduled for the
+//! same instant fire in the order they were scheduled. This makes every
+//! simulation in the workspace fully deterministic — a property the tests
+//! rely on (same seed ⇒ byte-identical reports).
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::time::Nanos;
+
+/// Identifier of a scheduled event, used to cancel timers.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EventId(u64);
+
+struct Entry<M> {
+    at: Nanos,
+    seq: u64,
+    msg: M,
+}
+
+impl<M> PartialEq for Entry<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Entry<M> {}
+
+impl<M> PartialOrd for Entry<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for Entry<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse so the earliest (time, seq) pops
+        // first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered queue of events carrying messages of type `M`.
+pub struct EventQueue<M> {
+    heap: BinaryHeap<Entry<M>>,
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+}
+
+impl<M> Default for EventQueue<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> EventQueue<M> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedule `msg` to fire at absolute time `at`. Returns an id that can
+    /// later be passed to [`EventQueue::cancel`].
+    pub fn schedule_at(&mut self, at: Nanos, msg: M) -> EventId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, msg });
+        EventId(seq)
+    }
+
+    /// Cancel a previously scheduled event. Cancelling an event that already
+    /// fired (or was already cancelled) is a harmless no-op.
+    pub fn cancel(&mut self, id: EventId) {
+        self.cancelled.insert(id.0);
+    }
+
+    /// Remove and return the earliest pending event, skipping cancelled
+    /// entries. Returns `None` when the queue is exhausted.
+    pub fn pop(&mut self) -> Option<(Nanos, M)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            return Some((entry.at, entry.msg));
+        }
+        None
+    }
+
+    /// Time of the earliest pending (non-cancelled) event without removing
+    /// it.
+    pub fn peek_time(&mut self) -> Option<Nanos> {
+        while let Some(entry) = self.heap.peek() {
+            if self.cancelled.contains(&entry.seq) {
+                let seq = entry.seq;
+                self.heap.pop();
+                self.cancelled.remove(&seq);
+                continue;
+            }
+            return Some(entry.at);
+        }
+        None
+    }
+
+    /// Number of pending entries (including not-yet-skipped cancelled ones).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.len() == self.cancelled.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Nanos(30), "c");
+        q.schedule_at(Nanos(10), "a");
+        q.schedule_at(Nanos(20), "b");
+        assert_eq!(q.pop(), Some((Nanos(10), "a")));
+        assert_eq!(q.pop(), Some((Nanos(20), "b")));
+        assert_eq!(q.pop(), Some((Nanos(30), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_by_schedule_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Nanos(5), 1);
+        q.schedule_at(Nanos(5), 2);
+        q.schedule_at(Nanos(5), 3);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+    }
+
+    #[test]
+    fn cancel_removes_event() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_at(Nanos(1), "a");
+        q.schedule_at(Nanos(2), "b");
+        q.cancel(a);
+        assert_eq!(q.pop(), Some((Nanos(2), "b")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn cancel_after_fire_is_noop() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_at(Nanos(1), "a");
+        assert_eq!(q.pop(), Some((Nanos(1), "a")));
+        q.cancel(a); // already fired; must not corrupt anything
+        q.schedule_at(Nanos(2), "b");
+        assert_eq!(q.pop(), Some((Nanos(2), "b")));
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_at(Nanos(1), "a");
+        q.schedule_at(Nanos(7), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(Nanos(7)));
+        assert_eq!(q.pop(), Some((Nanos(7), "b")));
+    }
+
+    #[test]
+    fn is_empty_accounts_for_cancelled() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        assert!(q.is_empty());
+        let a = q.schedule_at(Nanos(1), 0);
+        assert!(!q.is_empty());
+        q.cancel(a);
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,130 @@
+//! Rate limiting: a token bucket used by per-tenant shaping and by the
+//! fault-injection knobs, mirroring smoltcp's `--tx-rate-limit` shaping.
+
+use crate::time::Nanos;
+
+/// A classic token bucket with deterministic, integer refill arithmetic.
+///
+/// Tokens are abstract units (packets or bytes — the caller decides). The
+/// bucket refills continuously at `rate_per_sec`, capped at `burst`.
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    rate_per_sec: u64,
+    burst: u64,
+    /// Tokens available at `updated`.
+    tokens: u64,
+    /// Fractional token remainder in nanoToken units (tokens * ns accrued).
+    remainder_ns: u64,
+    updated: Nanos,
+}
+
+impl TokenBucket {
+    /// A bucket refilling at `rate_per_sec` with capacity `burst`, starting
+    /// full.
+    pub fn new(rate_per_sec: u64, burst: u64) -> Self {
+        assert!(rate_per_sec > 0, "rate must be positive");
+        assert!(burst > 0, "burst must be positive");
+        TokenBucket {
+            rate_per_sec,
+            burst,
+            tokens: burst,
+            remainder_ns: 0,
+            updated: Nanos::ZERO,
+        }
+    }
+
+    fn refill(&mut self, now: Nanos) {
+        if now <= self.updated {
+            return;
+        }
+        let elapsed = (now - self.updated).as_nanos();
+        // accrued = elapsed * rate / 1e9, carried exactly via remainder.
+        let accrued_ns = self.remainder_ns + elapsed.saturating_mul(self.rate_per_sec);
+        let whole = accrued_ns / 1_000_000_000;
+        self.remainder_ns = accrued_ns % 1_000_000_000;
+        self.tokens = (self.tokens + whole).min(self.burst);
+        if self.tokens == self.burst {
+            self.remainder_ns = 0;
+        }
+        self.updated = now;
+    }
+
+    /// Try to take `n` tokens at `now`. Returns true on success.
+    pub fn try_take(&mut self, now: Nanos, n: u64) -> bool {
+        self.refill(now);
+        if self.tokens >= n {
+            self.tokens -= n;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Earliest time at which `n` tokens will be available (may be `now`).
+    pub fn next_available(&mut self, now: Nanos, n: u64) -> Nanos {
+        self.refill(now);
+        if self.tokens >= n {
+            return now;
+        }
+        let needed = n - self.tokens;
+        // needed tokens need needed*1e9 - remainder_ns nanoToken units.
+        let needed_ns = needed
+            .saturating_mul(1_000_000_000)
+            .saturating_sub(self.remainder_ns);
+        let wait = needed_ns.div_ceil(self.rate_per_sec);
+        now + Nanos(wait)
+    }
+
+    /// Tokens currently available (after refill to `now`).
+    pub fn available(&mut self, now: Nanos) -> u64 {
+        self.refill(now);
+        self.tokens
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_full_and_drains() {
+        let mut tb = TokenBucket::new(1_000, 10);
+        assert!(tb.try_take(Nanos(0), 10));
+        assert!(!tb.try_take(Nanos(0), 1));
+    }
+
+    #[test]
+    fn refills_at_rate() {
+        let mut tb = TokenBucket::new(1_000, 10); // 1 token per ms
+        assert!(tb.try_take(Nanos(0), 10));
+        // After 5 ms, 5 tokens.
+        assert_eq!(tb.available(Nanos::from_millis(5)), 5);
+        assert!(tb.try_take(Nanos::from_millis(5), 5));
+        assert!(!tb.try_take(Nanos::from_millis(5), 1));
+    }
+
+    #[test]
+    fn cap_at_burst() {
+        let mut tb = TokenBucket::new(1_000_000, 4);
+        assert!(tb.try_take(Nanos(0), 4));
+        assert_eq!(tb.available(Nanos::from_secs(10)), 4);
+    }
+
+    #[test]
+    fn next_available_is_exact() {
+        let mut tb = TokenBucket::new(1_000, 10); // 1 token / ms
+        assert!(tb.try_take(Nanos(0), 10));
+        let t = tb.next_available(Nanos(0), 3);
+        assert_eq!(t, Nanos::from_millis(3));
+        assert!(tb.try_take(t, 3));
+    }
+
+    #[test]
+    fn fractional_accrual_is_exact() {
+        // 3 tokens/sec: after 1/3 s we must have exactly 1 token.
+        let mut tb = TokenBucket::new(3, 3);
+        assert!(tb.try_take(Nanos(0), 3));
+        let third = Nanos(333_333_334); // ceil(1e9/3)
+        assert_eq!(tb.available(third), 1);
+    }
+}

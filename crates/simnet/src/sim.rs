@@ -1,0 +1,239 @@
+//! The simulation driver: a virtual clock plus the event queue.
+//!
+//! `Sim<M>` is intentionally minimal — substrate crates expose *passive*
+//! state machines (smoltcp-style: poke them, get timed effects back) and the
+//! composing driver owns a `Sim` and converts effects into scheduled
+//! messages. This keeps every component unit-testable without a running
+//! simulation.
+
+use crate::queue::{EventId, EventQueue};
+use crate::time::Nanos;
+
+/// A value paired with the *relative* delay after which it takes effect.
+/// Substrate state machines return `Timed<Effect>` lists; drivers add the
+/// current time and schedule them.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Timed<T> {
+    /// Delay relative to "now" at the point the effect was produced.
+    pub after: Nanos,
+    /// The effect itself.
+    pub value: T,
+}
+
+impl<T> Timed<T> {
+    /// An effect taking place after `after`.
+    pub fn new(after: Nanos, value: T) -> Self {
+        Timed { after, value }
+    }
+
+    /// An effect taking place immediately.
+    pub fn now(value: T) -> Self {
+        Timed {
+            after: Nanos::ZERO,
+            value,
+        }
+    }
+
+    /// Map the payload, keeping the delay. Drivers use this to lift substrate
+    /// effects into their own event enum.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Timed<U> {
+        Timed {
+            after: self.after,
+            value: f(self.value),
+        }
+    }
+}
+
+/// The discrete-event simulation core: current time plus pending events.
+pub struct Sim<M> {
+    now: Nanos,
+    queue: EventQueue<M>,
+    fired: u64,
+}
+
+impl<M> Default for Sim<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> Sim<M> {
+    /// A simulation at time zero with no pending events.
+    pub fn new() -> Self {
+        Sim {
+            now: Nanos::ZERO,
+            queue: EventQueue::new(),
+            fired: 0,
+        }
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    /// Total number of events fired so far (for run-away detection and
+    /// reporting).
+    #[inline]
+    pub fn events_fired(&self) -> u64 {
+        self.fired
+    }
+
+    /// Schedule `msg` to fire `delay` after the current time.
+    pub fn schedule(&mut self, delay: Nanos, msg: M) -> EventId {
+        self.queue.schedule_at(self.now.saturating_add(delay), msg)
+    }
+
+    /// Schedule `msg` at an absolute virtual time. Scheduling in the past is
+    /// a logic error and panics in debug builds; in release it clamps to
+    /// "now" to remain deterministic.
+    pub fn schedule_at(&mut self, at: Nanos, msg: M) -> EventId {
+        debug_assert!(at >= self.now, "cannot schedule into the past");
+        self.queue.schedule_at(at.max(self.now), msg)
+    }
+
+    /// Schedule a list of timed effects produced by a substrate state
+    /// machine, lifting each into the driver's event type.
+    pub fn schedule_all<T>(&mut self, effects: Vec<Timed<T>>, lift: impl Fn(T) -> M) {
+        for eff in effects {
+            self.schedule(eff.after, lift(eff.value));
+        }
+    }
+
+    /// Cancel a scheduled event (timer). No-op if it already fired.
+    pub fn cancel(&mut self, id: EventId) {
+        self.queue.cancel(id);
+    }
+
+    /// Advance the clock to the next event and return it, or `None` when the
+    /// simulation has run dry.
+    pub fn next(&mut self) -> Option<(Nanos, M)> {
+        let (at, msg) = self.queue.pop()?;
+        debug_assert!(at >= self.now, "event queue went backwards");
+        self.now = at;
+        self.fired += 1;
+        Some((at, msg))
+    }
+
+    /// Time of the next pending event, if any.
+    pub fn peek_time(&mut self) -> Option<Nanos> {
+        self.queue.peek_time()
+    }
+
+    /// Drive the simulation until `deadline`, invoking `handler` for every
+    /// event. The handler receives `(sim, msg)` so it can schedule follow-up
+    /// events. Events scheduled beyond the deadline remain queued. Returns
+    /// the number of events processed.
+    ///
+    /// The clock is left at `deadline` (or at the last event if the queue ran
+    /// dry earlier).
+    pub fn run_until(&mut self, deadline: Nanos, mut handler: impl FnMut(&mut Sim<M>, M)) -> u64 {
+        let mut processed = 0;
+        loop {
+            match self.queue.peek_time() {
+                Some(t) if t <= deadline => {
+                    let (at, msg) = self.queue.pop().expect("peeked entry vanished");
+                    self.now = at;
+                    self.fired += 1;
+                    processed += 1;
+                    handler(self, msg);
+                }
+                _ => break,
+            }
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+        processed
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    enum Ev {
+        Ping(u32),
+        Pong(u32),
+    }
+
+    #[test]
+    fn clock_advances_with_events() {
+        let mut sim: Sim<Ev> = Sim::new();
+        sim.schedule(Nanos(100), Ev::Ping(1));
+        sim.schedule(Nanos(50), Ev::Ping(0));
+        let (t, e) = sim.next().unwrap();
+        assert_eq!((t, e), (Nanos(50), Ev::Ping(0)));
+        assert_eq!(sim.now(), Nanos(50));
+        let (t, _) = sim.next().unwrap();
+        assert_eq!(t, Nanos(100));
+        assert!(sim.next().is_none());
+        assert_eq!(sim.events_fired(), 2);
+    }
+
+    #[test]
+    fn run_until_processes_and_reschedules() {
+        let mut sim: Sim<Ev> = Sim::new();
+        sim.schedule(Nanos(10), Ev::Ping(0));
+        let mut log = Vec::new();
+        sim.run_until(Nanos(100), |sim, ev| match ev {
+            Ev::Ping(n) => {
+                log.push(format!("ping{n}"));
+                sim.schedule(Nanos(10), Ev::Pong(n));
+            }
+            Ev::Pong(n) => {
+                log.push(format!("pong{n}"));
+                if n < 2 {
+                    sim.schedule(Nanos(10), Ev::Ping(n + 1));
+                }
+            }
+        });
+        assert_eq!(log, ["ping0", "pong0", "ping1", "pong1", "ping2", "pong2"]);
+        assert_eq!(sim.now(), Nanos(100)); // clock parked at deadline
+    }
+
+    #[test]
+    fn run_until_leaves_future_events_queued() {
+        let mut sim: Sim<Ev> = Sim::new();
+        sim.schedule(Nanos(10), Ev::Ping(0));
+        sim.schedule(Nanos(500), Ev::Ping(1));
+        let n = sim.run_until(Nanos(100), |_, _| {});
+        assert_eq!(n, 1);
+        assert_eq!(sim.pending(), 1);
+        let (t, _) = sim.next().unwrap();
+        assert_eq!(t, Nanos(500));
+    }
+
+    #[test]
+    fn timed_map_lifts_payload() {
+        let t = Timed::new(Nanos(5), 7u32).map(|v| v * 2);
+        assert_eq!(t, Timed::new(Nanos(5), 14u32));
+        assert_eq!(Timed::now(1u8).after, Nanos::ZERO);
+    }
+
+    #[test]
+    fn schedule_all_lifts_into_event_enum() {
+        let mut sim: Sim<Ev> = Sim::new();
+        sim.schedule_all(
+            vec![Timed::new(Nanos(1), 4u32), Timed::new(Nanos(2), 5u32)],
+            Ev::Ping,
+        );
+        assert_eq!(sim.next().unwrap().1, Ev::Ping(4));
+        assert_eq!(sim.next().unwrap().1, Ev::Ping(5));
+    }
+
+    #[test]
+    fn cancel_timer() {
+        let mut sim: Sim<Ev> = Sim::new();
+        let id = sim.schedule(Nanos(10), Ev::Ping(0));
+        sim.cancel(id);
+        assert!(sim.next().is_none());
+    }
+}

@@ -1,0 +1,348 @@
+//! Measurement machinery: counters, latency samples, windowed time series
+//! and utilization bins — everything the figure harnesses print.
+
+use crate::time::Nanos;
+
+/// A latency (or any scalar) sample set with mean / percentile queries.
+///
+/// Samples are stored raw; the experiment scales here are small enough
+/// (≤ a few million samples) that exact percentiles beat sketch error bars.
+#[derive(Debug, Clone, Default)]
+pub struct Samples {
+    values: Vec<u64>,
+    sorted: bool,
+}
+
+impl Samples {
+    /// An empty sample set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: Nanos) {
+        self.values.push(v.as_nanos());
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Arithmetic mean, or zero when empty.
+    pub fn mean(&self) -> Nanos {
+        if self.values.is_empty() {
+            return Nanos::ZERO;
+        }
+        let sum: u128 = self.values.iter().map(|&v| v as u128).sum();
+        Nanos((sum / self.values.len() as u128) as u64)
+    }
+
+    /// Exact percentile (0.0 ..= 100.0) by nearest-rank, or zero when empty.
+    pub fn percentile(&mut self, p: f64) -> Nanos {
+        if self.values.is_empty() {
+            return Nanos::ZERO;
+        }
+        if !self.sorted {
+            self.values.sort_unstable();
+            self.sorted = true;
+        }
+        let rank = ((p / 100.0) * (self.values.len() as f64 - 1.0)).round() as usize;
+        Nanos(self.values[rank.min(self.values.len() - 1)])
+    }
+
+    /// Median.
+    pub fn p50(&mut self) -> Nanos {
+        self.percentile(50.0)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&mut self) -> Nanos {
+        self.percentile(99.0)
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> Nanos {
+        Nanos(self.values.iter().copied().max().unwrap_or(0))
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> Nanos {
+        Nanos(self.values.iter().copied().min().unwrap_or(0))
+    }
+
+    /// Discard all samples (end of warm-up).
+    pub fn clear(&mut self) {
+        self.values.clear();
+        self.sorted = false;
+    }
+}
+
+/// Counts events in fixed windows of virtual time — the raw material for the
+/// paper's time-series plots (Figs 14 & 15) and for RPS reporting.
+#[derive(Debug, Clone)]
+pub struct WindowedRate {
+    window: Nanos,
+    /// Completed windows, as event counts.
+    bins: Vec<u64>,
+    /// Events recorded before `start` are ignored (warm-up).
+    start: Nanos,
+}
+
+impl WindowedRate {
+    /// A rate tracker with the given window size, starting at `start`.
+    pub fn new(window: Nanos, start: Nanos) -> Self {
+        assert!(!window.is_zero(), "window must be positive");
+        WindowedRate {
+            window,
+            bins: Vec::new(),
+            start,
+        }
+    }
+
+    /// Record one event at time `t` (ignored if before `start`).
+    pub fn record(&mut self, t: Nanos) {
+        self.record_n(t, 1);
+    }
+
+    /// Record `n` events at time `t`.
+    pub fn record_n(&mut self, t: Nanos, n: u64) {
+        if t < self.start {
+            return;
+        }
+        let bin = ((t - self.start).as_nanos() / self.window.as_nanos()) as usize;
+        if self.bins.len() <= bin {
+            self.bins.resize(bin + 1, 0);
+        }
+        self.bins[bin] += n;
+    }
+
+    /// Events per second in each completed window, as `(window_end, rate)`
+    /// pairs. `horizon` truncates trailing empty windows.
+    pub fn series(&self, horizon: Nanos) -> Vec<(Nanos, f64)> {
+        let secs = self.window.as_secs_f64();
+        let n_windows = if horizon <= self.start {
+            0
+        } else {
+            ((horizon - self.start).as_nanos() / self.window.as_nanos()) as usize
+        };
+        (0..n_windows)
+            .map(|i| {
+                let end = self.start + self.window * (i as u64 + 1);
+                let count = self.bins.get(i).copied().unwrap_or(0);
+                (end, count as f64 / secs)
+            })
+            .collect()
+    }
+
+    /// Total events recorded (after `start`).
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum()
+    }
+
+    /// Mean rate (events/sec) over `[start, horizon]`.
+    pub fn mean_rate(&self, horizon: Nanos) -> f64 {
+        if horizon <= self.start {
+            return 0.0;
+        }
+        let span = (horizon - self.start).as_secs_f64();
+        if span <= 0.0 {
+            0.0
+        } else {
+            self.total() as f64 / span
+        }
+    }
+}
+
+/// Bins busy time of a resource into fixed windows, for utilization
+/// time-series plots (Fig 14 (1): "# CPU cores" over time).
+#[derive(Debug, Clone)]
+pub struct UtilizationBins {
+    window: Nanos,
+    bins: Vec<Nanos>,
+}
+
+impl UtilizationBins {
+    /// A tracker with the given window size.
+    pub fn new(window: Nanos) -> Self {
+        assert!(!window.is_zero(), "window must be positive");
+        UtilizationBins {
+            window,
+            bins: Vec::new(),
+        }
+    }
+
+    /// Record that a resource was busy over `[from, to)`, splitting the
+    /// interval across window bins.
+    pub fn record_busy(&mut self, from: Nanos, to: Nanos) {
+        if to <= from {
+            return;
+        }
+        let w = self.window.as_nanos();
+        let mut cur = from.as_nanos();
+        let end = to.as_nanos();
+        while cur < end {
+            let bin = (cur / w) as usize;
+            let bin_end = (bin as u64 + 1) * w;
+            let chunk = end.min(bin_end) - cur;
+            if self.bins.len() <= bin {
+                self.bins.resize(bin + 1, Nanos::ZERO);
+            }
+            self.bins[bin] += Nanos(chunk);
+            cur += chunk;
+        }
+    }
+
+    /// Busy fraction per window as `(window_end, fraction)`; values can
+    /// exceed 1.0 when several resources feed one tracker (i.e. "cores
+    /// used").
+    pub fn series(&self, horizon: Nanos) -> Vec<(Nanos, f64)> {
+        let w = self.window.as_nanos();
+        let n_windows = (horizon.as_nanos() / w) as usize;
+        (0..n_windows)
+            .map(|i| {
+                let end = Nanos((i as u64 + 1) * w);
+                let busy = self.bins.get(i).copied().unwrap_or(Nanos::ZERO);
+                (end, busy.as_nanos() as f64 / w as f64)
+            })
+            .collect()
+    }
+}
+
+/// A monotonically increasing named counter set, used for copy accounting
+/// and protocol statistics.
+#[derive(Debug, Clone, Default)]
+pub struct Counters {
+    entries: Vec<(String, u64)>,
+}
+
+impl Counters {
+    /// Empty counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `n` to counter `name`, creating it at zero if absent.
+    pub fn add(&mut self, name: &str, n: u64) {
+        if let Some(e) = self.entries.iter_mut().find(|(k, _)| k == name) {
+            e.1 += n;
+        } else {
+            self.entries.push((name.to_string(), n));
+        }
+    }
+
+    /// Increment counter `name` by one.
+    pub fn inc(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Current value of `name` (zero if never touched).
+    pub fn get(&self, name: &str) -> u64 {
+        self.entries
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    /// Iterate over `(name, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_mean_and_percentiles() {
+        let mut s = Samples::new();
+        for v in [10, 20, 30, 40, 50] {
+            s.record(Nanos(v));
+        }
+        assert_eq!(s.mean(), Nanos(30));
+        assert_eq!(s.p50(), Nanos(30));
+        assert_eq!(s.percentile(0.0), Nanos(10));
+        assert_eq!(s.percentile(100.0), Nanos(50));
+        assert_eq!(s.min(), Nanos(10));
+        assert_eq!(s.max(), Nanos(50));
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn samples_empty_is_zero() {
+        let mut s = Samples::new();
+        assert_eq!(s.mean(), Nanos::ZERO);
+        assert_eq!(s.p99(), Nanos::ZERO);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn samples_clear_resets() {
+        let mut s = Samples::new();
+        s.record(Nanos(5));
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn windowed_rate_bins_and_series() {
+        let mut r = WindowedRate::new(Nanos::from_secs(1), Nanos::ZERO);
+        for i in 0..10 {
+            r.record(Nanos::from_millis(i * 100)); // all within first second
+        }
+        r.record(Nanos::from_millis(1_500)); // second window
+        let series = r.series(Nanos::from_secs(2));
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].1, 10.0);
+        assert_eq!(series[1].1, 1.0);
+        assert_eq!(r.total(), 11);
+        assert!((r.mean_rate(Nanos::from_secs(2)) - 5.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn windowed_rate_ignores_warmup() {
+        let mut r = WindowedRate::new(Nanos::from_secs(1), Nanos::from_secs(1));
+        r.record(Nanos::from_millis(500)); // warm-up, dropped
+        r.record(Nanos::from_millis(1_500));
+        assert_eq!(r.total(), 1);
+    }
+
+    #[test]
+    fn utilization_bins_split_across_windows() {
+        let mut u = UtilizationBins::new(Nanos(100));
+        u.record_busy(Nanos(50), Nanos(250)); // 50 in w0, 100 in w1, 50 in w2
+        let s = u.series(Nanos(300));
+        assert_eq!(s.len(), 3);
+        assert!((s[0].1 - 0.5).abs() < 1e-9);
+        assert!((s[1].1 - 1.0).abs() < 1e-9);
+        assert!((s[2].1 - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utilization_bins_ignore_empty_interval() {
+        let mut u = UtilizationBins::new(Nanos(100));
+        u.record_busy(Nanos(50), Nanos(50));
+        assert!(u.series(Nanos(100)).iter().all(|&(_, f)| f == 0.0));
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut c = Counters::new();
+        c.inc("sw_copy");
+        c.add("sw_copy", 4);
+        c.add("dma", 2);
+        assert_eq!(c.get("sw_copy"), 5);
+        assert_eq!(c.get("dma"), 2);
+        assert_eq!(c.get("missing"), 0);
+        let all: Vec<_> = c.iter().collect();
+        assert_eq!(all, vec![("sw_copy", 5), ("dma", 2)]);
+    }
+}

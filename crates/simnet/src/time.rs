@@ -1,0 +1,291 @@
+//! Virtual time for the discrete-event simulation.
+//!
+//! All simulated clocks in the workspace are expressed in [`Nanos`] — an
+//! integer count of nanoseconds since simulation start. Integer nanoseconds
+//! keep the simulation exactly deterministic (no floating-point drift) while
+//! being fine-grained enough to express sub-microsecond RDMA costs from the
+//! paper (e.g. the 2.6 µs SoC DMA read, §4.1.1).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in (or span of) virtual time, in nanoseconds.
+///
+/// `Nanos` is deliberately a thin newtype: it is `Copy`, ordered, and
+/// supports saturating arithmetic so cost-model code can never wrap.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Nanos(pub u64);
+
+impl Nanos {
+    /// The zero instant (simulation start).
+    pub const ZERO: Nanos = Nanos(0);
+    /// The far future; used as an "inactive timer" sentinel.
+    pub const MAX: Nanos = Nanos(u64::MAX);
+
+    /// Construct from nanoseconds.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        Nanos(ns)
+    }
+
+    /// Construct from microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        Nanos(us * 1_000)
+    }
+
+    /// Construct from milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        Nanos(ms * 1_000_000)
+    }
+
+    /// Construct from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        Nanos(s * 1_000_000_000)
+    }
+
+    /// Raw nanosecond count.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Value in microseconds (lossy).
+    #[inline]
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Value in milliseconds (lossy).
+    #[inline]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Value in seconds (lossy).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// Saturating addition; `MAX` is absorbing so timer sentinels stay put.
+    #[inline]
+    pub fn saturating_add(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0.saturating_add(rhs.0))
+    }
+
+    /// Saturating subtraction (clamps at zero).
+    #[inline]
+    pub fn saturating_sub(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Scale a span by an integer factor.
+    #[inline]
+    pub fn saturating_mul(self, factor: u64) -> Nanos {
+        Nanos(self.0.saturating_mul(factor))
+    }
+
+    /// Scale a span by a floating-point factor, rounding to the nearest
+    /// nanosecond. Used by cost models (e.g. the DPU wimpy-core multiplier).
+    #[inline]
+    pub fn scale(self, factor: f64) -> Nanos {
+        debug_assert!(factor >= 0.0, "time cannot be scaled negatively");
+        Nanos((self.0 as f64 * factor).round() as u64)
+    }
+
+    /// `max(self, other)`.
+    #[inline]
+    pub fn max(self, other: Nanos) -> Nanos {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// `min(self, other)`.
+    #[inline]
+    pub fn min(self, other: Nanos) -> Nanos {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// True if this is the zero span.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add for Nanos {
+    type Output = Nanos;
+    #[inline]
+    fn add(self, rhs: Nanos) -> Nanos {
+        self.saturating_add(rhs)
+    }
+}
+
+impl AddAssign for Nanos {
+    #[inline]
+    fn add_assign(&mut self, rhs: Nanos) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Nanos {
+    type Output = Nanos;
+    #[inline]
+    fn sub(self, rhs: Nanos) -> Nanos {
+        self.saturating_sub(rhs)
+    }
+}
+
+impl SubAssign for Nanos {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Nanos) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for Nanos {
+    type Output = Nanos;
+    #[inline]
+    fn mul(self, rhs: u64) -> Nanos {
+        self.saturating_mul(rhs)
+    }
+}
+
+impl Div<u64> for Nanos {
+    type Output = Nanos;
+    #[inline]
+    fn div(self, rhs: u64) -> Nanos {
+        Nanos(self.0 / rhs)
+    }
+}
+
+impl Sum for Nanos {
+    fn sum<I: Iterator<Item = Nanos>>(iter: I) -> Nanos {
+        iter.fold(Nanos::ZERO, Add::add)
+    }
+}
+
+impl fmt::Debug for Nanos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self)
+    }
+}
+
+impl fmt::Display for Nanos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns == u64::MAX {
+            write!(f, "∞")
+        } else if ns >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if ns >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else if ns >= 1_000 {
+            write!(f, "{:.3}µs", self.as_micros_f64())
+        } else {
+            write!(f, "{}ns", ns)
+        }
+    }
+}
+
+/// Transmission (serialization) time of `bytes` over a link of `gbps`
+/// gigabits per second, rounded up to a whole nanosecond.
+///
+/// `wire_time(1_000_000, 200.0)` ≈ 40 µs: the time 1 MB occupies a 200 Gbps
+/// port (the paper's testbed fabric speed).
+#[inline]
+pub fn wire_time(bytes: u64, gbps: f64) -> Nanos {
+    debug_assert!(gbps > 0.0, "link rate must be positive");
+    // bits / (gigabits/s) = nanoseconds.
+    let ns = (bytes as f64 * 8.0) / gbps;
+    Nanos(ns.ceil() as u64)
+}
+
+/// Service time of a task costing `cycles` CPU cycles on a core clocked at
+/// `ghz` GHz. This is how the cost model translates "instructions of work"
+/// into virtual time for both beefy x86 cores (3.7 GHz in the paper's
+/// testbed) and wimpy DPU ARM cores (2.0 GHz).
+#[inline]
+pub fn cycles_time(cycles: u64, ghz: f64) -> Nanos {
+    debug_assert!(ghz > 0.0, "clock rate must be positive");
+    Nanos((cycles as f64 / ghz).ceil() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_conversions() {
+        assert_eq!(Nanos::from_micros(3).as_nanos(), 3_000);
+        assert_eq!(Nanos::from_millis(2).as_nanos(), 2_000_000);
+        assert_eq!(Nanos::from_secs(1).as_nanos(), 1_000_000_000);
+        assert_eq!(Nanos::from_secs(1).as_millis_f64(), 1_000.0);
+        assert_eq!(Nanos::from_micros(1500).as_millis_f64(), 1.5);
+    }
+
+    #[test]
+    fn arithmetic_saturates() {
+        assert_eq!(Nanos::MAX + Nanos(1), Nanos::MAX);
+        assert_eq!(Nanos(5) - Nanos(10), Nanos::ZERO);
+        assert_eq!(Nanos::MAX.saturating_mul(2), Nanos::MAX);
+    }
+
+    #[test]
+    fn scaling() {
+        // Wimpy-core multiplier: 1 µs of x86 work takes 2.2 µs on the DPU.
+        assert_eq!(Nanos::from_micros(1).scale(2.2), Nanos(2_200));
+        assert_eq!(Nanos(1000).scale(0.5), Nanos(500));
+        assert_eq!(Nanos(3).scale(0.4), Nanos(1)); // rounds to nearest
+    }
+
+    #[test]
+    fn min_max() {
+        assert_eq!(Nanos(3).max(Nanos(7)), Nanos(7));
+        assert_eq!(Nanos(3).min(Nanos(7)), Nanos(3));
+    }
+
+    #[test]
+    fn wire_time_200gbps() {
+        // 8 KB over 200 Gbps = 8192*8/200 = 327.68 ns -> 328 ns.
+        assert_eq!(wire_time(8192, 200.0), Nanos(328));
+        // 64 B over 200 Gbps = 2.56 ns -> 3 ns.
+        assert_eq!(wire_time(64, 200.0), Nanos(3));
+        // Zero bytes cost nothing.
+        assert_eq!(wire_time(0, 200.0), Nanos(0));
+    }
+
+    #[test]
+    fn cycles_time_examples() {
+        // 3700 cycles at 3.7 GHz = 1 µs.
+        assert_eq!(cycles_time(3_700, 3.7), Nanos::from_micros(1));
+        // Same work on a 2.0 GHz wimpy core takes 1.85 µs.
+        assert_eq!(cycles_time(3_700, 2.0), Nanos(1_850));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Nanos(12)), "12ns");
+        assert_eq!(format!("{}", Nanos(12_345)), "12.345µs");
+        assert_eq!(format!("{}", Nanos(12_345_678)), "12.346ms");
+        assert_eq!(format!("{}", Nanos::from_secs(2)), "2.000s");
+        assert_eq!(format!("{}", Nanos::MAX), "∞");
+    }
+
+    #[test]
+    fn sum_of_spans() {
+        let total: Nanos = [Nanos(1), Nanos(2), Nanos(3)].into_iter().sum();
+        assert_eq!(total, Nanos(6));
+    }
+}

@@ -1,0 +1,16 @@
+//! # palladium-tcpstack — TCP/IP stack models and a real HTTP/1.1 codec
+//!
+//! What the cluster edge runs:
+//!
+//! * [`http`] — an incremental HTTP/1.1 request/response codec (real
+//!   parsing of real bytes; the ingress terminates genuine HTTP traffic).
+//! * [`stack`] — calibrated cost models for the interrupt-driven kernel
+//!   stack and the DPDK-based F-Stack, plus the per-request ingress service
+//!   models behind Fig 13/14: Palladium's early HTTP/TCP→RDMA conversion
+//!   versus the deferred-conversion reverse proxies (K-Ingress, F-Ingress).
+
+pub mod http;
+pub mod stack;
+
+pub use http::{parse_request, parse_response, Method, Parse, ParseError, Request, Response};
+pub use stack::{HttpCosts, IngressServiceModel, RdmaBridgeCosts, StackKind, TcpCosts};

@@ -1,0 +1,225 @@
+//! TCP/IP stack cost models: the interrupt-driven kernel stack versus the
+//! DPDK-based F-Stack.
+//!
+//! The ingress comparison of §4.1.3 (Fig 13/14) is a cost-structure
+//! argument: a kernel-stack NGINX pays syscalls, softirqs and copies per
+//! message; an F-Stack NGINX busy-polls the NIC from userspace and pays far
+//! less per message but pins its core; Palladium's ingress keeps the cheap
+//! client-facing F-Stack and replaces the entire *intra-cluster* TCP leg
+//! with RDMA. Calibration targets the paper's single-core ingress results:
+//! ≈250 K RPS (Palladium), ≈3.2× less for F-Ingress, ≈11.4× less for
+//! K-Ingress.
+
+use palladium_simnet::Nanos;
+
+/// Which TCP/IP stack a component runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StackKind {
+    /// Interrupt-driven Linux kernel stack.
+    Kernel,
+    /// DPDK-based F-Stack: userspace, busy-polled.
+    FStack,
+}
+
+/// Per-operation costs of one stack flavour.
+#[derive(Clone, Copy, Debug)]
+pub struct TcpCosts {
+    /// Receive one message: NIC→stack→application bytes available.
+    /// Kernel: interrupt + softirq + syscall + copy. F-Stack: PMD poll +
+    /// userspace stack.
+    pub per_msg_rx: Nanos,
+    /// Transmit one message.
+    pub per_msg_tx: Nanos,
+    /// Extra per-byte cost (copies inside the stack), ns/byte.
+    pub per_byte_ns: f64,
+    /// Accept a new connection (three-way handshake processing, socket
+    /// setup).
+    pub per_accept: Nanos,
+    /// Does this stack busy-poll (pinning its core at 100 %)?
+    pub pins_core: bool,
+}
+
+impl TcpCosts {
+    /// The calibrated cost table for a stack flavour.
+    pub fn for_kind(kind: StackKind) -> TcpCosts {
+        match kind {
+            StackKind::Kernel => TcpCosts {
+                per_msg_rx: Nanos::from_nanos(14_000),
+                per_msg_tx: Nanos::from_nanos(9_000),
+                per_byte_ns: 0.25,
+                per_accept: Nanos::from_micros(25),
+                pins_core: false,
+            },
+            StackKind::FStack => TcpCosts {
+                per_msg_rx: Nanos::from_nanos(2_000),
+                per_msg_tx: Nanos::from_nanos(1_200),
+                per_byte_ns: 0.06,
+                per_accept: Nanos::from_micros(6),
+                pins_core: true,
+            },
+        }
+    }
+
+    /// Receive cost for a message of `bytes`.
+    pub fn rx(&self, bytes: u64) -> Nanos {
+        self.per_msg_rx + Nanos((bytes as f64 * self.per_byte_ns).round() as u64)
+    }
+
+    /// Transmit cost for a message of `bytes`.
+    pub fn tx(&self, bytes: u64) -> Nanos {
+        self.per_msg_tx + Nanos((bytes as f64 * self.per_byte_ns).round() as u64)
+    }
+}
+
+/// HTTP-layer processing costs (on top of the TCP stack).
+#[derive(Clone, Copy, Debug)]
+pub struct HttpCosts {
+    /// Parse a request or response head.
+    pub parse: Nanos,
+    /// Serialize a response or proxied request.
+    pub serialize: Nanos,
+    /// Reverse-proxy bookkeeping per request for *deferred* transport
+    /// conversion (NGINX upstream module: buffering, header rewrite,
+    /// upstream connection management). Palladium's early conversion
+    /// replaces all of this with an RDMA post.
+    pub proxy_overhead: Nanos,
+}
+
+impl Default for HttpCosts {
+    fn default() -> Self {
+        HttpCosts {
+            parse: Nanos::from_nanos(800),
+            serialize: Nanos::from_nanos(500),
+            proxy_overhead: Nanos::from_nanos(7_300),
+        }
+    }
+}
+
+/// The ingress-side cost of bridging to RDMA (post a WR / reap a CQE) —
+/// Palladium's replacement for the upstream TCP leg.
+#[derive(Clone, Copy, Debug)]
+pub struct RdmaBridgeCosts {
+    /// Post one send WR.
+    pub post: Nanos,
+    /// Reap one completion.
+    pub reap: Nanos,
+}
+
+impl Default for RdmaBridgeCosts {
+    fn default() -> Self {
+        RdmaBridgeCosts {
+            post: Nanos::from_nanos(300),
+            reap: Nanos::from_nanos(300),
+        }
+    }
+}
+
+/// Per-request single-core service time of the three ingress designs
+/// (request + response legs, excluding worker-side time). These are the
+/// quantities the Fig 13 saturation throughput follows.
+#[derive(Clone, Copy, Debug)]
+pub struct IngressServiceModel {
+    /// Client-facing stack.
+    pub client_stack: TcpCosts,
+    /// HTTP costs.
+    pub http: HttpCosts,
+    /// RDMA bridge costs (Palladium only).
+    pub bridge: RdmaBridgeCosts,
+}
+
+impl IngressServiceModel {
+    /// Model with the given client-facing stack.
+    pub fn new(client_stack: StackKind) -> Self {
+        IngressServiceModel {
+            client_stack: TcpCosts::for_kind(client_stack),
+            http: HttpCosts::default(),
+            bridge: RdmaBridgeCosts::default(),
+        }
+    }
+
+    /// Palladium ingress (§3.6): client rx → parse → RDMA post; RDMA reap →
+    /// serialize → client tx. One TCP connection, no proxy bookkeeping.
+    pub fn palladium_per_request(&self, req_bytes: u64, resp_bytes: u64) -> Nanos {
+        self.client_stack.rx(req_bytes)
+            + self.http.parse
+            + self.bridge.post
+            + self.bridge.reap
+            + self.http.serialize
+            + self.client_stack.tx(resp_bytes)
+    }
+
+    /// Deferred conversion (Fig 4 (1)): full reverse proxy — two TCP
+    /// connections (client + upstream), HTTP processing both ways, proxy
+    /// bookkeeping.
+    pub fn deferred_per_request(&self, req_bytes: u64, resp_bytes: u64) -> Nanos {
+        self.client_stack.rx(req_bytes)
+            + self.http.parse
+            + self.client_stack.tx(req_bytes)   // upstream leg out
+            + self.client_stack.rx(resp_bytes)  // upstream leg back
+            + self.http.serialize
+            + self.client_stack.tx(resp_bytes)
+            + self.http.proxy_overhead
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const REQ: u64 = 256;
+    const RESP: u64 = 256;
+
+    fn rps(per_request: Nanos) -> f64 {
+        1e9 / per_request.as_nanos() as f64
+    }
+
+    #[test]
+    fn palladium_ingress_capacity_near_250k() {
+        let m = IngressServiceModel::new(StackKind::FStack);
+        let cap = rps(m.palladium_per_request(REQ, RESP));
+        assert!(
+            (180_000.0..280_000.0).contains(&cap),
+            "Palladium ingress single-core capacity {cap:.0} RPS"
+        );
+    }
+
+    #[test]
+    fn f_ingress_is_3x_slower() {
+        let m = IngressServiceModel::new(StackKind::FStack);
+        let p = rps(m.palladium_per_request(REQ, RESP));
+        let f = rps(m.deferred_per_request(REQ, RESP));
+        let ratio = p / f;
+        assert!(
+            (2.7..3.8).contains(&ratio),
+            "Palladium vs F-Ingress RPS ratio {ratio:.2} (paper: 3.2x)"
+        );
+    }
+
+    #[test]
+    fn k_ingress_is_11x_slower() {
+        let pall = IngressServiceModel::new(StackKind::FStack);
+        let kern = IngressServiceModel::new(StackKind::Kernel);
+        let p = rps(pall.palladium_per_request(REQ, RESP));
+        let k = rps(kern.deferred_per_request(REQ, RESP));
+        let ratio = p / k;
+        assert!(
+            (9.0..13.0).contains(&ratio),
+            "Palladium vs K-Ingress RPS ratio {ratio:.2} (paper: 11.4x)"
+        );
+    }
+
+    #[test]
+    fn fstack_is_cheaper_but_pins_core() {
+        let k = TcpCosts::for_kind(StackKind::Kernel);
+        let f = TcpCosts::for_kind(StackKind::FStack);
+        assert!(f.per_msg_rx < k.per_msg_rx);
+        assert!(f.pins_core && !k.pins_core);
+    }
+
+    #[test]
+    fn byte_costs_scale() {
+        let f = TcpCosts::for_kind(StackKind::FStack);
+        assert!(f.rx(100_000) > f.rx(64) + Nanos::from_micros(5));
+        assert_eq!(f.rx(0), f.per_msg_rx);
+    }
+}

@@ -1,0 +1,14 @@
+//! # palladium-workloads — evaluation workloads
+//!
+//! * [`boutique`] — the Online Boutique application: 10 microservice
+//!   functions, the paper's hotspot placement, and the three evaluated
+//!   chains (Home Query / ViewCart / Product Query, each >11 exchanges)
+//!   plus the deeper Checkout chain used by the examples.
+//! * [`wrk`] — wrk-like closed-loop load shapes and the client sweeps /
+//!   ramps used across the figures.
+
+pub mod boutique;
+pub mod wrk;
+
+pub use boutique::{app, checkout_chain, config, ChainKind};
+pub use wrk::{Ramp, WrkLoad, BOUTIQUE_SWEEP, CLIENT_SWEEP};

@@ -1,0 +1,103 @@
+//! A wrk-like closed-loop load description.
+//!
+//! The paper drives every experiment with `wrk` \[19\]: N clients, each
+//! holding open connections, each connection issuing the next request as
+//! soon as the previous response lands. The drivers implement the loop
+//! itself; this module provides the load-shape vocabulary (client counts,
+//! ramp schedules) shared by the figure harnesses.
+
+use palladium_simnet::Nanos;
+
+/// A closed-loop load shape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WrkLoad {
+    /// Concurrent clients.
+    pub clients: usize,
+    /// Connections per client.
+    pub conns_per_client: usize,
+    /// Think time between a response and the next request (wrk uses 0).
+    pub think_time: Nanos,
+}
+
+impl WrkLoad {
+    /// `n` clients with one connection each, no think time — the paper's
+    /// sweep points.
+    pub fn clients(n: usize) -> Self {
+        WrkLoad {
+            clients: n,
+            conns_per_client: 1,
+            think_time: Nanos::ZERO,
+        }
+    }
+
+    /// Total concurrent connections.
+    pub fn concurrency(&self) -> usize {
+        self.clients * self.conns_per_client
+    }
+}
+
+/// A client ramp: add one saturating client every `interval` (Fig 14).
+#[derive(Clone, Copy, Debug)]
+pub struct Ramp {
+    /// Interval between client arrivals.
+    pub interval: Nanos,
+    /// Maximum clients.
+    pub max_clients: usize,
+    /// Connections per client (a "saturating" wrk client multiplexes many).
+    pub conns_per_client: usize,
+}
+
+impl Ramp {
+    /// The paper's Fig 14 ramp: one client every 10 s.
+    pub fn paper() -> Self {
+        Ramp {
+            interval: Nanos::from_secs(10),
+            max_clients: 24,
+            conns_per_client: 32,
+        }
+    }
+
+    /// Number of clients active at time `t`.
+    pub fn active_at(&self, t: Nanos) -> usize {
+        let n = (t.as_nanos() / self.interval.as_nanos()) as usize + 1;
+        n.min(self.max_clients)
+    }
+}
+
+/// The standard client sweep of Figs 13 and 16.
+pub const CLIENT_SWEEP: [usize; 6] = [1, 20, 40, 60, 80, 100];
+
+/// The Fig 16 sweep (tops out at 80).
+pub const BOUTIQUE_SWEEP: [usize; 5] = [1, 20, 40, 60, 80];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_shapes() {
+        let l = WrkLoad::clients(40);
+        assert_eq!(l.concurrency(), 40);
+        let l = WrkLoad {
+            conns_per_client: 8,
+            ..WrkLoad::clients(10)
+        };
+        assert_eq!(l.concurrency(), 80);
+    }
+
+    #[test]
+    fn ramp_activation() {
+        let r = Ramp::paper();
+        assert_eq!(r.active_at(Nanos::ZERO), 1);
+        assert_eq!(r.active_at(Nanos::from_secs(9)), 1);
+        assert_eq!(r.active_at(Nanos::from_secs(10)), 2);
+        assert_eq!(r.active_at(Nanos::from_secs(125)), 13);
+        assert_eq!(r.active_at(Nanos::from_secs(10_000)), 24, "capped");
+    }
+
+    #[test]
+    fn sweeps_match_paper() {
+        assert_eq!(CLIENT_SWEEP, [1, 20, 40, 60, 80, 100]);
+        assert_eq!(BOUTIQUE_SWEEP, [1, 20, 40, 60, 80]);
+    }
+}

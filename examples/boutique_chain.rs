@@ -1,0 +1,50 @@
+//! Run every Online Boutique chain across all six data planes — a compact
+//! version of the paper's Fig 16 — and print the comparison matrix.
+//!
+//! ```sh
+//! cargo run --release --example boutique_chain
+//! ```
+
+use palladium::core::driver::chain::ChainSim;
+use palladium::core::system::SystemKind;
+use palladium::workloads::boutique::{self, ChainKind};
+
+fn main() {
+    let clients = 40;
+    println!("Online Boutique @ {clients} closed-loop clients (RPS | mean ms | sw-copy KB)\n");
+    println!(
+        "{:<16} {:>22} {:>22} {:>22}",
+        "system",
+        ChainKind::HomeQuery.label(),
+        ChainKind::ViewCart.label(),
+        ChainKind::ProductQuery.label()
+    );
+    for system in SystemKind::ALL {
+        let mut cells = Vec::new();
+        for chain in ChainKind::ALL {
+            let cfg = boutique::config(system, chain)
+                .clients(clients)
+                .warmup_ms(50)
+                .duration_ms(200);
+            let r = ChainSim::new(cfg).run();
+            cells.push(format!(
+                "{:>7.0} {:>6.2} {:>5.0}",
+                r.rps,
+                r.mean_latency.as_millis_f64(),
+                r.software_copy_bytes as f64 / 1e3 / r.load.completed.max(1) as f64
+                    * r.load.completed as f64
+                    / 1e0
+                    / 1e3
+            ));
+        }
+        println!(
+            "{:<16} {:>22} {:>22} {:>22}",
+            system.label(),
+            cells[0],
+            cells[1],
+            cells[2]
+        );
+    }
+    println!("\nExpected shape (paper Fig 16): Palladium (DNE) first, CNE second,");
+    println!("FUYAO-F/SPRIGHT mid-pack, NightCore last by a wide margin.");
+}

@@ -1,0 +1,88 @@
+//! Fault-injection demo: run the Palladium cluster over a lossy, corrupting
+//! RDMA fabric and show that the RC transport still delivers every request
+//! exactly once (smoltcp-style fault injection, DESIGN.md §8).
+//!
+//! ```sh
+//! cargo run --release --example lossy_fabric
+//! ```
+
+use bytes::Bytes;
+use palladium::membuf::{MmapExporter, NodeId, PoolId, Region, TenantId};
+use palladium::rdma::{
+    CqeKind, RdmaConfig, RdmaEvent, RdmaNet, RqEntry, WorkRequest, WrId,
+};
+use palladium::simnet::{FaultPlan, Nanos, Sim};
+
+fn main() {
+    for (drop, corrupt) in [(0.0, 0.0), (0.1, 0.05), (0.25, 0.1)] {
+        let mut net = RdmaNet::new(RdmaConfig::default(), 2, 7);
+        for node in [NodeId(0), NodeId(1)] {
+            let mut e = MmapExporter::new(
+                PoolId(node.raw()),
+                TenantId(1),
+                Region::hugepages(16 << 20),
+            );
+            net.register_mr(node, &e.export_rdma()).unwrap();
+        }
+        let (qa, _) = net.connect_immediate(NodeId(0), NodeId(1), TenantId(1));
+        net.set_fault(FaultPlan {
+            drop_chance: drop,
+            corrupt_chance: corrupt,
+            ..FaultPlan::NONE
+        });
+        let n = 500u64;
+        for i in 0..n + 64 {
+            net.post_recv(
+                NodeId(1),
+                TenantId(1),
+                RqEntry { wr_id: WrId(i), pool: PoolId(1), capacity: 8192 },
+            )
+            .unwrap();
+        }
+        let mut sim: Sim<RdmaEvent> = Sim::new();
+        for i in 0..n {
+            let step = net
+                .post_send(
+                    sim.now(),
+                    NodeId(0),
+                    qa,
+                    WorkRequest::send(WrId(10_000 + i), Bytes::from(vec![7u8; 1024]), i),
+                )
+                .unwrap();
+            for t in step.events {
+                sim.schedule(t.after, t.value);
+            }
+        }
+        let mut received = Vec::new();
+        let mut finish = Nanos::ZERO;
+        while let Some((now, ev)) = sim.next() {
+            let step = net.handle(now, ev);
+            for t in step.events {
+                sim.schedule(t.after, t.value);
+            }
+            for cqe in net.poll_cq(NodeId(1), 64) {
+                if cqe.kind == CqeKind::Recv {
+                    received.push(cqe.imm);
+                    finish = now;
+                }
+            }
+        }
+        let in_order = received.windows(2).all(|w| w[0] < w[1]);
+        println!(
+            "drop={:>4.1}%  corrupt={:>4.1}%  delivered {}/{} in-order={} \
+             drops={} crc_drops={} retransmit_rounds={} finish={}",
+            drop * 100.0,
+            corrupt * 100.0,
+            received.len(),
+            n,
+            in_order,
+            net.counters.get("drop"),
+            net.counters.get("crc_drop"),
+            net.counters.get("nak_rewind") + net.counters.get("rto"),
+            finish,
+        );
+        assert_eq!(received.len() as u64, n);
+        assert!(in_order);
+    }
+    println!("\nExactly-once, in-order delivery under every fault plan ✓");
+}

@@ -1,0 +1,62 @@
+//! # Palladium — a DPU-enabled multi-tenant serverless cloud over zero-copy
+//! # multi-node RDMA fabrics (reproduction)
+//!
+//! This crate is the facade over the Palladium reproduction workspace. It
+//! re-exports every sub-crate under one namespace so that examples, tests and
+//! downstream users can depend on a single crate:
+//!
+//! * [`simnet`] — deterministic discrete-event simulation kernel (virtual
+//!   clock, event queue, FIFO servers, statistics, fault injection).
+//! * [`membuf`] — the unified shared-memory pool substrate: hugepage regions,
+//!   pool-based buffer allocation, move-only ownership tokens, per-tenant
+//!   isolation and DOCA-style cross-processor mmap export.
+//! * [`rdma`] — simulated RDMA verbs and Reliable Connected transport with
+//!   acknowledgements, go-back-N retransmission, RNR flow control, an RNIC
+//!   model (QP context cache, MTT) and a switched fabric with fault injection.
+//! * [`ipc`] — intra-node and cross-processor channels: eBPF `SK_MSG` +
+//!   sockmap descriptor passing, DOCA Comch-E/Comch-P, and a kernel TCP
+//!   channel baseline.
+//! * [`dpu`] — the DPU SoC substrate: wimpy ARM cores, the (slow) SoC DMA
+//!   engine, DOCA mmap import/export and the Comch server endpoint.
+//! * [`tcpstack`] — kernel and F-Stack TCP/IP cost models plus a real
+//!   HTTP/1.1 parser/serializer used by the ingress gateway.
+//! * [`core`] — Palladium proper: the DPU network engine (DNE), DWRR
+//!   multi-tenancy, the RC connection pool with shadow QPs, the unified I/O
+//!   library, the function runtime and the HTTP/TCP→RDMA ingress gateway,
+//!   and the simulation drivers that compose all of the above.
+//! * [`baselines`] — SPRIGHT, NightCore and FUYAO rebuilt over the same
+//!   substrates, plus the one-sided RDMA primitive variants (OWDL, OWRC) and
+//!   the on-path / FCFS DNE ablations.
+//! * [`workloads`] — the Online Boutique function graph, a wrk-like
+//!   closed-loop load generator and tenant surge schedules.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use palladium::core::driver::chain::ChainSim;
+//! use palladium::core::system::SystemKind;
+//! use palladium::workloads::boutique::{self, ChainKind};
+//!
+//! // Run 'Home Query' on the Palladium (DNE) data plane with 20 closed-loop
+//! // clients and report RPS / mean latency.
+//! let cfg = boutique::config(SystemKind::PalladiumDne, ChainKind::HomeQuery)
+//!     .clients(20)
+//!     .warmup_ms(40)
+//!     .duration_ms(120);
+//! let report = ChainSim::new(cfg).run();
+//! assert!(report.rps > 0.0);
+//! assert_eq!(report.software_copy_bytes, 0); // zero-copy data plane
+//! ```
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-versus-measured record of every figure and table.
+
+pub use palladium_baselines as baselines;
+pub use palladium_core as core;
+pub use palladium_dpu as dpu;
+pub use palladium_ipc as ipc;
+pub use palladium_membuf as membuf;
+pub use palladium_rdma as rdma;
+pub use palladium_simnet as simnet;
+pub use palladium_tcpstack as tcpstack;
+pub use palladium_workloads as workloads;

@@ -1,0 +1,71 @@
+//! The multi-tenant security model end-to-end: file-prefix memory
+//! isolation, mmap grant enforcement at both importers, and the Comch
+//! misbehaving-tenant disconnect.
+
+use palladium::dpu::ImportTable;
+use palladium::ipc::{ChannelKind, ComchServer};
+use palladium::membuf::{
+    create_from_export, FnId, Grant, MmapExporter, PoolId, Region, ShmAgent, TenantDirectory,
+    TenantError, TenantId,
+};
+use palladium::rdma::MrTable;
+
+#[test]
+fn file_prefix_isolation_blocks_cross_tenant_attach() {
+    let mut dir = TenantDirectory::new();
+    ShmAgent::create_pool(&mut dir, TenantId(1), "tenant_1", 16, 4096).unwrap();
+    ShmAgent::create_pool(&mut dir, TenantId(2), "tenant_2", 16, 4096).unwrap();
+    dir.register_function(FnId(10), TenantId(1));
+    dir.register_function(FnId(20), TenantId(2));
+
+    assert!(dir.attach(FnId(10), "tenant_1").is_ok());
+    assert!(matches!(
+        dir.attach(FnId(10), "tenant_2"),
+        Err(TenantError::IsolationViolation { .. })
+    ));
+    assert!(dir.attach(FnId(20), "tenant_2").is_ok());
+}
+
+#[test]
+fn no_grant_no_access_for_rnic_and_dpu() {
+    let mut exporter = MmapExporter::new(PoolId(1), TenantId(1), Region::hugepages(4 << 20));
+
+    // Without any export: the RNIC cannot register, the DPU cannot import.
+    let pci_only = exporter.export_pci();
+    let mut mrs = MrTable::new();
+    assert!(mrs.register(&pci_only).is_err(), "PCI grant is not an RDMA grant");
+    let mut imports = ImportTable::new();
+    let rdma_only = exporter.export_rdma();
+    assert!(imports.import(&rdma_only).is_err(), "RDMA grant is not a PCI grant");
+
+    // With the right grants both succeed.
+    assert!(mrs.register(&rdma_only).is_ok());
+    assert!(imports.import(&pci_only).is_ok());
+
+    // Tenant scoping rejects foreign tenants.
+    assert!(create_from_export(&rdma_only, Grant::Rdma, Some(TenantId(9))).is_err());
+}
+
+#[test]
+fn comch_disconnect_cuts_misbehaving_tenant() {
+    let mut comch = ComchServer::new(ChannelKind::ComchE);
+    comch.connect(FnId(1), TenantId(1));
+    comch.connect(FnId(2), TenantId(2));
+    assert_eq!(comch.disconnect_tenant(TenantId(1)), 1);
+    // Tenant 1 can no longer reach the DNE; tenant 2 is untouched.
+    let desc = palladium::membuf::BufDesc {
+        tenant: TenantId(1),
+        pool: PoolId(0),
+        buf_idx: 0,
+        len: 16,
+        src_fn: FnId(1),
+        dst_fn: FnId(0),
+    };
+    assert!(comch.host_send(FnId(1), desc).is_err());
+    let desc2 = palladium::membuf::BufDesc {
+        tenant: TenantId(2),
+        src_fn: FnId(2),
+        ..desc
+    };
+    assert!(comch.host_send(FnId(2), desc2).is_ok());
+}

@@ -17,8 +17,9 @@
 //!   to host buffers) or **on-path** (payloads staged through DPU memory,
 //!   paying the SoC DMA engine in both directions).
 //!
-//! All variants run over the real [`RdmaNet`] RC machinery; only the
-//! engine-side protocol differs.
+//! All variants run over the real [`RdmaNet`] RC machinery through the
+//! shared [`palladium_simnet::Harness`]; only the engine-side protocol
+//! differs.
 
 use bytes::Bytes;
 
@@ -29,7 +30,7 @@ use palladium_membuf::{MmapExporter, NodeId, PoolId, Region, TenantId};
 use palladium_rdma::{
     CqeKind, RdmaConfig, RdmaEvent, RdmaNet, RdmaOutput, RemoteAddr, RqEntry, WorkRequest, WrId,
 };
-use palladium_simnet::{FifoServer, Nanos, Samples, Sim};
+use palladium_simnet::{Effects, Engine, FifoServer, Harness, Nanos, RunStats};
 
 /// RDMA primitive under test (Fig 12).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -159,16 +160,15 @@ pub struct EchoSim {
     cost: CostModel,
 }
 
+/// Shared per-run state: the fabric, the two engines, the bookkeeping.
 struct EchoState {
     net: RdmaNet,
     qpns: Vec<(palladium_rdma::Qpn, palladium_rdma::Qpn)>,
     engines: [FifoServer; 2],
-    latency: Samples,
-    completed: u64,
+    stats: RunStats,
     issued: Vec<Nanos>,
     owdl_stage: Vec<OwdlStage>,
     next_wr: u64,
-    warmup: Nanos,
     payload: u32,
 }
 
@@ -184,6 +184,293 @@ impl EchoState {
             self.net
                 .post_recv(node, TENANT, RqEntry { wr_id, pool: PoolId(node.raw()), capacity: 16_384 })
                 .expect("registered pool");
+        }
+    }
+}
+
+/// Immediate-word encoding for the primitive protocols: low 32 bits carry
+/// the connection, bit 32 flags a lock-grant control message.
+const GRANT_FLAG: u64 = 1 << 32;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum MsgKind {
+    Send,
+    Write,
+    LockReq,
+    LockGrant,
+}
+
+/// Fig 12 engine: bare DNE echo pair speaking one RDMA primitive.
+struct PrimitiveEngine {
+    prim: Primitive,
+    cost: CostModel,
+    st: EchoState,
+}
+
+impl PrimitiveEngine {
+    fn post(
+        &mut self,
+        fx: &mut Effects<'_, Ev>,
+        node: NodeId,
+        conn: usize,
+        at: Nanos,
+        kind: MsgKind,
+    ) {
+        let st = &mut self.st;
+        let (qc, qs) = st.qpns[conn];
+        let qpn = if node == CLIENT { qc } else { qs };
+        let peer = if node == CLIENT { SERVER } else { CLIENT };
+        let wr_id = WrId(st.next_wr);
+        st.next_wr += 1;
+        let imm = match kind {
+            MsgKind::LockGrant => conn as u64 | GRANT_FLAG,
+            _ => conn as u64,
+        };
+        let wr = match kind {
+            MsgKind::Send => WorkRequest::send(
+                wr_id,
+                Bytes::from(vec![0u8; st.payload as usize]),
+                imm,
+            ),
+            MsgKind::Write => WorkRequest::write(
+                wr_id,
+                Bytes::from(vec![0u8; st.payload as usize]),
+                RemoteAddr { pool: PoolId(peer.raw()), buf_idx: conn as u32 },
+                imm,
+            ),
+            MsgKind::LockReq | MsgKind::LockGrant => {
+                WorkRequest::send(wr_id, Bytes::from(vec![0u8; 16]), imm)
+            }
+        };
+        let step = st.net.post_send(at, node, qpn, wr).expect("post");
+        fx.extend_at(at, step.events, Ev::Rdma);
+    }
+
+    fn on_recv(&mut self, now: Nanos, fx: &mut Effects<'_, Ev>, node: NodeId, imm: u64) {
+        let conn = (imm & 0xFFFF_FFFF) as usize;
+        let is_grant = imm & GRANT_FLAG != 0;
+        match self.prim {
+            Primitive::TwoSided => {
+                // Plain receive: engine RX then continue the FSM.
+                let done = self.st.engine(node).submit(now, ECHO_ENGINE_OP);
+                self.st.engine(node).complete();
+                fx.at(done, Ev::Engine { node, conn, action: Action::Received });
+            }
+            Primitive::Owdl => {
+                if is_grant {
+                    // Lock granted: issue the payload write.
+                    debug_assert_eq!(self.st.owdl_stage[conn], OwdlStage::AwaitGrant);
+                    self.st.owdl_stage[conn] = OwdlStage::AwaitData;
+                    let done = self.st.engine(node).submit(now, ECHO_ENGINE_OP);
+                    self.st.engine(node).complete();
+                    self.post(fx, node, conn, done, MsgKind::Write);
+                } else {
+                    // A lock request: the lock manager locks a local buffer
+                    // and replies with the grant (§2.1 Fig 2 (1) steps 1–3).
+                    let done = self
+                        .st
+                        .engine(node)
+                        .submit(now, self.cost.owdl_lock_proc);
+                    self.st.engine(node).complete();
+                    self.post(fx, node, conn, done, MsgKind::LockGrant);
+                }
+            }
+            Primitive::OwrcBest | Primitive::OwrcWorst => {
+                unreachable!("OWRC uses one-sided writes only")
+            }
+        }
+    }
+}
+
+impl Engine for PrimitiveEngine {
+    type Ev = Ev;
+
+    fn on_event(&mut self, now: Nanos, ev: Ev, fx: &mut Effects<'_, Ev>) {
+        match ev {
+            Ev::Engine { node, conn, action: Action::Post } => {
+                if node == CLIENT {
+                    self.st.issued[conn] = now;
+                }
+                match self.prim {
+                    Primitive::TwoSided => {
+                        // Engine builds + posts a SEND.
+                        let done = self.st.engine(node).submit(now, ECHO_ENGINE_OP);
+                        self.st.engine(node).complete();
+                        self.post(fx, node, conn, done, MsgKind::Send);
+                    }
+                    Primitive::OwrcBest | Primitive::OwrcWorst => {
+                        // Engine posts a one-sided WRITE into the peer's
+                        // dedicated pool.
+                        let done = self.st.engine(node).submit(now, ECHO_ENGINE_OP);
+                        self.st.engine(node).complete();
+                        self.post(fx, node, conn, done, MsgKind::Write);
+                    }
+                    Primitive::Owdl => {
+                        // Phase 1: request the remote lock/writable buffer.
+                        self.st.owdl_stage[conn] = OwdlStage::AwaitGrant;
+                        let done = self.st.engine(node).submit(now, ECHO_ENGINE_OP);
+                        self.st.engine(node).complete();
+                        self.post(fx, node, conn, done, MsgKind::LockReq);
+                    }
+                }
+            }
+            Ev::Engine { node, conn, action: Action::Received } => {
+                // Receive-side processing finished: server echoes, client
+                // completes and immediately re-issues.
+                if node == SERVER {
+                    fx.now_ev(Ev::Engine { node: SERVER, conn, action: Action::Post });
+                } else {
+                    self.st.stats.complete(now, self.st.issued[conn]);
+                    fx.now_ev(Ev::Engine { node: CLIENT, conn, action: Action::Post });
+                }
+            }
+            Ev::PollVisible { node, conn } => {
+                // The polling receiver noticed the one-sided write; OWRC
+                // pays the receiver-side copy, OWDL only a pickup op.
+                let service = match self.prim {
+                    Primitive::OwrcBest => {
+                        ECHO_ENGINE_OP + self.cost.owrc_copy(self.st.payload as u64, false)
+                    }
+                    Primitive::OwrcWorst => {
+                        ECHO_ENGINE_OP + self.cost.owrc_copy(self.st.payload as u64, true)
+                    }
+                    _ => ECHO_ENGINE_OP,
+                };
+                let done = self.st.engine(node).submit(now, service);
+                self.st.engine(node).complete();
+                fx.at(done, Ev::Engine { node, conn, action: Action::Received });
+            }
+            Ev::Rdma(rdma_ev) => {
+                let step = self.st.net.handle(now, rdma_ev);
+                fx.extend(step.events, Ev::Rdma);
+                for out in step.outputs {
+                    match out {
+                        RdmaOutput::CqReady { node } => {
+                            for cqe in self.st.net.poll_cq(node, 64) {
+                                if let CqeKind::Recv = cqe.kind {
+                                    // Keep the RQ replenished (the core-
+                                    // thread duty, §3.5.2) so senders never
+                                    // hit RNR.
+                                    self.st.post_rq(node, 1);
+                                    self.on_recv(now, fx, node, cqe.imm);
+                                }
+                            }
+                        }
+                        RdmaOutput::WriteDelivered { node, imm, .. } => {
+                            // Receiver is polling: visible after half a
+                            // period.
+                            let conn = (imm & 0xFFFF_FFFF) as usize;
+                            fx.after(
+                                self.cost.onesided_poll_interval / 2,
+                                Ev::PollVisible { node, conn },
+                            );
+                        }
+                        RdmaOutput::RnrSeen { node, .. } => {
+                            self.st.post_rq(node, 32);
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            Ev::FnStep { .. } => unreachable!("primitive echo has no functions"),
+        }
+    }
+}
+
+/// Fig 11 engine: function echo pair through DNEs, off-path vs on-path.
+struct PathModeEngine {
+    mode: PathMode,
+    st: EchoState,
+    dmas: [SocDma; 2],
+    meters: [palladium_membuf::CopyMeter; 2],
+    fn_cores: [FifoServer; 2],
+    comch_transit: Nanos,
+    host_send: Nanos,
+    host_recv: Nanos,
+}
+
+impl Engine for PathModeEngine {
+    type Ev = Ev;
+
+    fn on_event(&mut self, now: Nanos, ev: Ev, fx: &mut Effects<'_, Ev>) {
+        let payload = self.st.payload;
+        match ev {
+            Ev::FnStep { node, conn } => {
+                // The function produced a message: host send + (on-path:
+                // SoC DMA staging) + engine post.
+                let n = node.raw() as usize;
+                if node == CLIENT {
+                    self.st.issued[conn] = now;
+                }
+                let send_done = self.fn_cores[n].submit(now, self.host_send + ECHO_FN_EXEC);
+                self.fn_cores[n].complete();
+                let mut ready = send_done + self.comch_transit;
+                if self.mode == PathMode::OnPath {
+                    ready = self.dmas[n].transfer(ready, payload as u64, &mut self.meters[n]);
+                }
+                let engine_done = self.st.engine(node).submit(ready, ECHO_ENGINE_OP);
+                self.st.engine(node).complete();
+                let (qc, qs) = self.st.qpns[conn];
+                let qpn = if node == CLIENT { qc } else { qs };
+                let wr_id = WrId(self.st.next_wr);
+                self.st.next_wr += 1;
+                let wr = WorkRequest::send(
+                    wr_id,
+                    Bytes::from(vec![0u8; payload as usize]),
+                    conn as u64,
+                );
+                let step = self
+                    .st
+                    .net
+                    .post_send(engine_done, node, qpn, wr)
+                    .expect("post");
+                fx.extend_at(engine_done, step.events, Ev::Rdma);
+            }
+            Ev::Rdma(rdma_ev) => {
+                let step = self.st.net.handle(now, rdma_ev);
+                fx.extend(step.events, Ev::Rdma);
+                for out in step.outputs {
+                    match out {
+                        RdmaOutput::CqReady { node } => {
+                            let cqes = self.st.net.poll_cq(node, 64);
+                            for cqe in cqes {
+                                if let CqeKind::Recv = cqe.kind {
+                                    self.st.post_rq(node, 1);
+                                    let conn = cqe.imm as usize;
+                                    // Engine RX + (on-path: SoC DMA to the
+                                    // host) + Comch wake.
+                                    let n = node.raw() as usize;
+                                    let eng_done =
+                                        self.st.engine(node).submit(now, ECHO_ENGINE_OP);
+                                    self.st.engine(node).complete();
+                                    let mut ready = eng_done;
+                                    if self.mode == PathMode::OnPath {
+                                        // DPU buffer → host: a DMA write.
+                                        ready = self.dmas[n].transfer_write(
+                                            ready,
+                                            payload as u64,
+                                            &mut self.meters[n],
+                                        );
+                                    }
+                                    let woke = ready + self.comch_transit + self.host_recv;
+                                    if node == SERVER {
+                                        fx.at(woke, Ev::FnStep { node: SERVER, conn });
+                                    } else {
+                                        // Echo complete at the client fn.
+                                        self.st.stats.complete(woke, self.st.issued[conn]);
+                                        fx.at(woke, Ev::FnStep { node: CLIENT, conn });
+                                    }
+                                }
+                            }
+                        }
+                        RdmaOutput::RnrSeen { node, .. } => {
+                            self.st.post_rq(node, 32);
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            _ => unreachable!("path-mode echo uses Fn/Rdma events only"),
         }
     }
 }
@@ -214,12 +501,10 @@ impl EchoSim {
             net,
             qpns,
             engines: [FifoServer::new("dne0"), FifoServer::new("dne1")],
-            latency: Samples::new(),
-            completed: 0,
+            stats: RunStats::new(self.cfg.warmup),
             issued: vec![Nanos::ZERO; self.cfg.connections],
             owdl_stage: vec![OwdlStage::AwaitGrant; self.cfg.connections],
             next_wr: 1,
-            warmup: self.cfg.warmup,
             payload: self.cfg.payload,
         };
         st.post_rq(CLIENT, 4 * self.cfg.connections as u64 + 64);
@@ -230,343 +515,52 @@ impl EchoSim {
     /// Fig 12: primitive-selection echo between two bare DNEs.
     pub fn run_primitive(&self, prim: Primitive) -> LoadReport {
         let cfg = self.cfg;
-        let cost = self.cost;
-        let mut st = self.build_state();
-        let mut sim: Sim<Ev> = Sim::new();
+        let mut engine = PrimitiveEngine {
+            prim,
+            cost: self.cost,
+            st: self.build_state(),
+        };
 
+        let mut harness: Harness<Ev> = Harness::new();
         // Kick off every connection from the client engine.
         for conn in 0..cfg.connections {
-            sim.schedule_at(
+            harness.schedule_at(
                 Nanos::ZERO,
                 Ev::Engine { node: CLIENT, conn, action: Action::Post },
             );
         }
+        harness.run(&mut engine, cfg.warmup + cfg.duration);
 
-        let deadline = cfg.warmup + cfg.duration;
-        sim.run_until(deadline, |sim, ev| {
-            handle_primitive(prim, &cost, &mut st, sim, ev);
-        });
-
-        let mut lat = st.latency;
-        LoadReport {
-            rps: st.completed as f64 / cfg.duration.as_secs_f64(),
-            mean_latency: lat.mean(),
-            p99_latency: lat.p99(),
-            completed: st.completed,
-        }
+        engine.st.stats.report(cfg.duration)
     }
 
     /// Fig 11: off-path vs on-path function echo through DNEs (two-sided).
     pub fn run_path_mode(&self, mode: PathMode) -> LoadReport {
         let cfg = self.cfg;
-        let mut st = self.build_state();
-        let mut dmas = [
-            SocDma::new("bf2-0", SocDmaSpec::default()),
-            SocDma::new("bf2-1", SocDmaSpec::default()),
-        ];
-        let mut meters = [
-            palladium_membuf::CopyMeter::new(),
-            palladium_membuf::CopyMeter::new(),
-        ];
-        let comch_transit = Nanos::from_nanos(900);
-        let host_send = Nanos::from_nanos(500);
-        let host_recv = Nanos::from_nanos(1_300);
-        let mut fn_cores = [FifoServer::new("fn0"), FifoServer::new("fn1")];
-        let mut sim: Sim<Ev> = Sim::new();
+        let mut engine = PathModeEngine {
+            mode,
+            st: self.build_state(),
+            dmas: [
+                SocDma::new("bf2-0", SocDmaSpec::default()),
+                SocDma::new("bf2-1", SocDmaSpec::default()),
+            ],
+            meters: [
+                palladium_membuf::CopyMeter::new(),
+                palladium_membuf::CopyMeter::new(),
+            ],
+            fn_cores: [FifoServer::new("fn0"), FifoServer::new("fn1")],
+            comch_transit: Nanos::from_nanos(900),
+            host_send: Nanos::from_nanos(500),
+            host_recv: Nanos::from_nanos(1_300),
+        };
 
+        let mut harness: Harness<Ev> = Harness::new();
         for conn in 0..cfg.connections {
-            sim.schedule_at(Nanos::ZERO, Ev::FnStep { node: CLIENT, conn });
+            harness.schedule_at(Nanos::ZERO, Ev::FnStep { node: CLIENT, conn });
         }
+        harness.run(&mut engine, cfg.warmup + cfg.duration);
 
-        let payload = cfg.payload;
-        let deadline = cfg.warmup + cfg.duration;
-        sim.run_until(deadline, |sim, ev| match ev {
-            Ev::FnStep { node, conn } => {
-                // The function produced a message: host send + (on-path:
-                // SoC DMA staging) + engine post.
-                let n = node.raw() as usize;
-                if node == CLIENT {
-                    st.issued[conn] = sim.now();
-                }
-                let send_done = fn_cores[n].submit(sim.now(), host_send + ECHO_FN_EXEC);
-                fn_cores[n].complete();
-                let mut ready = send_done + comch_transit;
-                if mode == PathMode::OnPath {
-                    ready = dmas[n].transfer(ready, payload as u64, &mut meters[n]);
-                }
-                let engine_done = st.engine(node).submit(ready, ECHO_ENGINE_OP);
-                st.engine(node).complete();
-                let (qc, qs) = st.qpns[conn];
-                let qpn = if node == CLIENT { qc } else { qs };
-                let wr_id = WrId(st.next_wr);
-                st.next_wr += 1;
-                let wr = WorkRequest::send(
-                    wr_id,
-                    Bytes::from(vec![0u8; payload as usize]),
-                    conn as u64,
-                );
-                let step = st.net.post_send(engine_done, node, qpn, wr).expect("post");
-                for t in step.events {
-                    sim.schedule_at(engine_done + t.after, Ev::Rdma(t.value));
-                }
-            }
-            Ev::Rdma(rdma_ev) => {
-                let step = st.net.handle(sim.now(), rdma_ev);
-                for t in step.events {
-                    sim.schedule(t.after, Ev::Rdma(t.value));
-                }
-                for out in step.outputs {
-                    match out {
-                        RdmaOutput::CqReady { node } => {
-                            let cqes = st.net.poll_cq(node, 64);
-                            for cqe in cqes {
-                                if let CqeKind::Recv = cqe.kind {
-                                    st.post_rq(node, 1);
-                                    let conn = cqe.imm as usize;
-                                    // Engine RX + (on-path: SoC DMA to the
-                                    // host) + Comch wake.
-                                    let n = node.raw() as usize;
-                                    let eng_done =
-                                        st.engine(node).submit(sim.now(), ECHO_ENGINE_OP);
-                                    st.engine(node).complete();
-                                    let mut ready = eng_done;
-                                    if mode == PathMode::OnPath {
-                                        // DPU buffer → host: a DMA write.
-                                        ready = dmas[n].transfer_write(
-                                            ready,
-                                            payload as u64,
-                                            &mut meters[n],
-                                        );
-                                    }
-                                    let woke = ready + comch_transit + host_recv;
-                                    if node == SERVER {
-                                        sim.schedule_at(woke, Ev::FnStep { node: SERVER, conn });
-                                    } else {
-                                        // Echo complete at the client fn.
-                                        if woke >= st.warmup {
-                                            st.latency.record(woke - st.issued[conn]);
-                                            st.completed += 1;
-                                        }
-                                        sim.schedule_at(woke, Ev::FnStep { node: CLIENT, conn });
-                                    }
-                                }
-                            }
-                        }
-                        RdmaOutput::RnrSeen { node, .. } => {
-                            st.post_rq(node, 32);
-                        }
-                        _ => {}
-                    }
-                }
-            }
-            _ => unreachable!("path-mode echo uses Fn/Rdma events only"),
-        });
-
-        let mut lat = st.latency;
-        LoadReport {
-            rps: st.completed as f64 / cfg.duration.as_secs_f64(),
-            mean_latency: lat.mean(),
-            p99_latency: lat.p99(),
-            completed: st.completed,
-        }
-    }
-}
-
-/// Immediate-word encoding for the primitive protocols: low 32 bits carry
-/// the connection, bit 32 flags a lock-grant control message.
-const GRANT_FLAG: u64 = 1 << 32;
-
-fn handle_primitive(
-    prim: Primitive,
-    cost: &CostModel,
-    st: &mut EchoState,
-    sim: &mut Sim<Ev>,
-    ev: Ev,
-) {
-    match ev {
-        Ev::Engine { node, conn, action: Action::Post } => {
-            if node == CLIENT {
-                st.issued[conn] = sim.now();
-            }
-            match prim {
-                Primitive::TwoSided => {
-                    // Engine builds + posts a SEND.
-                    let done = st.engine(node).submit(sim.now(), ECHO_ENGINE_OP);
-                    st.engine(node).complete();
-                    post(st, sim, node, conn, done, MsgKind::Send);
-                }
-                Primitive::OwrcBest | Primitive::OwrcWorst => {
-                    // Engine posts a one-sided WRITE into the peer's
-                    // dedicated pool.
-                    let done = st.engine(node).submit(sim.now(), ECHO_ENGINE_OP);
-                    st.engine(node).complete();
-                    post(st, sim, node, conn, done, MsgKind::Write);
-                }
-                Primitive::Owdl => {
-                    // Phase 1: request the remote lock/writable buffer.
-                    st.owdl_stage[conn] = OwdlStage::AwaitGrant;
-                    let done = st.engine(node).submit(sim.now(), ECHO_ENGINE_OP);
-                    st.engine(node).complete();
-                    post(st, sim, node, conn, done, MsgKind::LockReq);
-                }
-            }
-        }
-        Ev::Engine { node, conn, action: Action::Received } => {
-            // Receive-side processing finished: server echoes, client
-            // completes and immediately re-issues.
-            if node == SERVER {
-                sim.schedule(
-                    Nanos::ZERO,
-                    Ev::Engine { node: SERVER, conn, action: Action::Post },
-                );
-            } else {
-                if sim.now() >= st.warmup {
-                    st.latency.record(sim.now() - st.issued[conn]);
-                    st.completed += 1;
-                }
-                sim.schedule(
-                    Nanos::ZERO,
-                    Ev::Engine { node: CLIENT, conn, action: Action::Post },
-                );
-            }
-        }
-        Ev::PollVisible { node, conn } => {
-            // The polling receiver noticed the one-sided write; OWRC pays
-            // the receiver-side copy, OWDL only a pickup op.
-            let service = match prim {
-                Primitive::OwrcBest => {
-                    ECHO_ENGINE_OP + cost.owrc_copy(st.payload as u64, false)
-                }
-                Primitive::OwrcWorst => {
-                    ECHO_ENGINE_OP + cost.owrc_copy(st.payload as u64, true)
-                }
-                _ => ECHO_ENGINE_OP,
-            };
-            let done = st.engine(node).submit(sim.now(), service);
-            st.engine(node).complete();
-            sim.schedule_at(done, Ev::Engine { node, conn, action: Action::Received });
-        }
-        Ev::Rdma(rdma_ev) => {
-            let step = st.net.handle(sim.now(), rdma_ev);
-            for t in step.events {
-                sim.schedule(t.after, Ev::Rdma(t.value));
-            }
-            for out in step.outputs {
-                match out {
-                    RdmaOutput::CqReady { node } => {
-                        for cqe in st.net.poll_cq(node, 64) {
-                            if let CqeKind::Recv = cqe.kind {
-                                // Keep the RQ replenished (the core-thread
-                                // duty, §3.5.2) so senders never hit RNR.
-                                st.post_rq(node, 1);
-                                on_recv(prim, cost, st, sim, node, cqe.imm);
-                            }
-                        }
-                    }
-                    RdmaOutput::WriteDelivered { node, imm, .. } => {
-                        // Receiver is polling: visible after half a period.
-                        let conn = (imm & 0xFFFF_FFFF) as usize;
-                        sim.schedule(
-                            cost.onesided_poll_interval / 2,
-                            Ev::PollVisible { node, conn },
-                        );
-                    }
-                    RdmaOutput::RnrSeen { node, .. } => {
-                        st.post_rq(node, 32);
-                    }
-                    _ => {}
-                }
-            }
-        }
-        Ev::FnStep { .. } => unreachable!("primitive echo has no functions"),
-    }
-}
-
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-enum MsgKind {
-    Send,
-    Write,
-    LockReq,
-    LockGrant,
-}
-
-fn post(
-    st: &mut EchoState,
-    sim: &mut Sim<Ev>,
-    node: NodeId,
-    conn: usize,
-    at: Nanos,
-    kind: MsgKind,
-) {
-    let (qc, qs) = st.qpns[conn];
-    let qpn = if node == CLIENT { qc } else { qs };
-    let peer = if node == CLIENT { SERVER } else { CLIENT };
-    let wr_id = WrId(st.next_wr);
-    st.next_wr += 1;
-    let imm = match kind {
-        MsgKind::LockGrant => conn as u64 | GRANT_FLAG,
-        _ => conn as u64,
-    };
-    let wr = match kind {
-        MsgKind::Send => WorkRequest::send(
-            wr_id,
-            Bytes::from(vec![0u8; st.payload as usize]),
-            imm,
-        ),
-        MsgKind::Write => WorkRequest::write(
-            wr_id,
-            Bytes::from(vec![0u8; st.payload as usize]),
-            RemoteAddr { pool: PoolId(peer.raw()), buf_idx: conn as u32 },
-            imm,
-        ),
-        MsgKind::LockReq | MsgKind::LockGrant => {
-            WorkRequest::send(wr_id, Bytes::from(vec![0u8; 16]), imm)
-        }
-    };
-    let step = st.net.post_send(at, node, qpn, wr).expect("post");
-    for t in step.events {
-        sim.schedule_at(at + t.after, Ev::Rdma(t.value));
-    }
-}
-
-fn on_recv(
-    prim: Primitive,
-    cost: &CostModel,
-    st: &mut EchoState,
-    sim: &mut Sim<Ev>,
-    node: NodeId,
-    imm: u64,
-) {
-    let conn = (imm & 0xFFFF_FFFF) as usize;
-    let is_grant = imm & GRANT_FLAG != 0;
-    match prim {
-        Primitive::TwoSided => {
-            // Plain receive: engine RX then continue the FSM.
-            let done = st.engine(node).submit(sim.now(), ECHO_ENGINE_OP);
-            st.engine(node).complete();
-            sim.schedule_at(done, Ev::Engine { node, conn, action: Action::Received });
-        }
-        Primitive::Owdl => {
-            if is_grant {
-                // Lock granted: issue the payload write.
-                debug_assert_eq!(st.owdl_stage[conn], OwdlStage::AwaitGrant);
-                st.owdl_stage[conn] = OwdlStage::AwaitData;
-                let done = st.engine(node).submit(sim.now(), ECHO_ENGINE_OP);
-                st.engine(node).complete();
-                post(st, sim, node, conn, done, MsgKind::Write);
-            } else {
-                // A lock request: the lock manager locks a local buffer and
-                // replies with the grant (§2.1 Fig 2 (1) steps 1–3).
-                let done = st
-                    .engine(node)
-                    .submit(sim.now(), cost.owdl_lock_proc);
-                st.engine(node).complete();
-                post(st, sim, node, conn, done, MsgKind::LockGrant);
-            }
-        }
-        Primitive::OwrcBest | Primitive::OwrcWorst => {
-            unreachable!("OWRC uses one-sided writes only")
-        }
+        engine.st.stats.report(cfg.duration)
     }
 }
 

@@ -19,7 +19,7 @@ fn bench(c: &mut Criterion) {
             r.mean_latency.as_millis_f64(),
             r.software_copy_bytes
         );
-        c.bench_function(&format!("fig16/{}/home20", system.label()), |b| {
+        c.bench_function(format!("fig16/{}/home20", system.label()), |b| {
             b.iter(|| boutique_run(system, ChainKind::HomeQuery, 20, Scale::QUICK))
         });
     }

@@ -21,7 +21,7 @@ fn bench(c: &mut Criterion) {
             r.mean_latency.as_millis_f64(),
             r.rps
         );
-        c.bench_function(&format!("fig09/{kind:?}/20fns"), |b| {
+        c.bench_function(format!("fig09/{kind:?}/20fns"), |b| {
             b.iter(|| ChannelSim::new(quick(kind, 20)).run())
         });
     }

@@ -12,7 +12,7 @@ fn bench(c: &mut Criterion) {
             .map(|(t, n)| format!("T{}={}", t.raw(), n))
             .collect();
         eprintln!("fig15 {policy:?}: {}", totals.join(" "));
-        c.bench_function(&format!("fig15/{policy:?}"), |b| {
+        c.bench_function(format!("fig15/{policy:?}"), |b| {
             b.iter(|| FairnessSim::new(FairnessSimConfig::paper(policy, 0.01)).run())
         });
     }

@@ -23,7 +23,7 @@ fn bench(c: &mut Criterion) {
             r.rps,
             r.mean_latency.as_millis_f64()
         );
-        c.bench_function(&format!("fig13/{kind:?}/40clients"), |b| {
+        c.bench_function(format!("fig13/{kind:?}/40clients"), |b| {
             b.iter(|| IngressSim::new(quick(kind)).sweep())
         });
     }

@@ -18,7 +18,7 @@ fn bench(c: &mut Criterion) {
             r.rps,
             r.mean_latency.as_micros_f64()
         );
-        c.bench_function(&format!("fig11/{mode:?}/30conns"), |b| {
+        c.bench_function(format!("fig11/{mode:?}/30conns"), |b| {
             b.iter(|| EchoSim::new(quick(30)).run_path_mode(mode))
         });
     }

@@ -18,7 +18,7 @@ fn bench(c: &mut Criterion) {
             prim.label(),
             r.mean_latency.as_micros_f64()
         );
-        c.bench_function(&format!("fig12/{}/4KB", prim.label()), |b| {
+        c.bench_function(format!("fig12/{}/4KB", prim.label()), |b| {
             b.iter(|| EchoSim::new(quick(4096)).run_primitive(prim))
         });
     }

@@ -18,7 +18,7 @@
 
 use palladium_ipc::{ChannelCosts, ChannelKind, ComchServer};
 use palladium_membuf::{BufDesc, FnId, PoolId, TenantId};
-use palladium_simnet::{FifoServer, Nanos, Samples, ServerBank, Sim};
+use palladium_simnet::{Effects, Engine, FifoServer, Harness, Nanos, RunStats, ServerBank};
 
 use super::LoadReport;
 
@@ -52,12 +52,98 @@ impl ChannelSimConfig {
 
 #[derive(Debug)]
 enum Ev {
+    /// Function issues an echo (kick-off and closed-loop re-issue).
+    Issue { f: usize },
     /// Function finished its send-side work; descriptor heads to the DNE.
     SentToDne { f: usize },
     /// DNE finished processing (receive + reply); reply heads to the host.
     DneReplied { f: usize },
     /// Function received the reply; echo complete.
     EchoDone { f: usize, issued: Nanos },
+}
+
+/// The driver's state machine: channel registry, host cores, DNE core.
+struct ChannelEngine {
+    cfg: ChannelSimConfig,
+    costs: ChannelCosts,
+    comch: ComchServer,
+    dne_op: Nanos,
+    fn_cores: ServerBank,
+    dne_core: FifoServer,
+    issued_at: Vec<Nanos>,
+    stats: RunStats,
+}
+
+impl ChannelEngine {
+    fn desc(&self, f: usize) -> BufDesc {
+        BufDesc {
+            tenant: TenantId(1),
+            pool: PoolId(0),
+            buf_idx: f as u32,
+            len: 16,
+            src_fn: FnId(f as u16),
+            dst_fn: FnId(0),
+        }
+    }
+
+    /// Charge the host-side send and put the descriptor on the wire.
+    fn issue(&mut self, now: Nanos, f: usize, fx: &mut Effects<'_, Ev>) {
+        self.issued_at[f] = now;
+        let core = f % self.cfg.host_cores;
+        let done = self
+            .fn_cores
+            .get_mut(core)
+            .submit(now, self.costs.host_send_cpu);
+        self.fn_cores.get_mut(core).complete();
+        self.comch
+            .host_send(FnId(f as u16), self.desc(f))
+            .expect("endpoint connected");
+        fx.at(done + self.costs.transit, Ev::SentToDne { f });
+    }
+}
+
+impl Engine for ChannelEngine {
+    type Ev = Ev;
+
+    fn on_event(&mut self, now: Nanos, ev: Ev, fx: &mut Effects<'_, Ev>) {
+        match ev {
+            Ev::Issue { f } => self.issue(now, f, fx),
+            Ev::SentToDne { f } => {
+                // The DNE's run-to-completion loop: drain the endpoint,
+                // process, reply. One descriptor in, one out: 2 ops.
+                let drained = self.comch.dne_recv(FnId(f as u16), 1);
+                debug_assert_eq!(drained.len(), 1);
+                let done = self.dne_core.submit(now, self.dne_op + self.dne_op);
+                self.dne_core.complete();
+                self.comch
+                    .dne_send(FnId(f as u16), self.desc(f))
+                    .expect("endpoint connected");
+                fx.at(done + self.costs.transit, Ev::DneReplied { f });
+            }
+            Ev::DneReplied { f } => {
+                let drained = self.comch.host_recv(FnId(f as u16), 1);
+                debug_assert_eq!(drained.len(), 1);
+                let core = f % self.cfg.host_cores;
+                let done = self
+                    .fn_cores
+                    .get_mut(core)
+                    .submit(now, self.costs.host_recv_cpu);
+                self.fn_cores.get_mut(core).complete();
+                fx.at(
+                    done,
+                    Ev::EchoDone {
+                        f,
+                        issued: self.issued_at[f],
+                    },
+                );
+            }
+            Ev::EchoDone { f, issued } => {
+                self.stats.complete(now, issued);
+                // Closed loop: immediately issue the next echo.
+                self.issue(now, f, fx);
+            }
+        }
+    }
 }
 
 /// The Fig 9 simulation.
@@ -92,90 +178,27 @@ impl ChannelSim {
             comch.connect(FnId(f as u16), TenantId(1));
         }
         let endpoints = comch.connected_endpoints();
-        let dne_op = costs.dne_cpu(endpoints);
 
-        // Host cores: polling functions own a core; event-driven functions
-        // share the bank (pinned round-robin).
-        let mut fn_cores = ServerBank::new("host", cfg.host_cores.max(1));
-        let mut dne_core = FifoServer::new("dne-arm");
-
-        let mut sim: Sim<Ev> = Sim::new();
-        let mut latency = Samples::new();
-        let mut completed: u64 = 0;
-
-        let desc = |f: usize| BufDesc {
-            tenant: TenantId(1),
-            pool: PoolId(0),
-            buf_idx: f as u32,
-            len: 16,
-            src_fn: FnId(f as u16),
-            dst_fn: FnId(0),
+        let mut engine = ChannelEngine {
+            dne_op: costs.dne_cpu(endpoints),
+            costs,
+            comch,
+            // Host cores: polling functions own a core; event-driven
+            // functions share the bank (pinned round-robin).
+            fn_cores: ServerBank::new("host", cfg.host_cores.max(1)),
+            dne_core: FifoServer::new("dne-arm"),
+            issued_at: vec![Nanos::ZERO; active],
+            stats: RunStats::new(cfg.warmup),
+            cfg,
         };
 
-        // Kick off: every active function issues its first send.
+        let mut harness: Harness<Ev> = Harness::new();
         for f in 0..active {
-            let core = f % cfg.host_cores;
-            let done = fn_cores.get_mut(core).submit(Nanos::ZERO, costs.host_send_cpu);
-            fn_cores.get_mut(core).complete();
-            comch
-                .host_send(FnId(f as u16), desc(f))
-                .expect("endpoint connected");
-            sim.schedule_at(done + costs.transit, Ev::SentToDne { f });
+            harness.schedule_at(Nanos::ZERO, Ev::Issue { f });
         }
+        harness.run(&mut engine, cfg.warmup + cfg.duration);
 
-        let deadline = cfg.warmup + cfg.duration;
-        let mut issued_at: Vec<Nanos> = vec![Nanos::ZERO; active];
-        sim.run_until(deadline, |sim, ev| match ev {
-            Ev::SentToDne { f } => {
-                // The DNE's run-to-completion loop: drain the endpoint,
-                // process, reply. One descriptor in, one out: 2 ops.
-                let drained = comch.dne_recv(FnId(f as u16), 1);
-                debug_assert_eq!(drained.len(), 1);
-                let done = dne_core.submit(sim.now(), dne_op + dne_op);
-                dne_core.complete();
-                comch
-                    .dne_send(FnId(f as u16), desc(f))
-                    .expect("endpoint connected");
-                sim.schedule_at(done + costs.transit, Ev::DneReplied { f });
-            }
-            Ev::DneReplied { f } => {
-                let drained = comch.host_recv(FnId(f as u16), 1);
-                debug_assert_eq!(drained.len(), 1);
-                let core = f % cfg.host_cores;
-                let done = fn_cores.get_mut(core).submit(sim.now(), costs.host_recv_cpu);
-                fn_cores.get_mut(core).complete();
-                sim.schedule_at(
-                    done,
-                    Ev::EchoDone {
-                        f,
-                        issued: issued_at[f],
-                    },
-                );
-            }
-            Ev::EchoDone { f, issued } => {
-                if sim.now() >= cfg.warmup {
-                    latency.record(sim.now() - issued);
-                    completed += 1;
-                }
-                // Closed loop: immediately issue the next echo.
-                issued_at[f] = sim.now();
-                let core = f % cfg.host_cores;
-                let done = fn_cores.get_mut(core).submit(sim.now(), costs.host_send_cpu);
-                fn_cores.get_mut(core).complete();
-                comch
-                    .host_send(FnId(f as u16), desc(f))
-                    .expect("endpoint connected");
-                sim.schedule_at(done + costs.transit, Ev::SentToDne { f });
-            }
-        });
-
-        let mut lat = latency;
-        LoadReport {
-            rps: completed as f64 / cfg.duration.as_secs_f64(),
-            mean_latency: lat.mean(),
-            p99_latency: lat.p99(),
-            completed,
-        }
+        engine.stats.report(cfg.duration)
     }
 }
 

@@ -1,0 +1,1068 @@
+//! The multi-node cluster engine behind the Fig 16 / Table 2 driver.
+//!
+//! [`Cluster`] is the event-level machinery of the full serverless
+//! cluster: per-node pools and meters, the RDMA fabric, the DNEs (or the
+//! baselines' generic engines), the ingress gateway and the request state.
+//! It implements [`palladium_simnet::Engine`], so the shared harness runs
+//! it; [`super::chain`] owns only the topology/workload types and the
+//! public driver API.
+//!
+//! Everything on the request path is the real machinery built in this
+//! workspace: requests allocate real buffers from per-tenant pools, payload
+//! bytes really carry the request id end-to-end, ownership really moves by
+//! token passing, inter-node hops run the full RC state machine in
+//! [`palladium_rdma::RdmaNet`], the DNE really schedules with DWRR and
+//! replenishes its RBR, and every software copy lands on a per-node
+//! [`CopyMeter`] — the zero-copy claims are asserted, not assumed.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+
+use palladium_ipc::{ChannelCosts, ChannelKind, SkMsgCosts};
+use palladium_membuf::{
+    BufDesc, BufToken, CopyMeter, FnId, MmapExporter, MoveKind, NodeId, Owner, PoolId, Region,
+    TenantId, UnifiedPool,
+};
+use palladium_rdma::{
+    Cqe, CqeKind, RdmaConfig, RdmaEvent, RdmaNet, RdmaOutput, RemoteAddr, RqEntry, WorkRequest,
+    WrId,
+};
+use palladium_simnet::{Effects, Engine, FifoServer, Nanos, RunStats, ServerBank};
+use palladium_tcpstack::{StackKind, TcpCosts};
+
+use super::chain::{ChainReport, ChainSimConfig, ChainSpec, INGRESS_FN};
+use super::LoadReport;
+use crate::config::{CostModel, EngineLocation};
+use crate::connpool::{ConnPool, ConnPoolConfig};
+use crate::dne::{pack_imm, unpack_imm, Dne, DneEffect};
+use crate::ingress::{IngressConfig, IngressGateway, Leg};
+use crate::routing::{Coordinator, DeployEvent};
+use crate::system::{IngressKind, InterNode, SystemKind};
+
+const TENANT: TenantId = TenantId(1);
+const N_WORKERS: usize = 2;
+const INGRESS_NODE: usize = 2;
+const POOL_BUFS: u32 = 4096;
+const BUF_SIZE: u32 = 8192;
+const INITIAL_RQ: u64 = 512;
+
+fn payload_for(req: u64, len: u32) -> Bytes {
+    let len = (len as usize).max(8);
+    let mut v = vec![0u8; len];
+    v[..8].copy_from_slice(&req.to_le_bytes());
+    Bytes::from(v)
+}
+
+fn req_of(data: &[u8]) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&data[..8]);
+    u64::from_le_bytes(b)
+}
+
+#[derive(Debug)]
+pub(crate) enum Ev {
+    /// A client issues a request.
+    Issue { client: usize },
+    /// Ingress finished the inbound leg.
+    GwIn { req: u64, worker: usize },
+    /// Ingress finished the outbound leg.
+    GwOut { req: u64, worker: usize },
+    /// RDMA fabric sub-simulator event.
+    Rdma(RdmaEvent),
+    /// A Palladium engine core freed up.
+    EngineSlot { n: usize },
+    /// Engine TX processing done: post the WR.
+    PostSend {
+        n: usize,
+        dst: NodeId,
+        tenant: TenantId,
+        wr: WorkRequest,
+    },
+    /// RNIC DMA application of received bytes.
+    ApplyDma {
+        n: usize,
+        token: BufToken,
+        data: Bytes,
+    },
+    /// Descriptor delivery to a function (after channel transit): charge
+    /// receive + execute.
+    Deliver { n: usize, desc: BufDesc },
+    /// A transmitted buffer completed.
+    ReleaseTx { n: usize, token: BufToken },
+    /// Core-thread RQ replenishment.
+    Replenish { n: usize, cnt: u64 },
+    /// A function's hand-off reached the engine (Comch/SK_MSG transit done).
+    EngineRx { n: usize, desc: BufDesc },
+    /// Function finished executing on input `desc`.
+    FnDone { n: usize, desc: BufDesc },
+    /// Bytes on the intra-cluster TCP wire toward a node's engine.
+    TcpWire {
+        dst_n: usize,
+        req: u64,
+        from: FnId,
+        to: FnId,
+        bytes: u32,
+    },
+    /// Engine finished TCP receive processing: materialize the buffer.
+    TcpRxDone {
+        n: usize,
+        req: u64,
+        from: FnId,
+        to: FnId,
+        bytes: u32,
+    },
+    /// FUYAO receiver's poller noticed a one-sided write.
+    FuyaoPickup {
+        n: usize,
+        slot: u32,
+        imm: u64,
+        data: Bytes,
+    },
+    /// FUYAO receiver engine finished the receiver-side copy.
+    FuyaoCopied {
+        n: usize,
+        imm: u64,
+        data: Bytes,
+    },
+    /// Worker engine finished the TCP transmit of the response leg.
+    RespTcpTx { req: u64 },
+    /// A generic-engine work item completed (backlog accounting).
+    EngineRelease { n: usize },
+}
+
+struct ReqState {
+    client: usize,
+    issued: Nanos,
+    hop: usize,
+    done: bool,
+}
+
+/// The full cluster state machine (see module docs).
+pub(crate) struct Cluster {
+    cfg: ChainSimConfig,
+    cost: CostModel,
+    spec: crate::system::SystemSpec,
+    chain: ChainSpec,
+    placement: HashMap<FnId, usize>,
+
+    // Resources.
+    pools: Vec<UnifiedPool>,     // per worker node (0,1) + ingress (2)
+    ded_pools: Vec<UnifiedPool>, // FUYAO dedicated RDMA pools per worker
+    ded_slots: Vec<Vec<BufToken>>,
+    ded_next: Vec<u32>,
+    meters: Vec<CopyMeter>, // per node
+    fn_cores: Vec<ServerBank>,
+    engines: Vec<FifoServer>, // generic engines (non-Palladium)
+    eng_load: Vec<u64>,
+    dnes: Vec<Dne>, // Palladium engines (per worker)
+    net: Option<RdmaNet>,
+    gw: IngressGateway,
+    ingress_rbr: crate::rbr::RbrTable,
+    ingress_conns: ConnPool,
+    ingress_tx: HashMap<u64, BufToken>,
+    ingress_next_wr: u64,
+    fuyao_conns: Vec<ConnPool>,
+    fuyao_tx: Vec<HashMap<u64, BufToken>>,
+    fuyao_next_wr: u64,
+
+    // Channel costs.
+    comch: ChannelCosts,
+    skmsg: SkMsgCosts,
+    worker_tcp: TcpCosts,
+
+    // Request state.
+    reqs: Vec<ReqState>,
+    inbound_tokens: HashMap<(usize, u16, u32), BufToken>,
+    stats: RunStats,
+}
+
+impl Cluster {
+    /// Build the cluster for `cfg`: pools, fabric, engines, routes,
+    /// connections, gateway — everything up to (but excluding) the first
+    /// client event.
+    pub(crate) fn build(cfg: ChainSimConfig) -> Cluster {
+        let cost = CostModel::default();
+        let spec = cfg.system.spec();
+        let chain = cfg.app.chains[cfg.chain_idx].clone();
+
+        // Placement: per app spec, or all on node 0 for single-node systems.
+        let mut placement = HashMap::new();
+        for f in &cfg.app.functions {
+            placement.insert(f.id, if spec.single_node { 0 } else { f.node });
+        }
+
+        // Pools (+ mmap exports) per node.
+        let mut pools = Vec::new();
+        let mut exporters = Vec::new();
+        for n in 0..=INGRESS_NODE {
+            let pool = UnifiedPool::new(PoolId(n as u16), TENANT, POOL_BUFS, BUF_SIZE);
+            let region = Region::hugepages(pool.backing_len());
+            exporters.push(MmapExporter::new(PoolId(n as u16), TENANT, region));
+            pools.push(pool);
+        }
+
+        // FUYAO dedicated pools (ids 10, 11).
+        let needs_rdma = matches!(
+            spec.inter_node,
+            InterNode::TwoSidedRdma | InterNode::OneSidedRecvCopy
+        );
+        let mut ded_pools = Vec::new();
+        let mut ded_exporters = Vec::new();
+        if spec.inter_node == InterNode::OneSidedRecvCopy {
+            for n in 0..N_WORKERS {
+                let pool = UnifiedPool::new(PoolId(10 + n as u16), TENANT, 1024, BUF_SIZE);
+                let region = Region::hugepages(pool.backing_len());
+                ded_exporters.push(MmapExporter::new(PoolId(10 + n as u16), TENANT, region));
+                ded_pools.push(pool);
+            }
+        }
+
+        // The fabric.
+        let mut net = needs_rdma.then(|| RdmaNet::new(RdmaConfig::default(), 3, cfg.seed));
+        if let Some(net) = net.as_mut() {
+            for (n, exporter) in exporters.iter_mut().enumerate() {
+                net.register_mr(NodeId(n as u16), &exporter.export_rdma())
+                    .expect("register pool MR");
+            }
+            for (n, exporter) in ded_exporters.iter_mut().enumerate() {
+                net.register_mr(NodeId(n as u16), &exporter.export_rdma())
+                    .expect("register dedicated MR");
+            }
+        }
+
+        // FUYAO dedicated slots: tokens owned by the receiving engine.
+        let mut ded_slots: Vec<Vec<BufToken>> = Vec::new();
+        for pool in ded_pools.iter_mut() {
+            let mut v = Vec::new();
+            for _ in 0..pool.capacity() {
+                v.push(pool.alloc(Owner::Engine).expect("dedicated slot"));
+            }
+            ded_slots.push(v);
+        }
+
+        // Routing.
+        let mut coord = Coordinator::new();
+        for f in &cfg.app.functions {
+            coord.apply(DeployEvent::Created {
+                f: f.id,
+                tenant: TENANT,
+                node: NodeId(placement[&f.id] as u16),
+            });
+        }
+        coord.apply(DeployEvent::Created {
+            f: INGRESS_FN,
+            tenant: TENANT,
+            node: NodeId(INGRESS_NODE as u16),
+        });
+
+        // Palladium engines.
+        let is_palladium = spec.inter_node == InterNode::TwoSidedRdma;
+        let mut dnes = Vec::new();
+        if is_palladium {
+            for n in 0..N_WORKERS {
+                let mut dne = Dne::new(
+                    NodeId(n as u16),
+                    spec.engine_loc,
+                    cost,
+                    spec.sched,
+                    ConnPool::new(NodeId(n as u16), ConnPoolConfig::default()),
+                );
+                dne.routes = coord.tables_for(NodeId(n as u16));
+                dne.register_tenant(TENANT, 1);
+                dnes.push(dne);
+            }
+            // Warm RC connections: worker↔worker and worker↔ingress.
+            let net = net.as_mut().expect("palladium uses the fabric");
+            {
+                let (d0, d1) = dnes.split_at_mut(1);
+                d0[0].pool.warm_up(net, NodeId(1), TENANT);
+                d1[0].pool.warm_up(net, NodeId(0), TENANT);
+                d0[0].pool.warm_up(net, NodeId(INGRESS_NODE as u16), TENANT);
+                d1[0].pool.warm_up(net, NodeId(INGRESS_NODE as u16), TENANT);
+            }
+        }
+
+        // Ingress-side connections (early transport conversion).
+        let mut ingress_conns =
+            ConnPool::new(NodeId(INGRESS_NODE as u16), ConnPoolConfig::default());
+        if is_palladium {
+            let net = net.as_mut().expect("palladium uses the fabric");
+            ingress_conns.warm_up(net, NodeId(0), TENANT);
+            ingress_conns.warm_up(net, NodeId(1), TENANT);
+        }
+
+        // FUYAO engine-side connections.
+        let mut fuyao_conns: Vec<ConnPool> = Vec::new();
+        if spec.inter_node == InterNode::OneSidedRecvCopy {
+            let net = net.as_mut().expect("fuyao uses the fabric");
+            for n in 0..N_WORKERS {
+                let mut p = ConnPool::new(NodeId(n as u16), ConnPoolConfig::default());
+                p.warm_up(net, NodeId(1 - n as u16), TENANT);
+                fuyao_conns.push(p);
+            }
+        }
+
+        // Ingress gateway.
+        let gw_workers = match spec.ingress {
+            IngressKind::KernelDeferred => 24,
+            _ => 8,
+        };
+        let gw = IngressGateway::new(
+            IngressConfig::new(spec.ingress).with_fixed_workers(gw_workers),
+            cost,
+        );
+
+        let worker_tcp = match cfg.system {
+            SystemKind::Spright | SystemKind::FuyaoF => TcpCosts::for_kind(StackKind::FStack),
+            _ => TcpCosts::for_kind(StackKind::Kernel),
+        };
+
+        let warmup = cfg.warmup;
+        let mut cluster = Cluster {
+            cost,
+            spec,
+            chain,
+            placement,
+            pools,
+            ded_pools,
+            ded_slots,
+            ded_next: vec![0; N_WORKERS],
+            meters: (0..=INGRESS_NODE).map(|_| CopyMeter::new()).collect(),
+            fn_cores: (0..N_WORKERS)
+                .map(|n| ServerBank::new(&format!("w{n}-host"), 38))
+                .collect(),
+            engines: (0..N_WORKERS)
+                .map(|n| FifoServer::new(format!("w{n}-engine")))
+                .collect(),
+            eng_load: vec![0; N_WORKERS],
+            dnes,
+            net,
+            gw,
+            ingress_rbr: crate::rbr::RbrTable::new(),
+            ingress_conns,
+            ingress_tx: HashMap::new(),
+            ingress_next_wr: 1,
+            fuyao_conns,
+            fuyao_tx: (0..N_WORKERS).map(|_| HashMap::new()).collect(),
+            fuyao_next_wr: 1,
+            comch: ChannelCosts::for_kind(ChannelKind::ComchE),
+            skmsg: SkMsgCosts::default(),
+            worker_tcp,
+            reqs: Vec::new(),
+            inbound_tokens: HashMap::new(),
+            stats: RunStats::new(warmup),
+            cfg,
+        };
+
+        // Prime receive queues.
+        if is_palladium {
+            for n in 0..N_WORKERS {
+                cluster.replenish(n, INITIAL_RQ);
+            }
+            cluster.replenish_ingress(INITIAL_RQ);
+        }
+
+        cluster
+    }
+
+    /// One kick-off event per closed-loop client.
+    pub(crate) fn initial_events(&self) -> impl Iterator<Item = Ev> {
+        (0..self.cfg.clients).map(|client| Ev::Issue { client })
+    }
+
+    fn node_of(&self, f: FnId) -> usize {
+        if f == INGRESS_FN {
+            INGRESS_NODE
+        } else {
+            *self.placement.get(&f).expect("placed function")
+        }
+    }
+
+    fn fn_exec(&self, f: FnId) -> Nanos {
+        self.cfg.app.function(f).exec
+    }
+
+    /// Charge work on a function core of worker `n`.
+    fn on_fn_core(&mut self, n: usize, now: Nanos, service: Nanos) -> Nanos {
+        let (idx, done) = self.fn_cores[n].submit(now, service);
+        self.fn_cores[n].complete(idx);
+        done
+    }
+
+    /// Charge work on the generic engine of worker `n` (with NightCore's
+    /// kernel livelock where applicable). The caller must later call
+    /// [`Cluster::engine_done`].
+    fn on_engine(&mut self, n: usize, now: Nanos, base: Nanos) -> Nanos {
+        let mut service = base;
+        if self.spec.kind == SystemKind::NightCore {
+            service += self.cost.kernel_livelock(self.eng_load[n]);
+        }
+        self.eng_load[n] += 1;
+        let done = self.engines[n].submit(now, service);
+        self.engines[n].complete();
+        done
+    }
+
+    fn engine_done(&mut self, n: usize) {
+        self.eng_load[n] = self.eng_load[n].saturating_sub(1);
+    }
+
+    /// Schedule the effects of a Palladium engine step.
+    fn apply_dne_step(&mut self, fx: &mut Effects<'_, Ev>, n: usize, step: crate::dne::DneStep) {
+        let (to_fn_transit, _) = self.fn_channel_costs();
+        for t in step {
+            match t.value {
+                DneEffect::PostSend { dst_node, tenant, wr } => {
+                    fx.after(
+                        t.after,
+                        Ev::PostSend {
+                            n,
+                            dst: dst_node,
+                            tenant,
+                            wr,
+                        },
+                    );
+                }
+                DneEffect::DeliverToFn { dst: _, desc } => {
+                    fx.after(t.after + to_fn_transit, Ev::Deliver { n, desc });
+                }
+                DneEffect::ApplyDma { token, data, .. } => {
+                    fx.after(t.after, Ev::ApplyDma { n, token, data });
+                }
+                DneEffect::ReleaseTxBuffer { token } => {
+                    fx.after(t.after, Ev::ReleaseTx { n, token });
+                }
+                DneEffect::Replenish { n: cnt, .. } => {
+                    fx.after(t.after, Ev::Replenish { n, cnt });
+                }
+                DneEffect::EngineSlot => {
+                    fx.after(t.after, Ev::EngineSlot { n });
+                }
+                DneEffect::RouteMiss { .. } => {}
+            }
+        }
+    }
+
+    /// Channel costs between functions and the Palladium engine:
+    /// `(transit, host_send)` — Comch for the DNE, SK_MSG for the CNE.
+    fn fn_channel_costs(&self) -> (Nanos, Nanos) {
+        match self.spec.engine_loc {
+            EngineLocation::Dpu => (self.comch.transit, self.comch.host_send_cpu),
+            EngineLocation::Cpu => (self.skmsg.transit, self.skmsg.send_cpu),
+        }
+    }
+
+    /// Host-side receive cost when the engine delivers to a function.
+    fn fn_recv_cost(&self) -> Nanos {
+        match self.spec.engine_loc {
+            EngineLocation::Dpu => self.comch.host_recv_cpu,
+            EngineLocation::Cpu => self.skmsg.recv_cpu,
+        }
+    }
+
+    /// Replenish `cnt` receive buffers on worker `n`.
+    fn replenish(&mut self, n: usize, cnt: u64) {
+        for _ in 0..cnt {
+            let Ok(token) = self.pools[n].alloc(Owner::Rnic) else {
+                break;
+            };
+            let pool_id = self.pools[n].id();
+            let wr_id = self.dnes[n].rbr.register(TENANT, token);
+            let _ = self.net.as_mut().expect("rdma system").post_recv(
+                NodeId(n as u16),
+                TENANT,
+                RqEntry {
+                    wr_id,
+                    pool: pool_id,
+                    capacity: BUF_SIZE,
+                },
+            );
+        }
+    }
+
+    /// Replenish ingress-side receive buffers.
+    fn replenish_ingress(&mut self, cnt: u64) {
+        for _ in 0..cnt {
+            let Ok(token) = self.pools[INGRESS_NODE].alloc(Owner::Rnic) else {
+                break;
+            };
+            let pool_id = self.pools[INGRESS_NODE].id();
+            let wr_id = self.ingress_rbr.register(TENANT, token);
+            let _ = self.net.as_mut().expect("rdma system").post_recv(
+                NodeId(INGRESS_NODE as u16),
+                TENANT,
+                RqEntry {
+                    wr_id,
+                    pool: pool_id,
+                    capacity: BUF_SIZE,
+                },
+            );
+        }
+    }
+
+    fn on_rdma_output(&mut self, now: Nanos, fx: &mut Effects<'_, Ev>, out: RdmaOutput) {
+        match out {
+            RdmaOutput::CqReady { node } => {
+                let n = node.raw() as usize;
+                let cqes = self.net.as_mut().expect("rdma").poll_cq(node, 64);
+                for cqe in cqes {
+                    if n == INGRESS_NODE {
+                        self.on_ingress_cqe(now, fx, cqe);
+                    } else if self.spec.inter_node == InterNode::TwoSidedRdma {
+                        let step = self.dnes[n].submit_cqe(now, cqe);
+                        self.apply_dne_step(fx, n, step);
+                    } else if let CqeKind::SendDone(_) = cqe.kind {
+                        // FUYAO: free the sender-side buffer on completion.
+                        if let Some(token) = self.fuyao_tx[n].remove(&cqe.wr_id.0) {
+                            let _ = self.pools[n].free(token);
+                        }
+                    }
+                }
+            }
+            RdmaOutput::WriteDelivered {
+                node,
+                addr,
+                data,
+                imm,
+                ..
+            } => {
+                let n = node.raw() as usize;
+                let slot = addr.buf_idx;
+                // RNIC DMA into the dedicated pool slot.
+                let dma_data = data.clone();
+                {
+                    let token = &self.ded_slots[n][slot as usize];
+                    self.ded_pools[n]
+                        .dma_write(token, &dma_data, MoveKind::RnicDma, &mut self.meters[n])
+                        .expect("dma into dedicated slot");
+                }
+                // The receiver's poller notices after half a poll period.
+                fx.after(
+                    self.cost.onesided_poll_interval / 2,
+                    Ev::FuyaoPickup { n, slot, imm, data },
+                );
+            }
+            RdmaOutput::RnrSeen { node, .. } => {
+                let n = node.raw() as usize;
+                if n == INGRESS_NODE {
+                    self.replenish_ingress(32);
+                } else if self.spec.inter_node == InterNode::TwoSidedRdma {
+                    self.replenish(n, 32);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_ingress_cqe(&mut self, now: Nanos, fx: &mut Effects<'_, Ev>, cqe: Cqe) {
+        match cqe.kind {
+            CqeKind::Recv => {
+                // A response payload arrived from a worker.
+                let Some((_, token)) = self.ingress_rbr.consume(cqe.wr_id) else {
+                    return;
+                };
+                self.pools[INGRESS_NODE]
+                    .dma_write(
+                        &token,
+                        &cqe.data,
+                        MoveKind::RnicDma,
+                        &mut self.meters[INGRESS_NODE],
+                    )
+                    .expect("dma into ingress buffer");
+                let req = req_of(&cqe.data);
+                let _ = self.pools[INGRESS_NODE].free(token);
+                let consumed = self.ingress_rbr.take_consumed(TENANT);
+                self.replenish_ingress(consumed);
+                let client = self.reqs[req as usize].client;
+                let (w, done) = self.gw.submit(
+                    now,
+                    client,
+                    Leg::Outbound,
+                    self.chain.req_bytes as u64,
+                    self.chain.resp_bytes as u64,
+                );
+                fx.at(done, Ev::GwOut { req, worker: w });
+            }
+            CqeKind::SendDone(_) => {
+                if let Some(token) = self.ingress_tx.remove(&cqe.wr_id.0) {
+                    let _ = self.pools[INGRESS_NODE].free(token);
+                }
+            }
+            CqeKind::ReadData => {}
+        }
+    }
+
+    fn on_fn_done(&mut self, now: Nanos, fx: &mut Effects<'_, Ev>, n: usize, desc: BufDesc) {
+        // Consume the input buffer.
+        let token = self
+            .inbound_tokens
+            .remove(&(n, desc.pool.raw(), desc.buf_idx))
+            .expect("inbound token tracked");
+        let req = req_of(&self.pools_read(n, desc.pool, &token));
+        self.free_any(n, desc.pool, token);
+
+        let st = &mut self.reqs[req as usize];
+        let hop_idx = st.hop;
+        st.hop += 1;
+        let f = desc.dst_fn;
+
+        let (to, bytes) = if hop_idx < self.chain.hops.len() {
+            let h = self.chain.hops[hop_idx];
+            debug_assert_eq!(h.from, f, "chain hop source mismatch");
+            (h.to, h.bytes)
+        } else {
+            (INGRESS_FN, self.chain.resp_bytes)
+        };
+
+        let dst_node = self.node_of(to);
+        let data = payload_for(req, bytes);
+
+        if dst_node == n && to != INGRESS_FN {
+            // Local hop over SK_MSG: produce into a fresh buffer, pass the
+            // descriptor — zero copies, for every system.
+            let Ok(out) = self.pools[n].alloc(Owner::Function(f)) else {
+                return;
+            };
+            self.pools[n].produce(&out, &data).expect("sized buffer");
+            let out_desc = self.pools[n].into_transit(out, f, to).expect("owned");
+            let tok2 = self.pools[n]
+                .redeem(&out_desc, Owner::Function(to))
+                .expect("redeem local");
+            self.inbound_tokens
+                .insert((n, out_desc.pool.raw(), out_desc.buf_idx), tok2);
+            let send_done = self.on_fn_core(n, now, self.skmsg.send_cpu);
+            fx.at(
+                send_done + self.skmsg.transit,
+                Ev::Deliver { n, desc: out_desc },
+            );
+            return;
+        }
+
+        // Remote hop (or response to the ingress).
+        match self.spec.inter_node {
+            InterNode::TwoSidedRdma => {
+                let Ok(out) = self.pools[n].alloc(Owner::Function(f)) else {
+                    return;
+                };
+                self.pools[n].produce(&out, &data).expect("sized buffer");
+                let out_desc = self.pools[n].into_transit(out, f, to).expect("owned");
+                let (transit, send_cpu) = self.fn_channel_costs();
+                let send_done = self.on_fn_core(n, now, send_cpu);
+                fx.at(send_done + transit, Ev::EngineRx { n, desc: out_desc });
+            }
+            InterNode::OneSidedRecvCopy => {
+                if to == INGRESS_FN {
+                    self.response_via_tcp(now, fx, n, req, bytes);
+                    return;
+                }
+                // Local buffer holds the payload until the write completes.
+                let Ok(out) = self.pools[n].alloc(Owner::Engine) else {
+                    return;
+                };
+                self.pools[n].produce(&out, &data).expect("sized buffer");
+                let send_done = self.on_fn_core(n, now, self.skmsg.send_cpu);
+                let engine_done = self.on_engine(
+                    n,
+                    send_done + self.skmsg.transit,
+                    self.cost.fuyao_engine_op,
+                );
+                fx.at(engine_done, Ev::EngineRelease { n });
+                // Pick a dedicated slot on the destination.
+                let slot = self.ded_next[dst_node] % self.ded_pools[dst_node].capacity();
+                self.ded_next[dst_node] = self.ded_next[dst_node].wrapping_add(1);
+                let wr_id = WrId(self.fuyao_next_wr);
+                self.fuyao_next_wr += 1;
+                self.fuyao_tx[n].insert(wr_id.0, out);
+                self.meters[n].record(MoveKind::RnicDma, data.len() as u64);
+                let imm = pack_imm(f, to, TENANT);
+                let wr = WorkRequest::write(
+                    wr_id,
+                    data,
+                    RemoteAddr {
+                        pool: PoolId(10 + dst_node as u16),
+                        buf_idx: slot,
+                    },
+                    imm,
+                );
+                let net = self.net.as_mut().expect("fuyao fabric");
+                let Some(qpn) = self.fuyao_conns[n].select(net, NodeId(dst_node as u16), TENANT)
+                else {
+                    return;
+                };
+                let step = net
+                    .post_send(engine_done, NodeId(n as u16), qpn, wr)
+                    .expect("post one-sided write");
+                // The doorbell rings when the engine finishes.
+                fx.extend_at(engine_done, step.events, Ev::Rdma);
+            }
+            InterNode::KernelTcp => {
+                if to == INGRESS_FN {
+                    self.response_via_tcp(now, fx, n, req, bytes);
+                    return;
+                }
+                // SPRIGHT: serialize out through the node engine over
+                // kernel TCP — a software copy at each end.
+                let send_done = self.on_fn_core(n, now, self.skmsg.send_cpu);
+                let tcp = TcpCosts::for_kind(StackKind::Kernel);
+                let tx = tcp.tx(bytes as u64);
+                let done = self.on_engine(n, send_done + self.skmsg.transit, tx);
+                fx.at(done, Ev::EngineRelease { n });
+                self.meters[n].record(MoveKind::Software, bytes as u64);
+                fx.at(
+                    done + Nanos::from_micros(5),
+                    Ev::TcpWire {
+                        dst_n: dst_node,
+                        req,
+                        from: f,
+                        to,
+                        bytes,
+                    },
+                );
+            }
+            InterNode::None => {
+                if to == INGRESS_FN {
+                    self.response_via_tcp(now, fx, n, req, bytes);
+                    return;
+                }
+                // NightCore: hops pass through its node-local gateway
+                // over per-function pipes (syscalls both ways).
+                let dispatch = Nanos::from_nanos(1_200);
+                let done = self.on_engine(n, now, dispatch);
+                fx.at(done, Ev::EngineRelease { n });
+                let Ok(out) = self.pools[n].alloc(Owner::Engine) else {
+                    return;
+                };
+                self.pools[n].produce(&out, &data).expect("sized buffer");
+                let out_desc = self.pools[n].into_transit(out, f, to).expect("owned");
+                let tok2 = self.pools[n]
+                    .redeem(&out_desc, Owner::Function(to))
+                    .expect("redeem");
+                self.inbound_tokens
+                    .insert((n, out_desc.pool.raw(), out_desc.buf_idx), tok2);
+                fx.at(done + self.skmsg.transit, Ev::Deliver { n, desc: out_desc });
+            }
+        }
+    }
+
+    /// Response leg for the deferred-ingress systems: worker-side TCP
+    /// transmit through the node engine, then the wire to the gateway.
+    fn response_via_tcp(
+        &mut self,
+        now: Nanos,
+        fx: &mut Effects<'_, Ev>,
+        n: usize,
+        req: u64,
+        bytes: u32,
+    ) {
+        let send_done = self.on_fn_core(n, now, self.skmsg.send_cpu);
+        let tx = self.worker_tcp.tx(bytes as u64);
+        let done = self.on_engine(n, send_done, tx);
+        fx.at(done, Ev::EngineRelease { n });
+        self.meters[n].record(MoveKind::Software, bytes as u64);
+        fx.at(done, Ev::RespTcpTx { req });
+    }
+
+    fn pools_read(&self, n: usize, pool: PoolId, token: &BufToken) -> Vec<u8> {
+        if pool.raw() >= 10 {
+            self.ded_pools[n].read(token).expect("owned").to_vec()
+        } else {
+            self.pools[n].read(token).expect("owned").to_vec()
+        }
+    }
+
+    fn free_any(&mut self, n: usize, pool: PoolId, token: BufToken) {
+        if pool.raw() >= 10 {
+            let _ = self.ded_pools[n].free(token);
+        } else {
+            let _ = self.pools[n].free(token);
+        }
+    }
+
+    /// Fold the run into the public [`ChainReport`].
+    pub(crate) fn report(mut self, deadline: Nanos) -> ChainReport {
+        let duration = self.cfg.duration;
+        let mean_latency = self.stats.latency().mean();
+        let load: LoadReport = self.stats.report(duration);
+        let rps = load.rps;
+        let mut worker_meter = CopyMeter::new();
+        for n in 0..N_WORKERS {
+            worker_meter.merge(&self.meters[n]);
+        }
+
+        // Data-plane utilization (percent of one core).
+        let horizon = deadline;
+        let mut cpu_pct = 0.0;
+        let mut dpu_pct = 0.0;
+        if self.spec.engine_loc == EngineLocation::Dpu
+            && self.spec.inter_node == InterNode::TwoSidedRdma
+        {
+            // Busy-polling DNE worker cores: 100% each (§4.3.1), plus the
+            // core thread's useful time.
+            for dne in &self.dnes {
+                dpu_pct += 100.0;
+                dpu_pct += 100.0 * dne.core_thread.utilization(horizon);
+            }
+        } else {
+            for dne in &self.dnes {
+                cpu_pct += 100.0 * dne.worker_core.utilization(horizon);
+                cpu_pct += 100.0 * dne.core_thread.utilization(horizon);
+            }
+        }
+        for e in &self.engines {
+            cpu_pct += 100.0 * e.utilization(horizon);
+        }
+        if self.spec.receiver_polls {
+            // FUYAO pins a polling core on every worker node.
+            cpu_pct += 100.0 * N_WORKERS as f64;
+        }
+
+        ChainReport {
+            rps,
+            mean_latency,
+            software_copy_bytes: worker_meter.sw_bytes,
+            software_copy_ops: worker_meter.sw_ops,
+            rnic_dma_bytes: worker_meter.rnic_dma_bytes,
+            cpu_util_pct: cpu_pct,
+            dpu_util_pct: dpu_pct,
+            load,
+        }
+    }
+}
+
+impl Engine for Cluster {
+    type Ev = Ev;
+
+    fn on_event(&mut self, now: Nanos, ev: Ev, fx: &mut Effects<'_, Ev>) {
+        match ev {
+            Ev::Issue { client } => {
+                let req = self.reqs.len() as u64;
+                self.reqs.push(ReqState {
+                    client,
+                    issued: now,
+                    hop: 0,
+                    done: false,
+                });
+                let arrive = now + self.cost.client_wire;
+                let (w, done) = self.gw.submit(
+                    arrive,
+                    client,
+                    Leg::Inbound,
+                    self.chain.req_bytes as u64,
+                    self.chain.resp_bytes as u64,
+                );
+                fx.at(done, Ev::GwIn { req, worker: w });
+            }
+            Ev::GwIn { req, worker } => {
+                self.gw.leg_done(worker);
+                let entry = self.chain.entry;
+                let entry_node = self.node_of(entry);
+                let bytes = self.chain.req_bytes;
+                if self.spec.ingress == IngressKind::Palladium {
+                    // Early conversion: payload into a registered buffer,
+                    // over RDMA to the entry node's DNE.
+                    let data = payload_for(req, bytes);
+                    let Ok(token) = self.pools[INGRESS_NODE].alloc(Owner::Ingress) else {
+                        return; // pool exhausted: shed the request
+                    };
+                    // The TCP receive path copies the payload into the
+                    // registered buffer (an ingress-side copy, not worker).
+                    self.pools[INGRESS_NODE]
+                        .write(&token, &data, &mut self.meters[INGRESS_NODE])
+                        .expect("sized buffer");
+                    let wr_id = WrId(self.ingress_next_wr);
+                    self.ingress_next_wr += 1;
+                    let net = self.net.as_mut().expect("palladium fabric");
+                    let qpn = self
+                        .ingress_conns
+                        .select(net, NodeId(entry_node as u16), TENANT)
+                        .expect("warm ingress connection");
+                    self.ingress_tx.insert(wr_id.0, token);
+                    self.meters[INGRESS_NODE].record(MoveKind::RnicDma, data.len() as u64);
+                    let imm = pack_imm(INGRESS_FN, entry, TENANT);
+                    let step = net
+                        .post_send(
+                            now,
+                            NodeId(INGRESS_NODE as u16),
+                            qpn,
+                            WorkRequest::send(wr_id, data, imm),
+                        )
+                        .expect("post ingress send");
+                    fx.extend(step.events, Ev::Rdma);
+                } else {
+                    // Deferred conversion: second TCP connection into the
+                    // cluster; worker-side termination happens at arrival.
+                    fx.after(
+                        Nanos::from_micros(5),
+                        Ev::TcpWire {
+                            dst_n: entry_node,
+                            req,
+                            from: INGRESS_FN,
+                            to: entry,
+                            bytes,
+                        },
+                    );
+                }
+            }
+            Ev::Rdma(rdma_ev) => {
+                let step = self.net.as_mut().expect("rdma system").handle(now, rdma_ev);
+                fx.extend(step.events, Ev::Rdma);
+                for out in step.outputs {
+                    self.on_rdma_output(now, fx, out);
+                }
+            }
+            Ev::EngineSlot { n } => {
+                let step = self.dnes[n].on_engine_slot(now);
+                self.apply_dne_step(fx, n, step);
+            }
+            Ev::PostSend { n, dst, tenant, wr } => {
+                self.meters[n].record(MoveKind::RnicDma, wr.payload.len() as u64);
+                let net = self.net.as_mut().expect("palladium fabric");
+                let Some(qpn) = self.dnes[n].select_conn(net, dst, tenant) else {
+                    return;
+                };
+                let step = net
+                    .post_send(now, NodeId(n as u16), qpn, wr)
+                    .expect("post dne send");
+                fx.extend(step.events, Ev::Rdma);
+            }
+            Ev::ApplyDma { n, token, data } => {
+                self.pools[n]
+                    .dma_write(&token, &data, MoveKind::RnicDma, &mut self.meters[n])
+                    .expect("dma into posted buffer");
+                self.pools[n]
+                    .transfer(&token, Owner::Rnic, Owner::Engine)
+                    .expect("rnic to engine");
+                self.inbound_tokens
+                    .insert((n, token.pool().raw(), token.idx()), token);
+            }
+            Ev::Deliver { n, desc } => {
+                // Charge host-side receive + function execution, then run.
+                let recv = self.fn_recv_cost();
+                let exec = self.fn_exec(desc.dst_fn);
+                let done = self.on_fn_core(n, now, recv + exec);
+                fx.at(done, Ev::FnDone { n, desc });
+            }
+            Ev::ReleaseTx { n, token } => {
+                let _ = self.pools[n].free(token);
+            }
+            Ev::Replenish { n, cnt } => {
+                self.replenish(n, cnt);
+            }
+            Ev::EngineRx { n, desc } => {
+                // Redeem the buffer for the engine and queue the TX.
+                let token = self.pools[n]
+                    .redeem(&desc, Owner::Engine)
+                    .expect("fn handed off buffer");
+                let data = Bytes::copy_from_slice(self.pools[n].read(&token).expect("owned"));
+                let step = self.dnes[n].submit_tx(now, desc, data, Some(token));
+                self.apply_dne_step(fx, n, step);
+            }
+            Ev::FnDone { n, desc } => {
+                self.on_fn_done(now, fx, n, desc);
+            }
+            Ev::TcpWire {
+                dst_n,
+                req,
+                from,
+                to,
+                bytes,
+            } => {
+                // Worker-side TCP receive processing on the node engine.
+                let rx = self.worker_tcp.rx(bytes as u64);
+                let done = self.on_engine(dst_n, now, rx);
+                fx.at(
+                    done,
+                    Ev::TcpRxDone {
+                        n: dst_n,
+                        req,
+                        from,
+                        to,
+                        bytes,
+                    },
+                );
+            }
+            Ev::TcpRxDone {
+                n,
+                req,
+                from,
+                to,
+                bytes,
+            } => {
+                self.engine_done(n);
+                // The TCP receive copies payload into the node-local pool.
+                let Ok(token) = self.pools[n].alloc(Owner::Engine) else {
+                    return;
+                };
+                let data = payload_for(req, bytes);
+                self.pools[n]
+                    .write(&token, &data, &mut self.meters[n])
+                    .expect("sized buffer");
+                let desc = self.pools[n]
+                    .into_transit(token, from, to)
+                    .expect("engine owned");
+                let tok2 = self.pools[n]
+                    .redeem(&desc, Owner::Function(to))
+                    .expect("redeem for fn");
+                self.inbound_tokens
+                    .insert((n, desc.pool.raw(), desc.buf_idx), tok2);
+                fx.after(self.skmsg.transit, Ev::Deliver { n, desc });
+            }
+            Ev::FuyaoPickup { n, slot, imm, data } => {
+                // Receiver engine: polling pickup + the OWRC receiver-side
+                // copy from the dedicated pool into the local pool.
+                let copy =
+                    self.cost.fuyao_engine_op + self.cost.owrc_copy(data.len() as u64, true);
+                let done = self.on_engine(n, now, copy);
+                let _ = slot;
+                fx.at(done, Ev::FuyaoCopied { n, imm, data });
+            }
+            Ev::FuyaoCopied { n, imm, data } => {
+                self.engine_done(n);
+                let (from, to, _) = unpack_imm(imm);
+                let Ok(token) = self.pools[n].alloc(Owner::Engine) else {
+                    return;
+                };
+                self.pools[n]
+                    .write(&token, &data, &mut self.meters[n])
+                    .expect("receiver-side copy");
+                let desc = self.pools[n]
+                    .into_transit(token, from, to)
+                    .expect("engine owned");
+                let tok2 = self.pools[n]
+                    .redeem(&desc, Owner::Function(to))
+                    .expect("redeem for fn");
+                self.inbound_tokens
+                    .insert((n, desc.pool.raw(), desc.buf_idx), tok2);
+                fx.after(self.skmsg.transit, Ev::Deliver { n, desc });
+            }
+            Ev::RespTcpTx { req } => {
+                // Response reached the ingress over TCP: outbound leg.
+                let client = self.reqs[req as usize].client;
+                let (w, done) = self.gw.submit(
+                    now + Nanos::from_micros(5),
+                    client,
+                    Leg::Outbound,
+                    self.chain.req_bytes as u64,
+                    self.chain.resp_bytes as u64,
+                );
+                fx.at(done, Ev::GwOut { req, worker: w });
+            }
+            Ev::EngineRelease { n } => {
+                self.engine_done(n);
+            }
+            Ev::GwOut { req, worker } => {
+                self.gw.leg_done(worker);
+                let finish = now + self.cost.client_wire;
+                let st = &mut self.reqs[req as usize];
+                if !st.done {
+                    st.done = true;
+                    let issued = st.issued;
+                    let client = st.client;
+                    self.stats.complete(finish, issued);
+                    fx.at(finish, Ev::Issue { client });
+                }
+            }
+        }
+    }
+}

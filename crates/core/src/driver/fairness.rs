@@ -10,7 +10,7 @@
 //! starve tenant 1.
 
 use palladium_membuf::TenantId;
-use palladium_simnet::{FifoServer, Nanos, Sim, WindowedRate};
+use palladium_simnet::{Effects, Engine, FifoServer, Harness, Nanos, WindowedRate};
 
 use crate::dwrr::{SchedPolicy, TenantScheduler};
 
@@ -168,6 +168,67 @@ enum Ev {
     Slot,
 }
 
+/// The driver's state machine: the tenant scheduler feeding one DNE core.
+struct FairnessEngine {
+    sched: TenantScheduler<TenantId>,
+    core: FifoServer,
+    busy: bool,
+    service: Nanos,
+    profiles: Vec<TenantProfile>,
+    rates: Vec<WindowedRate>,
+    totals: Vec<u64>,
+}
+
+impl FairnessEngine {
+    fn idx_of(&self, t: TenantId) -> usize {
+        self.profiles
+            .iter()
+            .position(|p| p.tenant == t)
+            .expect("known tenant")
+    }
+}
+
+impl Engine for FairnessEngine {
+    type Ev = Ev;
+
+    fn on_event(&mut self, now: Nanos, ev: Ev, fx: &mut Effects<'_, Ev>) {
+        match ev {
+            Ev::Issue { tenant } => {
+                self.sched.enqueue(tenant, 1, tenant);
+                if !self.busy {
+                    fx.now_ev(Ev::Slot);
+                }
+            }
+            Ev::Slot => {
+                if self.busy {
+                    return;
+                }
+                if let Some((tenant, _)) = self.sched.dequeue() {
+                    self.busy = true;
+                    let done = self.core.submit(now, self.service);
+                    self.core.complete();
+                    fx.at(done, Ev::Done { tenant });
+                }
+            }
+            Ev::Done { tenant } => {
+                self.busy = false;
+                let i = self.idx_of(tenant);
+                self.rates[i].record(now);
+                self.totals[i] += 1;
+                // Closed loop: the client re-issues while its tenant is in
+                // an active phase; otherwise it parks until the next surge.
+                let p = &self.profiles[i];
+                if p.active_at(now) {
+                    fx.now_ev(Ev::Issue { tenant });
+                } else if let Some(at) = p.next_active(now) {
+                    fx.at(at, Ev::Issue { tenant });
+                }
+                fx.now_ev(Ev::Slot);
+            }
+        }
+    }
+}
+
 /// The Fig 15 simulation.
 pub struct FairnessSim {
     cfg: FairnessSimConfig,
@@ -186,72 +247,40 @@ impl FairnessSim {
         for p in &cfg.profiles {
             sched.register_tenant(p.tenant, p.weight);
         }
-        let mut engine = FifoServer::new("dne-core");
-        let mut busy = false;
-        let mut rates: Vec<WindowedRate> = cfg
-            .profiles
-            .iter()
-            .map(|_| WindowedRate::new(cfg.window, Nanos::ZERO))
-            .collect();
-        let mut totals = vec![0u64; cfg.profiles.len()];
-        let profiles = cfg.profiles.clone();
-        let idx_of = |t: TenantId| profiles.iter().position(|p| p.tenant == t).expect("known");
+        let mut engine = FairnessEngine {
+            sched,
+            core: FifoServer::new("dne-core"),
+            busy: false,
+            service: cfg.service,
+            profiles: cfg.profiles.clone(),
+            rates: cfg
+                .profiles
+                .iter()
+                .map(|_| WindowedRate::new(cfg.window, Nanos::ZERO))
+                .collect(),
+            totals: vec![0u64; cfg.profiles.len()],
+        };
 
-        let mut sim: Sim<Ev> = Sim::new();
+        let mut harness: Harness<Ev> = Harness::new();
         for p in &cfg.profiles {
             let at = p.next_active(Nanos::ZERO).unwrap_or(p.start);
             for _ in 0..p.clients {
-                sim.schedule_at(at, Ev::Issue { tenant: p.tenant });
+                harness.schedule_at(at, Ev::Issue { tenant: p.tenant });
             }
         }
-
-        let service = cfg.service;
-        sim.run_until(cfg.duration, |sim, ev| match ev {
-            Ev::Issue { tenant } => {
-                sched.enqueue(tenant, 1, tenant);
-                if !busy {
-                    sim.schedule(Nanos::ZERO, Ev::Slot);
-                }
-            }
-            Ev::Slot => {
-                if busy {
-                    return;
-                }
-                if let Some((tenant, _)) = sched.dequeue() {
-                    busy = true;
-                    let done = engine.submit(sim.now(), service);
-                    engine.complete();
-                    sim.schedule_at(done, Ev::Done { tenant });
-                }
-            }
-            Ev::Done { tenant } => {
-                busy = false;
-                let i = idx_of(tenant);
-                rates[i].record(sim.now());
-                totals[i] += 1;
-                // Closed loop: the client re-issues while its tenant is in
-                // an active phase; otherwise it parks until the next surge.
-                let p = &profiles[i];
-                if p.active_at(sim.now()) {
-                    sim.schedule(Nanos::ZERO, Ev::Issue { tenant });
-                } else if let Some(at) = p.next_active(sim.now()) {
-                    sim.schedule_at(at, Ev::Issue { tenant });
-                }
-                sim.schedule(Nanos::ZERO, Ev::Slot);
-            }
-        });
+        harness.run(&mut engine, cfg.duration);
 
         FairnessReport {
             series: cfg
                 .profiles
                 .iter()
-                .zip(&rates)
+                .zip(&engine.rates)
                 .map(|(p, r)| (p.tenant, r.series(cfg.duration)))
                 .collect(),
             totals: cfg
                 .profiles
                 .iter()
-                .zip(&totals)
+                .zip(&engine.totals)
                 .map(|(p, &n)| (p.tenant, n))
                 .collect(),
         }

@@ -15,10 +15,15 @@
 //!
 //! Fig 13 pins the gateway to one core and sweeps the client count; Fig 14
 //! adds a saturating client every 10 s and lets the hysteresis autoscaler
-//! (60 %/30 %) manage worker processes.
+//! (60 %/30 %) manage worker processes. Both figures run the same
+//! [`IngressPath`] request pipeline through the shared harness; only the
+//! surrounding engine differs.
 
 use palladium_rdma::RdmaConfig;
-use palladium_simnet::{Nanos, Samples, ServerBank, Sim, UtilizationBins, WindowedRate};
+use palladium_simnet::{
+    Effects, Engine, FifoServer, Harness, Nanos, RunStats, ServerBank, UtilizationBins,
+    WindowedRate,
+};
 use palladium_tcpstack::{StackKind, TcpCosts};
 
 use super::LoadReport;
@@ -126,6 +131,111 @@ impl WorkerSide {
     }
 }
 
+/// The request pipeline both figures share: gateway legs, the wire, the
+/// worker engine + host cores.
+struct IngressPath {
+    cfg: IngressSimConfig,
+    cost: CostModel,
+    gw: IngressGateway,
+    ws: WorkerSide,
+    worker_cores: ServerBank,
+    engine: FifoServer,
+}
+
+impl IngressPath {
+    fn new(cfg: IngressSimConfig, cost: CostModel, gw: IngressGateway) -> Self {
+        IngressPath {
+            ws: WorkerSide::for_kind(cfg.kind, &cost, cfg.fn_exec, cfg.req_bytes),
+            worker_cores: ServerBank::new("worker", cfg.worker_cores),
+            engine: FifoServer::new("worker-dne"),
+            cfg,
+            cost,
+            gw,
+        }
+    }
+
+    fn client_of(&self, conn: usize) -> usize {
+        conn / self.cfg.conns_per_client
+    }
+
+    /// Gateway inbound leg.
+    fn arrive(&mut self, now: Nanos, conn: usize, issued: Nanos, fx: &mut Effects<'_, Ev>) {
+        let (w, done) = self.gw.submit(
+            now,
+            self.client_of(conn),
+            Leg::Inbound,
+            self.cfg.req_bytes,
+            self.cfg.resp_bytes,
+        );
+        fx.at(done, Ev::InboundDone { conn, issued, worker: w });
+    }
+
+    /// Into the cluster: wire + worker-side processing.
+    fn inbound_done(
+        &mut self,
+        now: Nanos,
+        conn: usize,
+        issued: Nanos,
+        worker: usize,
+        fx: &mut Effects<'_, Ev>,
+    ) {
+        self.gw.leg_done(worker);
+        let arrive = now + self.ws.wire;
+        let mut ready = arrive;
+        if !self.ws.engine_per_req.is_zero() {
+            ready = self.engine.submit(arrive, self.ws.engine_per_req);
+            self.engine.complete();
+        }
+        let (core, host_done) = self.worker_cores.submit(ready, self.ws.host_per_req);
+        self.worker_cores.complete(core);
+        fx.at(host_done + self.ws.wire, Ev::WorkerDone { conn, issued });
+    }
+
+    /// Gateway outbound leg.
+    fn worker_done(&mut self, now: Nanos, conn: usize, issued: Nanos, fx: &mut Effects<'_, Ev>) {
+        let (w, done) = self.gw.submit(
+            now,
+            self.client_of(conn),
+            Leg::Outbound,
+            self.cfg.req_bytes,
+            self.cfg.resp_bytes,
+        );
+        fx.at(done, Ev::OutboundDone { conn, issued, worker: w });
+    }
+}
+
+/// Fig 13 engine: fixed clients, closed loop, latency/RPS stats.
+struct SweepEngine {
+    path: IngressPath,
+    stats: RunStats,
+}
+
+impl Engine for SweepEngine {
+    type Ev = Ev;
+
+    fn on_event(&mut self, now: Nanos, ev: Ev, fx: &mut Effects<'_, Ev>) {
+        match ev {
+            Ev::Arrive { conn, issued } => self.path.arrive(now, conn, issued, fx),
+            Ev::InboundDone { conn, issued, worker } => {
+                self.path.inbound_done(now, conn, issued, worker, fx)
+            }
+            Ev::WorkerDone { conn, issued } => self.path.worker_done(now, conn, issued, fx),
+            Ev::OutboundDone { conn, issued, worker } => {
+                self.path.gw.leg_done(worker);
+                let finish = now + self.path.cost.client_wire;
+                self.stats.complete(finish, issued);
+                // Closed loop: next request after the response reaches the
+                // client.
+                fx.at(
+                    finish + self.path.cost.client_wire,
+                    Ev::Arrive { conn, issued: finish },
+                );
+            }
+            _ => unreachable!("sweep uses no scaling events"),
+        }
+    }
+}
+
 /// Fig 14 time-series output.
 #[derive(Clone, Debug)]
 pub struct ScalingReport {
@@ -139,6 +249,97 @@ pub struct ScalingReport {
     pub scale_ups: u32,
     /// Scale-down actions taken.
     pub scale_downs: u32,
+}
+
+/// Fig 14 engine: ramping clients, autoscaler ticks, timeouts.
+struct ScalingEngine {
+    path: IngressPath,
+    rps: WindowedRate,
+    util: UtilizationBins,
+    last_busy: Nanos,
+    last_tick: Nanos,
+    joined: usize,
+    max_clients: usize,
+    join_interval: Nanos,
+    eval_interval: Nanos,
+    client_timeout: Nanos,
+    disconnected: usize,
+    alive: Vec<bool>,
+}
+
+impl Engine for ScalingEngine {
+    type Ev = Ev;
+
+    fn on_event(&mut self, now: Nanos, ev: Ev, fx: &mut Effects<'_, Ev>) {
+        match ev {
+            Ev::AddClient => {
+                if self.joined < self.max_clients {
+                    let client = self.joined;
+                    self.joined += 1;
+                    self.alive.push(true);
+                    for k in 0..self.path.cfg.conns_per_client {
+                        let conn = client * self.path.cfg.conns_per_client + k;
+                        fx.after(self.path.cost.client_wire, Ev::Arrive { conn, issued: now });
+                    }
+                    fx.after(self.join_interval, Ev::AddClient);
+                }
+            }
+            Ev::ScalerTick => {
+                // Track useful busy time as a cores-in-use series: for
+                // busy-polling gateways the pinned cores count fully.
+                let elapsed = now - self.last_tick;
+                let busy = self.path.gw.total_busy();
+                let delta = busy - self.last_busy;
+                self.last_busy = busy;
+                self.last_tick = now;
+                match self.path.cfg.kind {
+                    IngressKind::KernelDeferred => {
+                        // Interrupt-driven: cores used = useful busy time,
+                        // spread across the interval (delta may span
+                        // several cores' worth of work).
+                        let mut remaining = delta;
+                        while remaining > elapsed && !elapsed.is_zero() {
+                            self.util.record_busy(now - elapsed, now);
+                            remaining -= elapsed;
+                        }
+                        if !remaining.is_zero() {
+                            self.util.record_busy(now - remaining, now);
+                        }
+                    }
+                    _ => {
+                        // Busy-polling: every active worker pins its core.
+                        for _ in 0..self.path.gw.active_workers() {
+                            self.util.record_busy(now - elapsed, now);
+                        }
+                    }
+                }
+                self.path.gw.evaluate(now, elapsed);
+                fx.after(self.eval_interval, Ev::ScalerTick);
+            }
+            Ev::Arrive { conn, issued } => self.path.arrive(now, conn, issued, fx),
+            Ev::InboundDone { conn, issued, worker } => {
+                self.path.inbound_done(now, conn, issued, worker, fx)
+            }
+            Ev::WorkerDone { conn, issued } => self.path.worker_done(now, conn, issued, fx),
+            Ev::OutboundDone { conn, issued, worker } => {
+                self.path.gw.leg_done(worker);
+                let finish = now + self.path.cost.client_wire;
+                let client = self.path.client_of(conn);
+                self.rps.record(finish);
+                let rtt = finish - issued;
+                if rtt > self.client_timeout && self.alive.get(client).copied().unwrap_or(false) {
+                    // Client gives up: disconnect all its connections.
+                    self.alive[client] = false;
+                    self.disconnected += 1;
+                } else if self.alive.get(client).copied().unwrap_or(false) {
+                    fx.at(
+                        finish + self.path.cost.client_wire,
+                        Ev::Arrive { conn, issued: finish },
+                    );
+                }
+            }
+        }
+    }
 }
 
 /// The Fig 13/14 simulation.
@@ -161,70 +362,23 @@ impl IngressSim {
     pub fn sweep(&self) -> LoadReport {
         let cfg = self.cfg;
         let cost = self.cost;
-        let mut gw = IngressGateway::new(
+        let gw = IngressGateway::new(
             IngressConfig::new(cfg.kind).with_fixed_workers(cfg.fixed_workers.unwrap_or(1)),
             cost,
         );
-        let ws = WorkerSide::for_kind(cfg.kind, &cost, cfg.fn_exec, cfg.req_bytes);
-        let mut worker_cores = ServerBank::new("worker", cfg.worker_cores);
-        let mut engine = palladium_simnet::FifoServer::new("worker-dne");
+        let mut engine = SweepEngine {
+            path: IngressPath::new(cfg, cost, gw),
+            stats: RunStats::new(cfg.warmup),
+        };
 
         let total_conns = cfg.clients * cfg.conns_per_client;
-        let mut sim: Sim<Ev> = Sim::new();
-        let mut latency = Samples::new();
-        let mut completed: u64 = 0;
-
+        let mut harness: Harness<Ev> = Harness::new();
         for conn in 0..total_conns {
-            sim.schedule_at(cost.client_wire, Ev::Arrive { conn, issued: Nanos::ZERO });
+            harness.schedule_at(cost.client_wire, Ev::Arrive { conn, issued: Nanos::ZERO });
         }
+        harness.run(&mut engine, cfg.warmup + cfg.duration);
 
-        let deadline = cfg.warmup + cfg.duration;
-        sim.run_until(deadline, |sim, ev| match ev {
-            Ev::Arrive { conn, issued } => {
-                let client = conn / cfg.conns_per_client;
-                let (w, done) = gw.submit(sim.now(), client, Leg::Inbound, cfg.req_bytes, cfg.resp_bytes);
-                sim.schedule_at(done, Ev::InboundDone { conn, issued, worker: w });
-            }
-            Ev::InboundDone { conn, issued, worker } => {
-                gw.leg_done(worker);
-                // Into the cluster: wire + worker-side processing.
-                let arrive = sim.now() + ws.wire;
-                let mut ready = arrive;
-                if !ws.engine_per_req.is_zero() {
-                    ready = engine.submit(arrive, ws.engine_per_req);
-                    engine.complete();
-                }
-                let (core, host_done) = worker_cores.submit(ready, ws.host_per_req);
-                worker_cores.complete(core);
-                sim.schedule_at(host_done + ws.wire, Ev::WorkerDone { conn, issued });
-            }
-            Ev::WorkerDone { conn, issued } => {
-                let client = conn / cfg.conns_per_client;
-                let (w, done) = gw.submit(sim.now(), client, Leg::Outbound, cfg.req_bytes, cfg.resp_bytes);
-                sim.schedule_at(done, Ev::OutboundDone { conn, issued, worker: w });
-            }
-            Ev::OutboundDone { conn, issued, worker } => {
-                gw.leg_done(worker);
-                let finish = sim.now() + cost.client_wire;
-                let rtt = finish - issued;
-                if finish >= cfg.warmup {
-                    latency.record(rtt);
-                    completed += 1;
-                }
-                // Closed loop: next request after the response reaches the
-                // client.
-                sim.schedule_at(finish + cost.client_wire, Ev::Arrive { conn, issued: finish });
-            }
-            _ => unreachable!("sweep uses no scaling events"),
-        });
-
-        let mut lat = latency;
-        LoadReport {
-            rps: completed as f64 / cfg.duration.as_secs_f64(),
-            mean_latency: lat.mean(),
-            p99_latency: lat.p99(),
-            completed,
-        }
+        engine.stats.report(cfg.duration)
     }
 
     /// Fig 14: clients join every `join_interval`; the gateway autoscales
@@ -235,10 +389,8 @@ impl IngressSim {
         let cost = self.cost;
         let s = |secs: f64| Nanos::from_nanos((secs * time_scale * 1e9) as u64);
         let duration = s(240.0);
-        let join_interval = s(10.0);
         let window = s(4.0);
         let eval_interval = s(0.5);
-        let client_timeout = s(1.0);
 
         // K-Ingress: interrupt-driven kernel workers on all cores from the
         // start; Palladium/F: autoscaled busy-poll workers. The reload blip
@@ -249,113 +401,34 @@ impl IngressSim {
         };
         gw_cfg.autoscaler.reload_blip = s(0.12);
         gw_cfg.autoscaler.eval_interval = eval_interval;
-        let mut gw = IngressGateway::new(gw_cfg, cost);
-        let ws = WorkerSide::for_kind(cfg.kind, &cost, cfg.fn_exec, cfg.req_bytes);
-        let mut worker_cores = ServerBank::new("worker", cfg.worker_cores);
-        let mut engine = palladium_simnet::FifoServer::new("worker-dne");
+        let gw = IngressGateway::new(gw_cfg, cost);
 
-        let mut sim: Sim<Ev> = Sim::new();
-        let mut rps = WindowedRate::new(window, Nanos::ZERO);
-        let mut util = UtilizationBins::new(window);
-        let mut last_busy = Nanos::ZERO;
-        let mut last_tick = Nanos::ZERO;
-        let mut joined = 0usize;
-        let mut disconnected = 0usize;
-        let mut alive: Vec<bool> = Vec::new();
+        let mut engine = ScalingEngine {
+            path: IngressPath::new(cfg, cost, gw),
+            rps: WindowedRate::new(window, Nanos::ZERO),
+            util: UtilizationBins::new(window),
+            last_busy: Nanos::ZERO,
+            last_tick: Nanos::ZERO,
+            joined: 0,
+            max_clients,
+            join_interval: s(10.0),
+            eval_interval,
+            client_timeout: s(1.0),
+            disconnected: 0,
+            alive: Vec::new(),
+        };
 
-        sim.schedule_at(Nanos::ZERO, Ev::AddClient);
-        sim.schedule_at(eval_interval, Ev::ScalerTick);
-
-        sim.run_until(duration, |sim, ev| match ev {
-            Ev::AddClient => {
-                if joined < max_clients {
-                    let client = joined;
-                    joined += 1;
-                    alive.push(true);
-                    for k in 0..cfg.conns_per_client {
-                        let conn = client * cfg.conns_per_client + k;
-                        sim.schedule(cost.client_wire, Ev::Arrive { conn, issued: sim.now() });
-                    }
-                    sim.schedule(join_interval, Ev::AddClient);
-                }
-            }
-            Ev::ScalerTick => {
-                // Track useful busy time as a cores-in-use series: for
-                // busy-polling gateways the pinned cores count fully.
-                let now = sim.now();
-                let elapsed = now - last_tick;
-                let busy = gw.total_busy();
-                let delta = busy - last_busy;
-                last_busy = busy;
-                last_tick = now;
-                match cfg.kind {
-                    IngressKind::KernelDeferred => {
-                        // Interrupt-driven: cores used = useful busy time,
-                        // spread across the interval (delta may span
-                        // several cores' worth of work).
-                        let mut remaining = delta;
-                        while remaining > elapsed && !elapsed.is_zero() {
-                            util.record_busy(now - elapsed, now);
-                            remaining -= elapsed;
-                        }
-                        if !remaining.is_zero() {
-                            util.record_busy(now - remaining, now);
-                        }
-                    }
-                    _ => {
-                        // Busy-polling: every active worker pins its core.
-                        for _ in 0..gw.active_workers() {
-                            util.record_busy(now - elapsed, now);
-                        }
-                    }
-                }
-                gw.evaluate(now, elapsed);
-                sim.schedule(eval_interval, Ev::ScalerTick);
-            }
-            Ev::Arrive { conn, issued } => {
-                let client = conn / cfg.conns_per_client;
-                let (w, done) = gw.submit(sim.now(), client, Leg::Inbound, cfg.req_bytes, cfg.resp_bytes);
-                sim.schedule_at(done, Ev::InboundDone { conn, issued, worker: w });
-            }
-            Ev::InboundDone { conn, issued, worker } => {
-                gw.leg_done(worker);
-                let arrive = sim.now() + ws.wire;
-                let mut ready = arrive;
-                if !ws.engine_per_req.is_zero() {
-                    ready = engine.submit(arrive, ws.engine_per_req);
-                    engine.complete();
-                }
-                let (core, host_done) = worker_cores.submit(ready, ws.host_per_req);
-                worker_cores.complete(core);
-                sim.schedule_at(host_done + ws.wire, Ev::WorkerDone { conn, issued });
-            }
-            Ev::WorkerDone { conn, issued } => {
-                let client = conn / cfg.conns_per_client;
-                let (w, done) = gw.submit(sim.now(), client, Leg::Outbound, cfg.req_bytes, cfg.resp_bytes);
-                sim.schedule_at(done, Ev::OutboundDone { conn, issued, worker: w });
-            }
-            Ev::OutboundDone { conn, issued, worker } => {
-                gw.leg_done(worker);
-                let finish = sim.now() + cost.client_wire;
-                let client = conn / cfg.conns_per_client;
-                rps.record(finish);
-                let rtt = finish - issued;
-                if rtt > client_timeout && alive.get(client).copied().unwrap_or(false) {
-                    // Client gives up: disconnect all its connections.
-                    alive[client] = false;
-                    disconnected += 1;
-                } else if alive.get(client).copied().unwrap_or(false) {
-                    sim.schedule_at(finish + cost.client_wire, Ev::Arrive { conn, issued: finish });
-                }
-            }
-        });
+        let mut harness: Harness<Ev> = Harness::new();
+        harness.schedule_at(Nanos::ZERO, Ev::AddClient);
+        harness.schedule_at(eval_interval, Ev::ScalerTick);
+        harness.run(&mut engine, duration);
 
         ScalingReport {
-            cores_series: util.series(duration),
-            rps_series: rps.series(duration),
-            disconnected,
-            scale_ups: gw.scaler_ups(),
-            scale_downs: gw.scaler_downs(),
+            cores_series: engine.util.series(duration),
+            rps_series: engine.rps.series(duration),
+            disconnected: engine.disconnected,
+            scale_ups: engine.path.gw.scaler_ups(),
+            scale_downs: engine.path.gw.scaler_downs(),
         }
     }
 }

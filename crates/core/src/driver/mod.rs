@@ -1,11 +1,10 @@
 //! Simulation drivers — the compositions that regenerate the paper's
 //! figures.
 //!
-//! Each driver owns a [`palladium_simnet::Sim`] with its own event enum,
-//! instantiates the real substrate objects (pools, engines, schedulers, the
-//! RDMA fabric, the ingress gateway) and runs closed-loop load against
-//! them. Reports carry both rates and latency statistics plus the copy
-//! meters that prove (or disprove) zero-copy behaviour.
+//! Every driver is an [`palladium_simnet::Engine`] run by the shared
+//! [`palladium_simnet::Harness`] trampoline: the driver owns only its
+//! topology, workload and event alphabet; the clock, the batched event
+//! loop and the [`LoadReport`] bookkeeping live in `palladium-simnet`.
 //!
 //! * [`channel`] — host↔DPU descriptor echo over Comch-E / Comch-P / TCP
 //!   (Fig 9).
@@ -13,26 +12,19 @@
 //!   echo function (Fig 13) and the autoscaling time series (Fig 14).
 //! * [`fairness`] — three tenants through one DNE, DWRR vs FCFS (Fig 15).
 //! * [`chain`] — the full multi-node serverless cluster running function
-//!   chains on any [`crate::system::SystemKind`] (Fig 16, Table 2).
+//!   chains on any [`crate::system::SystemKind`] (Fig 16, Table 2); its
+//!   event-level machinery lives in [`cluster`].
 //!
 //! The cross-node echo driver for Figs 11–12 (on-path/off-path, RDMA
 //! primitive selection) lives in `palladium-baselines` next to the
-//! one-sided variants it compares.
+//! one-sided variants it compares; it runs on the same harness.
 
 pub mod chain;
 pub mod channel;
+pub mod cluster;
 pub mod fairness;
 pub mod ingress_sweep;
 
-/// A latency/throughput report shared by the drivers.
-#[derive(Clone, Debug, Default)]
-pub struct LoadReport {
-    /// Completed requests per second over the measurement window.
-    pub rps: f64,
-    /// Mean end-to-end latency.
-    pub mean_latency: palladium_simnet::Nanos,
-    /// 99th percentile latency.
-    pub p99_latency: palladium_simnet::Nanos,
-    /// Requests completed in the window.
-    pub completed: u64,
-}
+// The shared report type moved down into the simulation kernel; drivers and
+// downstream crates keep importing it from here.
+pub use palladium_simnet::{LoadReport, RunStats};

@@ -324,6 +324,7 @@ impl RdmaNet {
     }
 
     /// Emit a control frame from `from` back to `to`.
+    #[allow(clippy::too_many_arguments)]
     fn send_control(
         &mut self,
         now: Nanos,
@@ -999,7 +1000,7 @@ mod tests {
                             sim.schedule(t.after, t.value);
                         }
                     }
-                    RdmaOutput::CqReady { node } if node == NodeId(0) => {
+                    RdmaOutput::CqReady { node: NodeId(0) } => {
                         for c in net.poll_cq(NodeId(0), 4) {
                             if c.kind == CqeKind::ReadData {
                                 assert_eq!(c.data.len(), 128);

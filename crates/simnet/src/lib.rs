@@ -22,6 +22,7 @@
 //!   engine and NIC port so saturation emerges instead of being scripted.
 
 pub mod fault;
+pub mod harness;
 pub mod queue;
 pub mod rate;
 pub mod rng;
@@ -31,6 +32,7 @@ pub mod stats;
 pub mod time;
 
 pub use fault::{FaultPlan, Verdict};
+pub use harness::{Effects, Engine, Harness, LoadReport, RunStats};
 pub use queue::{EventId, EventQueue};
 pub use rate::TokenBucket;
 pub use rng::SimRng;

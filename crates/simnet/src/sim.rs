@@ -108,6 +108,9 @@ impl<M> Sim<M> {
 
     /// Advance the clock to the next event and return it, or `None` when the
     /// simulation has run dry.
+    // Not an Iterator: advancing mutates the clock, and `for` loops over a
+    // simulation would hide that.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Option<(Nanos, M)> {
         let (at, msg) = self.queue.pop()?;
         debug_assert!(at >= self.now, "event queue went backwards");

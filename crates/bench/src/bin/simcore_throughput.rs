@@ -1,0 +1,195 @@
+//! `simcore_throughput` — the DES-kernel events/sec benchmark.
+//!
+//! Unlike the `fig*` binaries (which reproduce the paper's numbers inside
+//! the simulation), this harness measures the simulator itself: wall-clock
+//! events per second while running the two heaviest drivers — the Fig 16
+//! boutique chain cluster and the Fig 13 ingress sweep — on fixed,
+//! deterministic workloads (same seed ⇒ same event count, verified at run
+//! time across backends). It writes `BENCH_simcore.json`, the workspace's
+//! recorded kernel-performance trajectory.
+//!
+//! Two comparisons are recorded per driver:
+//!
+//! * **`heap_queue`** — the same binary rerun with the legacy
+//!   `(BinaryHeap, tombstone set)` event queue (`QueueKind::BinaryHeap`),
+//!   isolating the timer-wheel swap on the same machine in the same
+//!   process;
+//! * **`before`** — wall times measured with this harness at the
+//!   pre-flattening seed commit (recorded constants below), i.e. heap
+//!   queue *plus* `HashMap` state tables *plus* per-frame clones. The
+//!   headline `speedup` compares `after` against this.
+//!
+//! Usage: `simcore_throughput [--quick] [--out PATH]`
+
+use std::time::Instant;
+
+use palladium_core::driver::chain::ChainSim;
+use palladium_core::driver::ingress_sweep::{IngressSim, IngressSimConfig};
+use palladium_core::system::{IngressKind, SystemKind};
+use palladium_simnet::{set_queue_kind, Nanos, QueueKind};
+use palladium_workloads::boutique::{self, ChainKind};
+
+/// Seed-commit wall seconds for the exact full-size workloads below
+/// (best of 3), measured with this harness on the development machine on
+/// 2026-07-29 at the pre-flattening commit ("Bootstrap the Cargo
+/// workspace..."). Only meaningful at scale 1.0; `--quick` runs skip the
+/// seed comparison.
+const SEED_CHAIN_WALL_S: f64 = 0.821;
+const SEED_INGRESS_WALL_S: f64 = 0.137;
+/// Events the *seed* kernel processed for the same workloads (it scheduled
+/// more: e.g. one stale RTO-check timer per transmission, since removed
+/// without any observable effect — the golden-trace suite pins the
+/// reports). Seed events/sec uses the seed's own counts.
+const SEED_CHAIN_EVENTS: u64 = 2_017_098;
+const SEED_INGRESS_EVENTS: u64 = 1_559_476;
+
+struct RunOut {
+    events: u64,
+    wall_s: f64,
+    completed: u64,
+}
+
+fn run_chain(scale: f64) -> RunOut {
+    let cfg = boutique::config(SystemKind::PalladiumDne, ChainKind::HomeQuery)
+        .clients(40)
+        .warmup_ms((60.0 * scale) as u64)
+        .duration_ms((240.0 * scale) as u64);
+    let start = Instant::now();
+    let (r, events) = ChainSim::new(cfg).run_counted();
+    RunOut {
+        events,
+        wall_s: start.elapsed().as_secs_f64(),
+        completed: r.load.completed,
+    }
+}
+
+fn run_ingress(scale: f64) -> RunOut {
+    let mut cfg = IngressSimConfig::fig13(IngressKind::Palladium, 60);
+    cfg.duration = Nanos::from_millis((1600.0 * scale) as u64);
+    cfg.warmup = Nanos::from_millis((400.0 * scale) as u64);
+    let start = Instant::now();
+    let (r, events) = IngressSim::new(cfg).sweep_counted();
+    RunOut {
+        events,
+        wall_s: start.elapsed().as_secs_f64(),
+        completed: r.completed,
+    }
+}
+
+fn best_of<F: FnMut() -> RunOut>(reps: usize, mut f: F) -> RunOut {
+    let mut best: Option<RunOut> = None;
+    for _ in 0..reps {
+        let r = f();
+        if best.as_ref().is_none_or(|b| r.wall_s < b.wall_s) {
+            best = Some(r);
+        }
+    }
+    best.expect("at least one rep")
+}
+
+struct DriverRecord {
+    name: &'static str,
+    wheel: RunOut,
+    heap: RunOut,
+    seed: Option<(f64, u64)>,
+}
+
+impl DriverRecord {
+    fn json(&self) -> String {
+        let eps = |r: &RunOut| r.events as f64 / r.wall_s;
+        let after = eps(&self.wheel);
+        let heap = eps(&self.heap);
+        let seed_fields = match self.seed {
+            Some((wall, events)) => {
+                let seed = events as f64 / wall;
+                format!(
+                    "\"before\": {{\"events_per_sec\": {seed:.0}, \"events\": {events}, \"wall_s\": {wall:.3}, \
+                     \"source\": \"seed commit, same harness/machine, 2026-07-29\"}}, \
+                     \"speedup_vs_seed\": {:.2}, \"wall_speedup_vs_seed\": {:.2}, ",
+                    after / seed,
+                    wall / self.wheel.wall_s
+                )
+            }
+            None => String::new(),
+        };
+        format!(
+            "    {{\"driver\": \"{}\", \"events\": {}, \"completed\": {}, \
+             {seed_fields}\"heap_queue\": {{\"events_per_sec\": {heap:.0}, \"wall_s\": {:.3}}}, \
+             \"after\": {{\"events_per_sec\": {after:.0}, \"wall_s\": {:.3}}}, \
+             \"speedup_vs_heap_queue\": {:.2}}}",
+            self.name,
+            self.wheel.events,
+            self.wheel.completed,
+            self.heap.wall_s,
+            self.wheel.wall_s,
+            after / heap,
+        )
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_simcore.json".to_string());
+    let (scale, reps) = if quick { (0.25, 1) } else { (1.0, 5) };
+
+    let mut records = Vec::new();
+    for (name, run, seed_wall, seed_events) in [
+        (
+            "chain",
+            run_chain as fn(f64) -> RunOut,
+            SEED_CHAIN_WALL_S,
+            SEED_CHAIN_EVENTS,
+        ),
+        (
+            "ingress_sweep",
+            run_ingress,
+            SEED_INGRESS_WALL_S,
+            SEED_INGRESS_EVENTS,
+        ),
+    ] {
+        set_queue_kind(QueueKind::Adaptive);
+        let wheel = best_of(reps, || run(scale));
+        set_queue_kind(QueueKind::BinaryHeap);
+        let heap = best_of(reps, || run(scale));
+        set_queue_kind(QueueKind::Adaptive);
+        assert_eq!(
+            wheel.events, heap.events,
+            "{name}: backends must process identical event streams"
+        );
+        assert_eq!(wheel.completed, heap.completed);
+        records.push(DriverRecord {
+            name,
+            wheel,
+            heap,
+            seed: (!quick).then_some((seed_wall, seed_events)),
+        });
+    }
+
+    let mut json = String::from(
+        "{\n  \"bench\": \"simcore_throughput\",\n  \"unit\": \"events_per_sec\",\n",
+    );
+    json.push_str(&format!("  \"quick\": {quick},\n  \"drivers\": [\n"));
+    let rows: Vec<String> = records.iter().map(DriverRecord::json).collect();
+    json.push_str(&rows.join(",\n"));
+    json.push_str("\n  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write bench json");
+    for r in &records {
+        let eps = r.wheel.events as f64 / r.wheel.wall_s;
+        println!(
+            "{:>14}: {} events in {:.3}s = {:.0} events/s ({:.2}x vs heap queue)",
+            r.name,
+            r.wheel.events,
+            r.wheel.wall_s,
+            eps,
+            eps / (r.heap.events as f64 / r.heap.wall_s),
+        );
+    }
+    println!("wrote {out_path}");
+}

@@ -9,10 +9,9 @@
 //! least-congested eligible connection for each transmission — no cross-node
 //! state synchronization required.
 
-use std::collections::HashMap;
-
 use palladium_membuf::{NodeId, TenantId};
 use palladium_rdma::{Qpn, RdmaNet};
+use palladium_simnet::IdTable;
 
 /// Identity of one pooled connection (local endpoint).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -50,8 +49,9 @@ pub struct ConnPool {
     node: NodeId,
     cfg: ConnPoolConfig,
     conns: Vec<PooledConn>,
-    /// Selection statistics per QPN (for tests/reports).
-    picks: HashMap<u32, u64>,
+    /// Selection statistics per QPN (for tests/reports), indexed by the
+    /// dense QPN space — `select` runs once per posted WR.
+    picks: IdTable<u64>,
 }
 
 impl ConnPool {
@@ -61,7 +61,7 @@ impl ConnPool {
             node,
             cfg,
             conns: Vec::new(),
-            picks: HashMap::new(),
+            picks: IdTable::new(),
         }
     }
 
@@ -122,7 +122,11 @@ impl ConnPool {
     /// by QPN for determinism.
     pub fn select(&mut self, net: &RdmaNet, peer: NodeId, tenant: TenantId) -> Option<Qpn> {
         let rnic = net.rnic(self.node);
-        let at_cap = self.active_count(net) >= self.cfg.max_active;
+        // The cap can only bind when the pool holds at least `max_active`
+        // connections — skip the per-QP active scan entirely otherwise
+        // (`select` runs once per posted WR).
+        let at_cap = self.conns.len() >= self.cfg.max_active
+            && self.active_count(net) >= self.cfg.max_active;
         let mut best: Option<(usize, Qpn)> = None;
         for c in self
             .conns
@@ -162,14 +166,14 @@ impl ConnPool {
         }
         let picked = best.map(|(_, q)| q);
         if let Some(q) = picked {
-            *self.picks.entry(q.0).or_default() += 1;
+            *self.picks.get_or_insert_with(q.0 as usize, || 0) += 1;
         }
         picked
     }
 
     /// How often each QPN was selected (diagnostics).
     pub fn pick_count(&self, qpn: Qpn) -> u64 {
-        self.picks.get(&qpn.0).copied().unwrap_or(0)
+        self.picks.get(qpn.0 as usize).copied().unwrap_or(0)
     }
 }
 

@@ -24,13 +24,13 @@
 //! driver feeds it descriptors/CQEs and trampolines the returned timed
 //! effects.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use bytes::Bytes;
 
 use palladium_membuf::{BufDesc, BufToken, FnId, NodeId, TenantId};
 use palladium_rdma::{Cqe, CqeKind, CqeStatus, Qpn, WorkRequest, WrId};
-use palladium_simnet::{FifoServer, Nanos, Timed};
+use palladium_simnet::{FifoServer, Nanos, Slab, Timed};
 
 use crate::config::{CostModel, EngineLocation};
 use crate::connpool::ConnPool;
@@ -75,8 +75,9 @@ pub enum DneEffect {
         dst_node: NodeId,
         /// Tenant the transfer belongs to.
         tenant: TenantId,
-        /// The work request.
-        wr: WorkRequest,
+        /// The work request (boxed: the effect rides inside driver event
+        /// enums through the event queue, so the enum stays small).
+        wr: Box<WorkRequest>,
     },
     /// Deliver a descriptor to a local function over Comch (driver charges
     /// channel costs and wakes the function).
@@ -137,9 +138,11 @@ pub struct Dne {
     pub pool: ConnPool,
     /// Routing tables (synced by the coordinator).
     pub routes: RouteTables,
-    /// In-flight TX buffers awaiting send completions, by WR id.
-    tx_inflight: HashMap<u64, BufToken>,
-    next_tx_wr: u64,
+    /// In-flight TX sends awaiting completions. WR ids are the
+    /// generation-checked slab keys, so allocation and the per-completion
+    /// resolution are both O(1) index operations and a stale id from a
+    /// recycled slot can never release someone else's buffer.
+    tx_inflight: Slab<Option<BufToken>>,
     engine_busy: bool,
     /// Statistics.
     pub tx_count: u64,
@@ -176,8 +179,7 @@ impl Dne {
             rbr: RbrTable::new(),
             pool,
             routes: RouteTables::new(),
-            tx_inflight: HashMap::new(),
-            next_tx_wr: 1,
+            tx_inflight: Slab::new(),
             engine_busy: false,
             tx_count: 0,
             rx_count: 0,
@@ -216,9 +218,25 @@ impl Dne {
         payload: Bytes,
         token: Option<BufToken>,
     ) -> DneStep {
+        let mut out = Vec::new();
+        self.submit_tx_into(now, desc, payload, token, &mut out);
+        out
+    }
+
+    /// [`Dne::submit_tx`] appending into a caller-owned buffer, so drivers
+    /// can reuse one effect vector across every engine poke.
+    pub fn submit_tx_into(
+        &mut self,
+        now: Nanos,
+        desc: BufDesc,
+        payload: Bytes,
+        token: Option<BufToken>,
+        out: &mut DneStep,
+    ) {
         let Some(dst_node) = self.routes.node_of(desc.dst_fn) else {
             self.route_misses += 1;
-            return vec![Timed::now(DneEffect::RouteMiss { dst: desc.dst_fn })];
+            out.push(Timed::now(DneEffect::RouteMiss { dst: desc.dst_fn }));
+            return;
         };
         let cost = (payload.len() as u64).max(64);
         self.sched.enqueue(
@@ -231,20 +249,27 @@ impl Dne {
                 token,
             },
         );
-        self.kick(now)
+        self.kick(now, out);
     }
 
     /// A completion arrived on the node's shared CQ.
     pub fn submit_cqe(&mut self, now: Nanos, cqe: Cqe) -> DneStep {
-        self.rx_queue.push_back(cqe);
-        self.kick(now)
+        let mut out = Vec::new();
+        self.submit_cqe_into(now, cqe, &mut out);
+        out
     }
 
-    fn kick(&mut self, now: Nanos) -> DneStep {
+    /// [`Dne::submit_cqe`] appending into a caller-owned buffer.
+    pub fn submit_cqe_into(&mut self, now: Nanos, cqe: Cqe, out: &mut DneStep) {
+        self.rx_queue.push_back(cqe);
+        self.kick(now, out);
+    }
+
+    fn kick(&mut self, now: Nanos, out: &mut DneStep) {
         if self.engine_busy {
-            return Vec::new();
+            return;
         }
-        self.on_engine_slot(now)
+        self.on_engine_slot_into(now, out);
     }
 
     /// Per-op service time for the current location and backlog.
@@ -260,6 +285,13 @@ impl Dne {
     /// scheduler). Returns effects; includes the next `EngineSlot` if more
     /// work was started.
     pub fn on_engine_slot(&mut self, now: Nanos) -> DneStep {
+        let mut out = Vec::new();
+        self.on_engine_slot_into(now, &mut out);
+        out
+    }
+
+    /// [`Dne::on_engine_slot`] appending into a caller-owned buffer.
+    pub fn on_engine_slot_into(&mut self, now: Nanos, out: &mut DneStep) {
         self.engine_busy = false;
         // RX stage has priority: completions free buffers and unblock
         // remote senders.
@@ -269,9 +301,9 @@ impl Dne {
             self.worker_core.complete();
             self.engine_busy = true;
             let delay = done - now;
-            let mut out = self.process_cqe(cqe, delay);
+            self.process_cqe(cqe, delay, out);
             out.push(Timed::new(delay, DneEffect::EngineSlot));
-            return out;
+            return;
         }
         if let Some((_tenant, item)) = self.sched.dequeue() {
             let service = self.service(self.cost.engine_tx);
@@ -279,32 +311,27 @@ impl Dne {
             self.worker_core.complete();
             self.engine_busy = true;
             let delay = done - now;
-            let mut out = self.process_tx(item, delay);
+            self.process_tx(item, delay, out);
             out.push(Timed::new(delay, DneEffect::EngineSlot));
-            return out;
         }
-        Vec::new()
     }
 
-    fn process_tx(&mut self, item: TxItem, delay: Nanos) -> DneStep {
+    fn process_tx(&mut self, item: TxItem, delay: Nanos, out: &mut DneStep) {
         // Redeem happens driver-side before submit; here the engine selects
         // the connection (driver-side, at effect time) and builds the WR.
-        let wr_id = WrId(self.next_tx_wr);
-        self.next_tx_wr += 1;
+        // The WR id *is* the inflight-table key.
+        let wr_id = WrId(self.tx_inflight.insert(item.token));
         let imm = pack_imm(item.desc.src_fn, item.desc.dst_fn, item.desc.tenant);
-        let wr = WorkRequest::send(wr_id, item.payload, imm);
-        if let Some(token) = item.token {
-            self.tx_inflight.insert(wr_id.0, token);
-        }
+        let wr = Box::new(WorkRequest::send(wr_id, item.payload, imm));
         self.tx_count += 1;
-        vec![Timed::new(
+        out.push(Timed::new(
             delay,
             DneEffect::PostSend {
                 dst_node: item.dst_node,
                 tenant: item.desc.tenant,
                 wr,
             },
-        )]
+        ));
     }
 
     /// Resolve the sentinel QPN in a `PostSend` effect into a real
@@ -319,16 +346,18 @@ impl Dne {
         self.pool.select(net, dst_node, tenant)
     }
 
-    /// Track a posted TX buffer awaiting its send completion.
-    pub fn track_tx_buffer(&mut self, wr_id: WrId, token: BufToken) {
-        self.tx_inflight.insert(wr_id.0, token);
+    /// Track a posted TX buffer awaiting its send completion; returns the
+    /// WR id the send must carry so the completion resolves back to the
+    /// buffer.
+    pub fn track_tx_buffer(&mut self, token: BufToken) -> WrId {
+        WrId(self.tx_inflight.insert(Some(token)))
     }
 
-    fn process_cqe(&mut self, cqe: Cqe, delay: Nanos) -> DneStep {
+    fn process_cqe(&mut self, cqe: Cqe, delay: Nanos, out: &mut DneStep) {
         match cqe.kind {
             CqeKind::Recv => {
                 let Some((tenant, token)) = self.rbr.consume(cqe.wr_id) else {
-                    return Vec::new();
+                    return;
                 };
                 let (src, dst, _) = unpack_imm(cqe.imm);
                 let desc = BufDesc {
@@ -340,14 +369,14 @@ impl Dne {
                     dst_fn: dst,
                 };
                 self.rx_count += 1;
-                let mut out = vec![Timed::new(
+                out.push(Timed::new(
                     delay,
                     DneEffect::ApplyDma {
                         tenant,
                         token,
                         data: cqe.data,
                     },
-                )];
+                ));
                 out.push(Timed::new(delay, DneEffect::DeliverToFn { dst, desc }));
                 // Core thread replenishment sweep (runs on the other core,
                 // asynchronously — charge it there).
@@ -373,20 +402,17 @@ impl Dne {
                         },
                     ));
                 }
-                out
             }
             CqeKind::SendDone(_) => {
-                let mut out = Vec::new();
-                if let Some(token) = self.tx_inflight.remove(&cqe.wr_id.0) {
+                if let Some(Some(token)) = self.tx_inflight.remove(cqe.wr_id.0) {
                     out.push(Timed::new(delay, DneEffect::ReleaseTxBuffer { token }));
                 }
                 if cqe.status != CqeStatus::Success {
                     // Connection died; buffers already released above. The
                     // driver decides whether to re-establish.
                 }
-                out
             }
-            CqeKind::ReadData => Vec::new(),
+            CqeKind::ReadData => {}
         }
     }
 }
@@ -536,9 +562,9 @@ mod tests {
         let mut pool = palladium_membuf::UnifiedPool::new(PoolId(0), TenantId(1), 4, 256);
         let tok = pool.alloc(palladium_membuf::Owner::Engine).unwrap();
         let idx = tok.idx();
-        dne.track_tx_buffer(WrId(77), tok);
+        let wr_id = dne.track_tx_buffer(tok);
         let cqe = Cqe {
-            wr_id: WrId(77),
+            wr_id,
             kind: CqeKind::SendDone(palladium_rdma::OpKind::Send),
             status: CqeStatus::Success,
             qpn: Qpn(1),

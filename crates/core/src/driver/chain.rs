@@ -168,14 +168,21 @@ impl ChainSim {
 
     /// Run the cluster and report.
     pub fn run(self) -> ChainReport {
+        self.run_counted().0
+    }
+
+    /// Run the cluster, also returning the number of simulation events
+    /// processed (heap pops + inline-drained effects) — the denominator of
+    /// the `simcore_throughput` events/sec benchmark.
+    pub fn run_counted(self) -> (ChainReport, u64) {
         let deadline = self.cfg.warmup + self.cfg.duration;
         let mut cluster = Cluster::build(self.cfg);
         let mut harness = Harness::new();
         for ev in cluster.initial_events() {
             harness.schedule_at(Nanos::ZERO, ev);
         }
-        harness.run(&mut cluster, deadline);
-        cluster.report(deadline)
+        let events = harness.run(&mut cluster, deadline);
+        (cluster.report(deadline), events)
     }
 }
 

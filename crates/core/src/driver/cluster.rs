@@ -15,8 +15,6 @@
 //! replenishes its RBR, and every software copy lands on a per-node
 //! [`CopyMeter`] — the zero-copy claims are asserted, not assumed.
 
-use std::collections::HashMap;
-
 use bytes::Bytes;
 
 use palladium_ipc::{ChannelCosts, ChannelKind, SkMsgCosts};
@@ -25,10 +23,10 @@ use palladium_membuf::{
     TenantId, UnifiedPool,
 };
 use palladium_rdma::{
-    Cqe, CqeKind, RdmaConfig, RdmaEvent, RdmaNet, RdmaOutput, RemoteAddr, RqEntry, WorkRequest,
-    WrId,
+    Cqe, CqeKind, RdmaConfig, RdmaEvent, RdmaNet, RdmaOutput, RemoteAddr, RqEntry, Step,
+    WorkRequest, WrId,
 };
-use palladium_simnet::{Effects, Engine, FifoServer, Nanos, RunStats, ServerBank};
+use palladium_simnet::{Effects, Engine, FifoServer, IdTable, Nanos, RunStats, ServerBank, Slab};
 use palladium_tcpstack::{StackKind, TcpCosts};
 
 use super::chain::{ChainReport, ChainSimConfig, ChainSpec, INGRESS_FN};
@@ -49,9 +47,7 @@ const INITIAL_RQ: u64 = 512;
 
 fn payload_for(req: u64, len: u32) -> Bytes {
     let len = (len as usize).max(8);
-    let mut v = vec![0u8; len];
-    v[..8].copy_from_slice(&req.to_le_bytes());
-    Bytes::from(v)
+    Bytes::zeroed_with_prefix(len, &req.to_le_bytes())
 }
 
 fn req_of(data: &[u8]) -> u64 {
@@ -77,7 +73,7 @@ pub(crate) enum Ev {
         n: usize,
         dst: NodeId,
         tenant: TenantId,
-        wr: WorkRequest,
+        wr: Box<WorkRequest>,
     },
     /// RNIC DMA application of received bytes.
     ApplyDma {
@@ -144,7 +140,9 @@ pub(crate) struct Cluster {
     cost: CostModel,
     spec: crate::system::SystemSpec,
     chain: ChainSpec,
-    placement: HashMap<FnId, usize>,
+    /// Function → worker-node index, dense over the fn-id space (queried
+    /// once per hop).
+    placement: IdTable<usize>,
 
     // Resources.
     pools: Vec<UnifiedPool>,     // per worker node (0,1) + ingress (2)
@@ -160,11 +158,13 @@ pub(crate) struct Cluster {
     gw: IngressGateway,
     ingress_rbr: crate::rbr::RbrTable,
     ingress_conns: ConnPool,
-    ingress_tx: HashMap<u64, BufToken>,
-    ingress_next_wr: u64,
+    /// Ingress-side TX buffers awaiting send completions; the WR id is the
+    /// generation-checked slab key.
+    ingress_tx: Slab<BufToken>,
     fuyao_conns: Vec<ConnPool>,
-    fuyao_tx: Vec<HashMap<u64, BufToken>>,
-    fuyao_next_wr: u64,
+    /// FUYAO per-worker TX buffers awaiting write completions (slab-keyed
+    /// WR ids, resolved on that worker's CQ only).
+    fuyao_tx: Vec<Slab<BufToken>>,
 
     // Channel costs.
     comch: ChannelCosts,
@@ -173,8 +173,26 @@ pub(crate) struct Cluster {
 
     // Request state.
     reqs: Vec<ReqState>,
-    inbound_tokens: HashMap<(usize, u16, u32), BufToken>,
+    /// Per-node buffer-index → token for descriptors handed to functions.
+    /// Unified-pool buffers index directly; FUYAO dedicated-pool buffers
+    /// are offset by `POOL_BUFS` (the two ID spaces per node are disjoint).
+    inbound_tokens: Vec<IdTable<BufToken>>,
     stats: RunStats,
+
+    /// Per-function execution cost, dense over the fn-id space.
+    fn_exec: IdTable<Nanos>,
+
+    // Reused scratch so steady-state stepping does not allocate.
+    rdma_step: Step,
+    cqe_scratch: Vec<Cqe>,
+    dne_fx: crate::dne::DneStep,
+}
+
+/// Dense inbound-token key for a buffer on one node (see
+/// [`Cluster::inbound_tokens`]).
+fn token_key(pool: PoolId, buf_idx: u32) -> usize {
+    let base = if pool.raw() >= 10 { POOL_BUFS } else { 0 };
+    base as usize + buf_idx as usize
 }
 
 impl Cluster {
@@ -187,9 +205,9 @@ impl Cluster {
         let chain = cfg.app.chains[cfg.chain_idx].clone();
 
         // Placement: per app spec, or all on node 0 for single-node systems.
-        let mut placement = HashMap::new();
+        let mut placement = IdTable::new();
         for f in &cfg.app.functions {
-            placement.insert(f.id, if spec.single_node { 0 } else { f.node });
+            placement.insert(f.id.raw() as usize, if spec.single_node { 0 } else { f.node });
         }
 
         // Pools (+ mmap exports) per node.
@@ -247,7 +265,7 @@ impl Cluster {
             coord.apply(DeployEvent::Created {
                 f: f.id,
                 tenant: TENANT,
-                node: NodeId(placement[&f.id] as u16),
+                node: NodeId(*placement.get(f.id.raw() as usize).expect("placed") as u16),
             });
         }
         coord.apply(DeployEvent::Created {
@@ -341,17 +359,25 @@ impl Cluster {
             gw,
             ingress_rbr: crate::rbr::RbrTable::new(),
             ingress_conns,
-            ingress_tx: HashMap::new(),
-            ingress_next_wr: 1,
+            ingress_tx: Slab::new(),
             fuyao_conns,
-            fuyao_tx: (0..N_WORKERS).map(|_| HashMap::new()).collect(),
-            fuyao_next_wr: 1,
+            fuyao_tx: (0..N_WORKERS).map(|_| Slab::new()).collect(),
             comch: ChannelCosts::for_kind(ChannelKind::ComchE),
             skmsg: SkMsgCosts::default(),
             worker_tcp,
             reqs: Vec::new(),
-            inbound_tokens: HashMap::new(),
+            inbound_tokens: (0..=INGRESS_NODE).map(|_| IdTable::new()).collect(),
             stats: RunStats::new(warmup),
+            fn_exec: {
+                let mut t = IdTable::new();
+                for f in &cfg.app.functions {
+                    t.insert(f.id.raw() as usize, f.exec);
+                }
+                t
+            },
+            rdma_step: Step::default(),
+            cqe_scratch: Vec::new(),
+            dne_fx: Vec::new(),
             cfg,
         };
 
@@ -375,12 +401,15 @@ impl Cluster {
         if f == INGRESS_FN {
             INGRESS_NODE
         } else {
-            *self.placement.get(&f).expect("placed function")
+            *self
+                .placement
+                .get(f.raw() as usize)
+                .expect("placed function")
         }
     }
 
     fn fn_exec(&self, f: FnId) -> Nanos {
-        self.cfg.app.function(f).exec
+        *self.fn_exec.get(f.raw() as usize).expect("deployed function")
     }
 
     /// Charge work on a function core of worker `n`.
@@ -408,10 +437,11 @@ impl Cluster {
         self.eng_load[n] = self.eng_load[n].saturating_sub(1);
     }
 
-    /// Schedule the effects of a Palladium engine step.
-    fn apply_dne_step(&mut self, fx: &mut Effects<'_, Ev>, n: usize, step: crate::dne::DneStep) {
+    /// Schedule the effects of a Palladium engine step, draining the
+    /// reusable effect buffer.
+    fn apply_dne_step(&mut self, fx: &mut Effects<'_, Ev>, n: usize, step: &mut crate::dne::DneStep) {
         let (to_fn_transit, _) = self.fn_channel_costs();
-        for t in step {
+        for t in step.drain(..) {
             match t.value {
                 DneEffect::PostSend { dst_node, tenant, wr } => {
                     fx.after(
@@ -505,20 +535,29 @@ impl Cluster {
         match out {
             RdmaOutput::CqReady { node } => {
                 let n = node.raw() as usize;
-                let cqes = self.net.as_mut().expect("rdma").poll_cq(node, 64);
-                for cqe in cqes {
+                let mut cqes = std::mem::take(&mut self.cqe_scratch);
+                cqes.clear();
+                self.net
+                    .as_mut()
+                    .expect("rdma")
+                    .rnic_mut(node)
+                    .poll_cq_into(64, &mut cqes);
+                for cqe in cqes.drain(..) {
                     if n == INGRESS_NODE {
                         self.on_ingress_cqe(now, fx, cqe);
                     } else if self.spec.inter_node == InterNode::TwoSidedRdma {
-                        let step = self.dnes[n].submit_cqe(now, cqe);
-                        self.apply_dne_step(fx, n, step);
+                        let mut step = std::mem::take(&mut self.dne_fx);
+                        self.dnes[n].submit_cqe_into(now, cqe, &mut step);
+                        self.apply_dne_step(fx, n, &mut step);
+                        self.dne_fx = step;
                     } else if let CqeKind::SendDone(_) = cqe.kind {
                         // FUYAO: free the sender-side buffer on completion.
-                        if let Some(token) = self.fuyao_tx[n].remove(&cqe.wr_id.0) {
+                        if let Some(token) = self.fuyao_tx[n].remove(cqe.wr_id.0) {
                             let _ = self.pools[n].free(token);
                         }
                     }
                 }
+                self.cqe_scratch = cqes;
             }
             RdmaOutput::WriteDelivered {
                 node,
@@ -530,11 +569,10 @@ impl Cluster {
                 let n = node.raw() as usize;
                 let slot = addr.buf_idx;
                 // RNIC DMA into the dedicated pool slot.
-                let dma_data = data.clone();
                 {
                     let token = &self.ded_slots[n][slot as usize];
                     self.ded_pools[n]
-                        .dma_write(token, &dma_data, MoveKind::RnicDma, &mut self.meters[n])
+                        .dma_write_bytes(token, data.clone(), MoveKind::RnicDma, &mut self.meters[n])
                         .expect("dma into dedicated slot");
                 }
                 // The receiver's poller notices after half a poll period.
@@ -562,15 +600,15 @@ impl Cluster {
                 let Some((_, token)) = self.ingress_rbr.consume(cqe.wr_id) else {
                     return;
                 };
+                let req = req_of(&cqe.data);
                 self.pools[INGRESS_NODE]
-                    .dma_write(
+                    .dma_write_bytes(
                         &token,
-                        &cqe.data,
+                        cqe.data,
                         MoveKind::RnicDma,
                         &mut self.meters[INGRESS_NODE],
                     )
                     .expect("dma into ingress buffer");
-                let req = req_of(&cqe.data);
                 let _ = self.pools[INGRESS_NODE].free(token);
                 let consumed = self.ingress_rbr.take_consumed(TENANT);
                 self.replenish_ingress(consumed);
@@ -585,7 +623,7 @@ impl Cluster {
                 fx.at(done, Ev::GwOut { req, worker: w });
             }
             CqeKind::SendDone(_) => {
-                if let Some(token) = self.ingress_tx.remove(&cqe.wr_id.0) {
+                if let Some(token) = self.ingress_tx.remove(cqe.wr_id.0) {
                     let _ = self.pools[INGRESS_NODE].free(token);
                 }
             }
@@ -595,11 +633,17 @@ impl Cluster {
 
     fn on_fn_done(&mut self, now: Nanos, fx: &mut Effects<'_, Ev>, n: usize, desc: BufDesc) {
         // Consume the input buffer.
-        let token = self
-            .inbound_tokens
-            .remove(&(n, desc.pool.raw(), desc.buf_idx))
+        let token = self.inbound_tokens[n]
+            .remove(token_key(desc.pool, desc.buf_idx))
             .expect("inbound token tracked");
-        let req = req_of(&self.pools_read(n, desc.pool, &token));
+        let req = {
+            let data = if desc.pool.raw() >= 10 {
+                self.ded_pools[n].read(&token)
+            } else {
+                self.pools[n].read(&token)
+            };
+            req_of(data.expect("owned"))
+        };
         self.free_any(n, desc.pool, token);
 
         let st = &mut self.reqs[req as usize];
@@ -624,13 +668,12 @@ impl Cluster {
             let Ok(out) = self.pools[n].alloc(Owner::Function(f)) else {
                 return;
             };
-            self.pools[n].produce(&out, &data).expect("sized buffer");
+            self.pools[n].produce_bytes(&out, data).expect("sized buffer");
             let out_desc = self.pools[n].into_transit(out, f, to).expect("owned");
             let tok2 = self.pools[n]
                 .redeem(&out_desc, Owner::Function(to))
                 .expect("redeem local");
-            self.inbound_tokens
-                .insert((n, out_desc.pool.raw(), out_desc.buf_idx), tok2);
+            self.inbound_tokens[n].insert(token_key(out_desc.pool, out_desc.buf_idx), tok2);
             let send_done = self.on_fn_core(n, now, self.skmsg.send_cpu);
             fx.at(
                 send_done + self.skmsg.transit,
@@ -645,7 +688,7 @@ impl Cluster {
                 let Ok(out) = self.pools[n].alloc(Owner::Function(f)) else {
                     return;
                 };
-                self.pools[n].produce(&out, &data).expect("sized buffer");
+                self.pools[n].produce_bytes(&out, data).expect("sized buffer");
                 let out_desc = self.pools[n].into_transit(out, f, to).expect("owned");
                 let (transit, send_cpu) = self.fn_channel_costs();
                 let send_done = self.on_fn_core(n, now, send_cpu);
@@ -660,7 +703,9 @@ impl Cluster {
                 let Ok(out) = self.pools[n].alloc(Owner::Engine) else {
                     return;
                 };
-                self.pools[n].produce(&out, &data).expect("sized buffer");
+                self.pools[n]
+                    .produce_bytes(&out, data.clone())
+                    .expect("sized buffer");
                 let send_done = self.on_fn_core(n, now, self.skmsg.send_cpu);
                 let engine_done = self.on_engine(
                     n,
@@ -671,9 +716,7 @@ impl Cluster {
                 // Pick a dedicated slot on the destination.
                 let slot = self.ded_next[dst_node] % self.ded_pools[dst_node].capacity();
                 self.ded_next[dst_node] = self.ded_next[dst_node].wrapping_add(1);
-                let wr_id = WrId(self.fuyao_next_wr);
-                self.fuyao_next_wr += 1;
-                self.fuyao_tx[n].insert(wr_id.0, out);
+                let wr_id = WrId(self.fuyao_tx[n].insert(out));
                 self.meters[n].record(MoveKind::RnicDma, data.len() as u64);
                 let imm = pack_imm(f, to, TENANT);
                 let wr = WorkRequest::write(
@@ -733,13 +776,13 @@ impl Cluster {
                 let Ok(out) = self.pools[n].alloc(Owner::Engine) else {
                     return;
                 };
-                self.pools[n].produce(&out, &data).expect("sized buffer");
+                self.pools[n].produce_bytes(&out, data).expect("sized buffer");
                 let out_desc = self.pools[n].into_transit(out, f, to).expect("owned");
                 let tok2 = self.pools[n]
                     .redeem(&out_desc, Owner::Function(to))
                     .expect("redeem");
-                self.inbound_tokens
-                    .insert((n, out_desc.pool.raw(), out_desc.buf_idx), tok2);
+                self.inbound_tokens[n]
+                    .insert(token_key(out_desc.pool, out_desc.buf_idx), tok2);
                 fx.at(done + self.skmsg.transit, Ev::Deliver { n, desc: out_desc });
             }
         }
@@ -761,14 +804,6 @@ impl Cluster {
         fx.at(done, Ev::EngineRelease { n });
         self.meters[n].record(MoveKind::Software, bytes as u64);
         fx.at(done, Ev::RespTcpTx { req });
-    }
-
-    fn pools_read(&self, n: usize, pool: PoolId, token: &BufToken) -> Vec<u8> {
-        if pool.raw() >= 10 {
-            self.ded_pools[n].read(token).expect("owned").to_vec()
-        } else {
-            self.pools[n].read(token).expect("owned").to_vec()
-        }
     }
 
     fn free_any(&mut self, n: usize, pool: PoolId, token: BufToken) {
@@ -868,16 +903,14 @@ impl Engine for Cluster {
                     // The TCP receive path copies the payload into the
                     // registered buffer (an ingress-side copy, not worker).
                     self.pools[INGRESS_NODE]
-                        .write(&token, &data, &mut self.meters[INGRESS_NODE])
+                        .write_bytes(&token, data.clone(), &mut self.meters[INGRESS_NODE])
                         .expect("sized buffer");
-                    let wr_id = WrId(self.ingress_next_wr);
-                    self.ingress_next_wr += 1;
+                    let wr_id = WrId(self.ingress_tx.insert(token));
                     let net = self.net.as_mut().expect("palladium fabric");
                     let qpn = self
                         .ingress_conns
                         .select(net, NodeId(entry_node as u16), TENANT)
                         .expect("warm ingress connection");
-                    self.ingress_tx.insert(wr_id.0, token);
                     self.meters[INGRESS_NODE].record(MoveKind::RnicDma, data.len() as u64);
                     let imm = pack_imm(INGRESS_FN, entry, TENANT);
                     let step = net
@@ -905,15 +938,25 @@ impl Engine for Cluster {
                 }
             }
             Ev::Rdma(rdma_ev) => {
-                let step = self.net.as_mut().expect("rdma system").handle(now, rdma_ev);
-                fx.extend(step.events, Ev::Rdma);
-                for out in step.outputs {
+                // Reuse one Step across the simulation: the fabric is the
+                // dominant event source, so this path must not allocate.
+                let mut step = std::mem::take(&mut self.rdma_step);
+                step.clear();
+                self.net
+                    .as_mut()
+                    .expect("rdma system")
+                    .handle_into(now, rdma_ev, &mut step);
+                fx.extend_drain(&mut step.events, Ev::Rdma);
+                for out in step.outputs.drain(..) {
                     self.on_rdma_output(now, fx, out);
                 }
+                self.rdma_step = step;
             }
             Ev::EngineSlot { n } => {
-                let step = self.dnes[n].on_engine_slot(now);
-                self.apply_dne_step(fx, n, step);
+                let mut step = std::mem::take(&mut self.dne_fx);
+                self.dnes[n].on_engine_slot_into(now, &mut step);
+                self.apply_dne_step(fx, n, &mut step);
+                self.dne_fx = step;
             }
             Ev::PostSend { n, dst, tenant, wr } => {
                 self.meters[n].record(MoveKind::RnicDma, wr.payload.len() as u64);
@@ -922,19 +965,18 @@ impl Engine for Cluster {
                     return;
                 };
                 let step = net
-                    .post_send(now, NodeId(n as u16), qpn, wr)
+                    .post_send(now, NodeId(n as u16), qpn, *wr)
                     .expect("post dne send");
                 fx.extend(step.events, Ev::Rdma);
             }
             Ev::ApplyDma { n, token, data } => {
                 self.pools[n]
-                    .dma_write(&token, &data, MoveKind::RnicDma, &mut self.meters[n])
+                    .dma_write_bytes(&token, data, MoveKind::RnicDma, &mut self.meters[n])
                     .expect("dma into posted buffer");
                 self.pools[n]
                     .transfer(&token, Owner::Rnic, Owner::Engine)
                     .expect("rnic to engine");
-                self.inbound_tokens
-                    .insert((n, token.pool().raw(), token.idx()), token);
+                self.inbound_tokens[n].insert(token_key(token.pool(), token.idx()), token);
             }
             Ev::Deliver { n, desc } => {
                 // Charge host-side receive + function execution, then run.
@@ -954,9 +996,11 @@ impl Engine for Cluster {
                 let token = self.pools[n]
                     .redeem(&desc, Owner::Engine)
                     .expect("fn handed off buffer");
-                let data = Bytes::copy_from_slice(self.pools[n].read(&token).expect("owned"));
-                let step = self.dnes[n].submit_tx(now, desc, data, Some(token));
-                self.apply_dne_step(fx, n, step);
+                let data = self.pools[n].read_bytes(&token).expect("owned");
+                let mut step = std::mem::take(&mut self.dne_fx);
+                self.dnes[n].submit_tx_into(now, desc, data, Some(token), &mut step);
+                self.apply_dne_step(fx, n, &mut step);
+                self.dne_fx = step;
             }
             Ev::FnDone { n, desc } => {
                 self.on_fn_done(now, fx, n, desc);
@@ -996,7 +1040,7 @@ impl Engine for Cluster {
                 };
                 let data = payload_for(req, bytes);
                 self.pools[n]
-                    .write(&token, &data, &mut self.meters[n])
+                    .write_bytes(&token, data, &mut self.meters[n])
                     .expect("sized buffer");
                 let desc = self.pools[n]
                     .into_transit(token, from, to)
@@ -1004,8 +1048,7 @@ impl Engine for Cluster {
                 let tok2 = self.pools[n]
                     .redeem(&desc, Owner::Function(to))
                     .expect("redeem for fn");
-                self.inbound_tokens
-                    .insert((n, desc.pool.raw(), desc.buf_idx), tok2);
+                self.inbound_tokens[n].insert(token_key(desc.pool, desc.buf_idx), tok2);
                 fx.after(self.skmsg.transit, Ev::Deliver { n, desc });
             }
             Ev::FuyaoPickup { n, slot, imm, data } => {
@@ -1024,7 +1067,7 @@ impl Engine for Cluster {
                     return;
                 };
                 self.pools[n]
-                    .write(&token, &data, &mut self.meters[n])
+                    .write_bytes(&token, data, &mut self.meters[n])
                     .expect("receiver-side copy");
                 let desc = self.pools[n]
                     .into_transit(token, from, to)
@@ -1032,8 +1075,7 @@ impl Engine for Cluster {
                 let tok2 = self.pools[n]
                     .redeem(&desc, Owner::Function(to))
                     .expect("redeem for fn");
-                self.inbound_tokens
-                    .insert((n, desc.pool.raw(), desc.buf_idx), tok2);
+                self.inbound_tokens[n].insert(token_key(desc.pool, desc.buf_idx), tok2);
                 fx.after(self.skmsg.transit, Ev::Deliver { n, desc });
             }
             Ev::RespTcpTx { req } => {

@@ -6,22 +6,26 @@
 //! RX stage looks the WR id up to recover the buffer token; the core thread
 //! monitors per-tenant consumption counters and re-posts an equal number of
 //! fresh buffers so the RNIC never starves (which would trigger RNR NAKs).
-
-use std::collections::HashMap;
+//!
+//! WR ids are generation-checked [`Slab`] keys: the registry sits on the
+//! per-completion hot path, so resolution is an index plus a generation
+//! compare instead of a `HashMap` probe, and a stale id (a slot recycled by
+//! a newer posting) misses instead of aliasing. The per-tenant counters are
+//! dense [`IdTable`]s over the small tenant-id space.
 
 use palladium_membuf::{BufToken, TenantId};
 use palladium_rdma::WrId;
+use palladium_simnet::{IdTable, Slab};
 
 /// The DNE's receive-buffer registry for one node.
 #[derive(Debug, Default)]
 pub struct RbrTable {
-    entries: HashMap<u64, (TenantId, BufToken)>,
-    next_wr_id: u64,
+    entries: Slab<(TenantId, BufToken)>,
     /// CQEs consumed per tenant since the last replenish sweep — the shared
     /// counters the core thread reads (§3.5.2).
-    consumed: HashMap<TenantId, u64>,
+    consumed: IdTable<u64>,
     /// Buffers currently posted per tenant.
-    posted: HashMap<TenantId, u64>,
+    posted: IdTable<u64>,
 }
 
 impl RbrTable {
@@ -33,44 +37,44 @@ impl RbrTable {
     /// Record a buffer posted to the tenant's shared RQ; returns the WR id
     /// to hand to the RNIC.
     pub fn register(&mut self, tenant: TenantId, token: BufToken) -> WrId {
-        let id = self.next_wr_id;
-        self.next_wr_id += 1;
-        self.entries.insert(id, (tenant, token));
-        *self.posted.entry(tenant).or_default() += 1;
+        let id = self.entries.insert((tenant, token));
+        *self.posted.get_or_insert_with(tenant.raw() as usize, || 0) += 1;
         WrId(id)
     }
 
     /// RX stage: resolve a receive completion back to its buffer. Consumes
     /// the entry and bumps the tenant's consumption counter.
     pub fn consume(&mut self, wr_id: WrId) -> Option<(TenantId, BufToken)> {
-        let (tenant, token) = self.entries.remove(&wr_id.0)?;
-        *self.consumed.entry(tenant).or_default() += 1;
-        *self.posted.entry(tenant).or_default() =
-            self.posted.get(&tenant).copied().unwrap_or(1) - 1;
+        let (tenant, token) = self.entries.remove(wr_id.0)?;
+        *self.consumed.get_or_insert_with(tenant.raw() as usize, || 0) += 1;
+        if let Some(p) = self.posted.get_mut(tenant.raw() as usize) {
+            *p = p.saturating_sub(1);
+        }
         Some((tenant, token))
     }
 
     /// Core thread: read-and-reset a tenant's consumption counter — the
     /// number of fresh buffers to post.
     pub fn take_consumed(&mut self, tenant: TenantId) -> u64 {
-        self.consumed.remove(&tenant).unwrap_or(0)
+        self.consumed.remove(tenant.raw() as usize).unwrap_or(0)
     }
 
-    /// Tenants with outstanding consumption (need replenishment).
+    /// Tenants with outstanding consumption (need replenishment), in
+    /// ascending tenant order.
     pub fn tenants_needing_replenish(&self) -> Vec<TenantId> {
-        let mut v: Vec<TenantId> = self
-            .consumed
+        self.consumed
             .iter()
-            .filter(|(_, &n)| n > 0)
-            .map(|(t, _)| *t)
-            .collect();
-        v.sort();
-        v
+            .filter(|&(_, &n)| n > 0)
+            .map(|(t, _)| TenantId(t as u16))
+            .collect()
     }
 
     /// Buffers currently posted for a tenant.
     pub fn posted_depth(&self, tenant: TenantId) -> u64 {
-        self.posted.get(&tenant).copied().unwrap_or(0)
+        self.posted
+            .get(tenant.raw() as usize)
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Total outstanding entries.
@@ -116,6 +120,21 @@ mod tests {
         let wr = rbr.register(TenantId(1), pool.alloc(Owner::Rnic).unwrap());
         assert!(rbr.consume(wr).is_some());
         assert!(rbr.consume(wr).is_none());
+    }
+
+    #[test]
+    fn stale_wr_id_does_not_alias_recycled_slot() {
+        // The registry recycles slab slots; a WR id from a previous
+        // occupant must miss, not resolve to the new buffer.
+        let mut pool = pool();
+        let mut rbr = RbrTable::new();
+        let old = rbr.register(TenantId(1), pool.alloc(Owner::Rnic).unwrap());
+        let (_, tok) = rbr.consume(old).unwrap();
+        pool.free(tok).unwrap();
+        let fresh = rbr.register(TenantId(2), pool.alloc(Owner::Rnic).unwrap());
+        assert_ne!(old, fresh);
+        assert!(rbr.consume(old).is_none(), "stale id must miss");
+        assert!(rbr.consume(fresh).is_some());
     }
 
     #[test]

@@ -10,15 +10,22 @@
 use std::collections::HashMap;
 
 use palladium_membuf::{FnId, NodeId, TenantId};
+use palladium_simnet::IdTable;
 
 /// One node's view of the routing state.
+///
+/// Both tables are dense [`IdTable`]s indexed by the raw function id: the
+/// DNE consults `node_of` for every TX descriptor and the I/O library
+/// consults `is_local` for every hand-off, so a route query is an index —
+/// not a hash — on the hot path. The control-plane [`Coordinator`] keeps
+/// the sparse authoritative map and materializes these per node.
 #[derive(Debug, Default, Clone)]
 pub struct RouteTables {
-    /// Functions running on this node.
-    local: HashMap<FnId, TenantId>,
+    /// Functions running on this node (fn → owning tenant).
+    local: IdTable<TenantId>,
     /// Function → node for every function in the cluster (inter-node table,
     /// kept on the DPU for the DNE's TX stage).
-    global: HashMap<FnId, NodeId>,
+    global: IdTable<NodeId>,
 }
 
 impl RouteTables {
@@ -29,25 +36,26 @@ impl RouteTables {
 
     /// Is `f` deployed on this node? (The I/O library's first routing
     /// query, Fig 7 "route query".)
+    #[inline]
     pub fn is_local(&self, f: FnId) -> bool {
-        self.local.contains_key(&f)
+        self.local.contains(f.raw() as usize)
     }
 
     /// Node hosting `f`, from the inter-node table.
+    #[inline]
     pub fn node_of(&self, f: FnId) -> Option<NodeId> {
-        self.global.get(&f).copied()
+        self.global.get(f.raw() as usize).copied()
     }
 
     /// Tenant of a locally deployed function.
+    #[inline]
     pub fn local_tenant(&self, f: FnId) -> Option<TenantId> {
-        self.local.get(&f).copied()
+        self.local.get(f.raw() as usize).copied()
     }
 
-    /// Locally deployed functions, sorted for determinism.
+    /// Locally deployed functions, in ascending id order.
     pub fn local_functions(&self) -> Vec<FnId> {
-        let mut v: Vec<FnId> = self.local.keys().copied().collect();
-        v.sort();
-        v
+        self.local.iter().map(|(f, _)| FnId(f as u16)).collect()
     }
 }
 
@@ -105,9 +113,9 @@ impl Coordinator {
     pub fn tables_for(&self, node: NodeId) -> RouteTables {
         let mut t = RouteTables::new();
         for (&f, &(tenant, n)) in &self.placements {
-            t.global.insert(f, n);
+            t.global.insert(f.raw() as usize, n);
             if n == node {
-                t.local.insert(f, tenant);
+                t.local.insert(f.raw() as usize, tenant);
             }
         }
         t

@@ -18,6 +18,8 @@
 
 use std::fmt;
 
+use bytes::Bytes;
+
 use crate::desc::BufDesc;
 use crate::ids::{FnId, Owner, PoolId, TenantId};
 use crate::meter::{CopyMeter, MoveKind};
@@ -85,6 +87,12 @@ struct Slot {
     gen: u32,
     owner: Owner,
     len: u32,
+    /// The buffer's current payload as a refcounted handle. Copies into
+    /// the pool are *metered* (that is the simulation semantics); the
+    /// content itself travels as a cheap handle, so the data plane moves
+    /// no payload bytes — the same zero-copy discipline the reproduction
+    /// models.
+    content: Bytes,
 }
 
 /// Statistics a pool keeps about itself.
@@ -100,12 +108,14 @@ pub struct PoolStats {
     pub max_in_use: u32,
 }
 
-/// A fixed-size pool of equal-size buffers with real backing storage.
+/// A fixed-size pool of equal-size buffers. The reserved region's *size*
+/// models the up-front hugepage reservation (MR registration / MTT sizing
+/// read it); payload content rides per-buffer [`Bytes`] handles.
 pub struct UnifiedPool {
     id: PoolId,
     tenant: TenantId,
     buf_size: u32,
-    data: Vec<u8>,
+    n_bufs: u32,
     slots: Vec<Slot>,
     free: Vec<u32>,
     stats: PoolStats,
@@ -121,12 +131,13 @@ impl UnifiedPool {
             id,
             tenant,
             buf_size,
-            data: vec![0u8; n_bufs as usize * buf_size as usize],
+            n_bufs,
             slots: (0..n_bufs)
                 .map(|_| Slot {
                     gen: 0,
                     owner: Owner::Free,
                     len: 0,
+                    content: Bytes::new(),
                 })
                 .collect(),
             // LIFO free list: most-recently-freed first for cache warmth,
@@ -173,7 +184,7 @@ impl UnifiedPool {
 
     /// Total backing bytes (for MR registration / MTT sizing).
     pub fn backing_len(&self) -> u64 {
-        self.data.len() as u64
+        self.n_bufs as u64 * self.buf_size as u64
     }
 
     /// Allocate one buffer for `owner`. O(1): pops the free list — the
@@ -236,6 +247,18 @@ impl UnifiedPool {
         payload: &[u8],
         meter: &mut CopyMeter,
     ) -> Result<(), PoolError> {
+        self.fill(tok, Bytes::copy_from_slice(payload), MoveKind::Software, meter)
+    }
+
+    /// [`UnifiedPool::write`] taking an owned handle: the copy is metered
+    /// identically, but the content transfers by refcount — no payload
+    /// bytes move on the simulator's hot path.
+    pub fn write_bytes(
+        &mut self,
+        tok: &BufToken,
+        payload: Bytes,
+        meter: &mut CopyMeter,
+    ) -> Result<(), PoolError> {
         self.fill(tok, payload, MoveKind::Software, meter)
     }
 
@@ -251,13 +274,29 @@ impl UnifiedPool {
             !matches!(kind, MoveKind::Software),
             "use write() for software copies"
         );
+        self.fill(tok, Bytes::copy_from_slice(payload), kind, meter)
+    }
+
+    /// [`UnifiedPool::dma_write`] taking an owned handle (see
+    /// [`UnifiedPool::write_bytes`]).
+    pub fn dma_write_bytes(
+        &mut self,
+        tok: &BufToken,
+        payload: Bytes,
+        kind: MoveKind,
+        meter: &mut CopyMeter,
+    ) -> Result<(), PoolError> {
+        debug_assert!(
+            !matches!(kind, MoveKind::Software),
+            "use write_bytes() for software copies"
+        );
         self.fill(tok, payload, kind, meter)
     }
 
     fn fill(
         &mut self,
         tok: &BufToken,
-        payload: &[u8],
+        payload: Bytes,
         kind: MoveKind,
         meter: &mut CopyMeter,
     ) -> Result<(), PoolError> {
@@ -269,10 +308,9 @@ impl UnifiedPool {
         if !slot.owner.can_access() {
             return Err(PoolError::BadOwner { found: slot.owner });
         }
-        let base = idx * self.buf_size as usize;
-        self.data[base..base + payload.len()].copy_from_slice(payload);
         slot.len = payload.len() as u32;
         meter.record(kind, payload.len() as u64);
+        slot.content = payload;
         Ok(())
     }
 
@@ -282,6 +320,12 @@ impl UnifiedPool {
     /// (the paper's zero-copy definition concerns copies introduced by the
     /// data plane, not the application computing its result).
     pub fn produce(&mut self, tok: &BufToken, payload: &[u8]) -> Result<(), PoolError> {
+        self.produce_bytes(tok, Bytes::copy_from_slice(payload))
+    }
+
+    /// [`UnifiedPool::produce`] taking an owned handle (see
+    /// [`UnifiedPool::write_bytes`]).
+    pub fn produce_bytes(&mut self, tok: &BufToken, payload: Bytes) -> Result<(), PoolError> {
         let mut scratch = CopyMeter::new();
         self.fill(tok, payload, MoveKind::Software, &mut scratch)
     }
@@ -294,7 +338,14 @@ impl UnifiedPool {
         if len > self.buf_size {
             return Err(PoolError::TooLarge);
         }
-        self.slots[idx].len = len;
+        let slot = &mut self.slots[idx];
+        if (slot.content.len() as u32) < len {
+            // Extend with zeroes past the current content, preserving the
+            // written prefix — matching the zero-initialized backing
+            // region's semantics.
+            slot.content = Bytes::zeroed_with_prefix(len as usize, &slot.content);
+        }
+        slot.len = len;
         Ok(())
     }
 
@@ -305,8 +356,21 @@ impl UnifiedPool {
         if !slot.owner.can_access() {
             return Err(PoolError::BadOwner { found: slot.owner });
         }
-        let base = idx * self.buf_size as usize;
-        Ok(&self.data[base..base + slot.len as usize])
+        Ok(&slot.content[..slot.len as usize])
+    }
+
+    /// Snapshot a buffer's payload as a cheap refcounted handle — the
+    /// zero-copy way for the engine to capture "the RNIC's view" of a
+    /// pinned buffer (the handle stays valid and immutable even if the
+    /// buffer is later recycled, which is exactly the pinned-until-
+    /// completion guarantee).
+    pub fn read_bytes(&self, tok: &BufToken) -> Result<Bytes, PoolError> {
+        let idx = self.check(tok)?;
+        let slot = &self.slots[idx];
+        if !slot.owner.can_access() {
+            return Err(PoolError::BadOwner { found: slot.owner });
+        }
+        Ok(slot.content.slice(..slot.len as usize))
     }
 
     /// Valid payload length.

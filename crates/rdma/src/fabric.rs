@@ -8,7 +8,7 @@ use bytes::Bytes;
 
 use palladium_membuf::NodeId;
 
-use crate::verbs::{Qpn, WorkRequest, WrId};
+use crate::verbs::{OpKind, Qpn, RemoteAddr, WrId};
 
 /// A frame in flight between two RNICs.
 #[derive(Clone, Debug)]
@@ -29,14 +29,31 @@ pub struct Packet {
 }
 
 /// Frame contents.
+///
+/// `Data` frames carry the work-request fields flattened, with the payload
+/// as a refcounted [`Bytes`] handle: building a frame (including every
+/// go-back-N retransmission) bumps one refcount instead of cloning a
+/// `WorkRequest`, and receivers destructure the fields they need without
+/// re-materializing one.
 #[derive(Clone, Debug)]
 pub enum PacketKind {
     /// A data-bearing message (SEND / WRITE / READ request) with its PSN.
     Data {
         /// Sequence number within the connection.
         psn: u64,
-        /// The work request (payload travels with it).
-        wr: WorkRequest,
+        /// Poster-chosen id (echoed in completions; READ responses carry
+        /// it back).
+        wr_id: WrId,
+        /// Operation kind.
+        op: OpKind,
+        /// Payload handle for SEND/WRITE (empty for READ requests).
+        payload: Bytes,
+        /// Remote address for one-sided operations.
+        remote: Option<RemoteAddr>,
+        /// Bytes to fetch for READ.
+        read_len: u32,
+        /// Application immediate data.
+        imm: u64,
     },
     /// Cumulative acknowledgement of every PSN `<= upto`.
     Ack {
@@ -69,7 +86,14 @@ impl Packet {
     /// Wire size of this frame in bytes, given the per-message header size.
     pub fn wire_bytes(&self, header_bytes: u64, ack_bytes: u64) -> u64 {
         match &self.kind {
-            PacketKind::Data { wr, .. } => header_bytes + wr.wire_payload_len(),
+            PacketKind::Data { op, payload, .. } => {
+                // The request itself is header-only for READ.
+                let body = match op {
+                    OpKind::Read => 0,
+                    OpKind::Send | OpKind::Write => payload.len() as u64,
+                };
+                header_bytes + body
+            }
             PacketKind::Ack { .. } | PacketKind::Nak { .. } | PacketKind::RnrNak { .. } => {
                 ack_bytes
             }
@@ -89,7 +113,6 @@ impl Packet {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::verbs::WorkRequest;
 
     #[test]
     fn wire_sizes() {
@@ -100,7 +123,12 @@ mod tests {
             dst_qpn: Qpn(2),
             kind: PacketKind::Data {
                 psn: 0,
-                wr: WorkRequest::send(WrId(1), Bytes::from(vec![0u8; 4096]), 0),
+                wr_id: WrId(1),
+                op: OpKind::Send,
+                payload: Bytes::from(vec![0u8; 4096]),
+                remote: None,
+                read_len: 0,
+                imm: 0,
             },
             corrupted: false,
         };

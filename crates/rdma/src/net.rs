@@ -15,17 +15,15 @@
 //! CRC check and recovered the same way. READ responses are modelled as
 //! reliable (documented deviation — no Palladium experiment exercises READ).
 
-use std::collections::HashMap;
-
 use bytes::Bytes;
 
 use palladium_membuf::{MmapExport, NodeId, TenantId};
-use palladium_simnet::{Counters, FaultPlan, Nanos, SimRng, Timed, Verdict};
+use palladium_simnet::{Counters, FaultPlan, Nanos, SimRng, Slab, Timed, Verdict};
 
 use crate::config::RdmaConfig;
 use crate::fabric::{Packet, PacketKind};
 use crate::mr::MrKey;
-use crate::qp::RxDecision;
+use crate::qp::{Inflight, RxDecision};
 use crate::rnic::{Rnic, RnicError, RqEntry};
 use crate::verbs::{Cqe, CqeKind, CqeStatus, OpKind, Qpn, RemoteAddr, WorkRequest, WrId};
 
@@ -42,13 +40,15 @@ pub enum RdmaEvent {
     },
     /// A frame reaches the destination NIC (pre fault-injection).
     Arrive {
-        /// The frame.
-        pkt: Packet,
+        /// The frame (boxed: one allocation per transmission keeps the
+        /// event enum — which traverses the driver queue several times per
+        /// frame — a few pointer-sized words instead of ~100 bytes).
+        pkt: Box<Packet>,
     },
     /// The destination NIC finished receive processing of a frame.
     RxDone {
-        /// The frame.
-        pkt: Packet,
+        /// The frame (same box the `Arrive` carried).
+        pkt: Box<Packet>,
     },
     /// Retransmission-timeout check.
     RtoCheck {
@@ -162,6 +162,14 @@ impl Step {
         self.events.extend(other.events);
         self.outputs.extend(other.outputs);
     }
+
+    /// Empty both lists, keeping their capacity — drivers reuse one `Step`
+    /// across [`RdmaNet::handle_into`] calls so steady-state stepping
+    /// allocates nothing.
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.outputs.clear();
+    }
 }
 
 struct ReadCtx {
@@ -182,8 +190,20 @@ pub struct RdmaNet {
     /// Fabric-wide protocol counters: `drop`, `corrupt`, `crc_drop`,
     /// `nak_rewind`, `rnr_nak`, `rto`, `delivered`, `acks`.
     pub counters: Counters,
-    reads: HashMap<u64, ReadCtx>,
-    next_read_handle: u64,
+    /// Outstanding one-sided READs, keyed by generation-checked slab
+    /// handles (handles are handed to the driver and come back via
+    /// [`RdmaNet::complete_read`]; slots recycle, generations catch stale
+    /// handles).
+    reads: Slab<ReadCtx>,
+    /// Scratch for cumulative-ACK retirement (one use per ACK frame).
+    ack_scratch: Vec<Inflight>,
+    /// Scratch for a transmit window's frames (one use per TX kick).
+    frame_scratch: Vec<PacketKind>,
+    /// Recycled frame boxes: one box travels doorbell→arrive→rx-done per
+    /// transmission, so reusing them removes an alloc/free pair per frame.
+    /// The boxes themselves are the point (they ride inside [`RdmaEvent`]).
+    #[allow(clippy::vec_box)]
+    pkt_boxes: Vec<Box<Packet>>,
 }
 
 impl RdmaNet {
@@ -195,8 +215,10 @@ impl RdmaNet {
             fault: FaultPlan::NONE,
             rng: SimRng::seed_from(seed),
             counters: Counters::new(),
-            reads: HashMap::new(),
-            next_read_handle: 0,
+            reads: Slab::new(),
+            ack_scratch: Vec::new(),
+            frame_scratch: Vec::new(),
+            pkt_boxes: Vec::new(),
         }
     }
 
@@ -285,7 +307,7 @@ impl RdmaNet {
     /// Answer a `ReadRequested` output with the fetched bytes.
     pub fn complete_read(&mut self, now: Nanos, handle: u64, data: Bytes) -> Step {
         let mut step = Step::default();
-        let Some(ctx) = self.reads.remove(&handle) else {
+        let Some(ctx) = self.reads.remove(handle) else {
             return step;
         };
         let pkt = Packet {
@@ -320,7 +342,14 @@ impl RdmaNet {
         let done = egress.submit(now, service);
         egress.complete();
         let prop = self.cfg.propagation;
-        step.push_event(done - now + prop, RdmaEvent::Arrive { pkt });
+        let boxed = match self.pkt_boxes.pop() {
+            Some(mut b) => {
+                *b = pkt;
+                b
+            }
+            None => Box::new(pkt),
+        };
+        step.push_event(done - now + prop, RdmaEvent::Arrive { pkt: boxed });
     }
 
     /// Emit a control frame from `from` back to `to`.
@@ -346,47 +375,59 @@ impl RdmaNet {
         self.transmit(now, pkt, step);
     }
 
-    /// Arm (or re-arm) the retransmission timer for a QP.
+    /// Arm the retransmission timer for a QP. A timer already in flight is
+    /// left alone: when it fires it re-evaluates against the oldest
+    /// inflight transmission and reschedules itself, so one outstanding
+    /// timer event per QP suffices (re-arming per transmission, as the
+    /// seed did, only manufactures stale no-op events).
     fn arm_rto(&mut self, node: NodeId, qpn: Qpn, step: &mut Step) {
         let rto = self.cfg.rto;
         let Ok(qp) = self.rnic_mut(node).qp_mut(qpn) else {
             return;
         };
-        if qp.inflight_depth() == 0 {
+        if qp.inflight_depth() == 0 || qp.rto_pending {
             return;
         }
         qp.rto_epoch += 1;
+        qp.rto_pending = true;
         let epoch = qp.rto_epoch;
         step.push_event(rto, RdmaEvent::RtoCheck { node, qpn, epoch });
     }
 
-    /// Drain the QP's transmit window onto the wire.
+    /// Drain the QP's transmit window onto the wire. Each launch (first
+    /// transmission or go-back-N resend) builds its frame via
+    /// [`Inflight::frame`], which clones only the payload `Bytes` handle —
+    /// the `WorkRequest` itself stays in the inflight queue uncloned.
     fn tx_kick(&mut self, now: Nanos, node: NodeId, qpn: Qpn, step: &mut Step) {
         let window = self.cfg.send_window;
         let mut launched = false;
-        loop {
-            let (psn, wr, peer_node, peer_qpn) = {
-                let Ok(qp) = self.rnic_mut(node).qp_mut(qpn) else {
-                    return;
-                };
-                let peer_node = qp.peer_node;
-                let peer_qpn = qp.peer_qpn;
-                match qp.next_transmit(now, window) {
-                    Some(m) => (m.psn, m.wr.clone(), peer_node, peer_qpn),
-                    None => break,
-                }
+        // Borrow the QP once, collect the window's frames, then transmit
+        // (transmitting needs the egress server, i.e. `&mut self`).
+        let mut frames = std::mem::take(&mut self.frame_scratch);
+        let (peer_node, peer_qpn) = {
+            let Ok(qp) = self.rnic_mut(node).qp_mut(qpn) else {
+                self.frame_scratch = frames;
+                return;
             };
+            let peer = (qp.peer_node, qp.peer_qpn);
+            while let Some(m) = qp.next_transmit(now, window) {
+                frames.push(m.frame());
+            }
+            peer
+        };
+        for kind in frames.drain(..) {
             launched = true;
             let pkt = Packet {
                 src: node,
                 dst: peer_node,
                 src_qpn: qpn,
                 dst_qpn: peer_qpn,
-                kind: PacketKind::Data { psn, wr },
+                kind,
                 corrupted: false,
             };
             self.transmit(now, pkt, step);
         }
+        self.frame_scratch = frames;
         if launched {
             self.arm_rto(node, qpn, step);
         }
@@ -397,19 +438,22 @@ impl RdmaNet {
     /// data arrival instead). Resets the retry budget on progress.
     fn retire_acked(&mut self, node: NodeId, qpn: Qpn, upto: u64, step: &mut Step) {
         self.counters.inc("ack_rx");
-        let (retired, tenant, peer) = {
+        let mut retired = std::mem::take(&mut self.ack_scratch);
+        retired.clear();
+        let (tenant, peer) = {
             let Ok(qp) = self.rnic_mut(node).qp_mut(qpn) else {
+                self.ack_scratch = retired;
                 return;
             };
-            let retired = qp.on_ack(upto);
+            qp.on_ack_into(upto, &mut retired);
             if qp.inflight_depth() == 0 {
                 qp.rto_epoch += 1; // disarm timers
             }
-            (retired, qp.tenant, qp.peer_node)
+            (qp.tenant, qp.peer_node)
         };
         self.counters.add("ack_retired", retired.len() as u64);
         let mut any = false;
-        for msg in retired {
+        for msg in retired.drain(..) {
             // READ completes on data arrival, not on request-ack.
             if msg.wr.op == OpKind::Read {
                 continue;
@@ -430,6 +474,7 @@ impl RdmaNet {
         if any {
             step.outputs.push(RdmaOutput::CqReady { node });
         }
+        self.ack_scratch = retired;
     }
 
     /// Fail a QP terminally: flush all queued work with error completions.
@@ -461,9 +506,17 @@ impl RdmaNet {
     /// Advance the sub-simulator by one event.
     pub fn handle(&mut self, now: Nanos, ev: RdmaEvent) -> Step {
         let mut step = Step::default();
+        self.handle_into(now, ev, &mut step);
+        step
+    }
+
+    /// [`RdmaNet::handle`] appending into a caller-owned [`Step`]: drivers
+    /// keep one `Step` (cleared between events) so the fabric's per-event
+    /// processing performs no allocation in steady state.
+    pub fn handle_into(&mut self, now: Nanos, ev: RdmaEvent, step: &mut Step) {
         match ev {
             RdmaEvent::TxKick { node, qpn } => {
-                self.tx_kick(now, node, qpn, &mut step);
+                self.tx_kick(now, node, qpn, step);
             }
             RdmaEvent::Arrive { mut pkt } => {
                 // Fault injection at the destination port. READ responses
@@ -473,7 +526,7 @@ impl RdmaNet {
                     match self.fault.judge(now, &mut self.rng) {
                         Verdict::Drop => {
                             self.counters.inc("drop");
-                            return step;
+                            return;
                         }
                         Verdict::Corrupt => {
                             self.counters.inc("corrupt");
@@ -483,19 +536,18 @@ impl RdmaNet {
                     }
                 }
                 let extra = self.fault.extra_delay(now, &mut self.rng);
-                let bytes = pkt.wire_bytes(self.cfg.header_bytes, self.cfg.ack_bytes);
                 let service = if pkt.is_control() {
                     Nanos::from_nanos(150)
                 } else {
                     let payload = match &pkt.kind {
-                        PacketKind::Data { wr, .. } => wr.wire_payload_len(),
+                        PacketKind::Data { op: OpKind::Read, .. } => 0,
+                        PacketKind::Data { payload, .. } => payload.len() as u64,
                         PacketKind::ReadResp { data, .. } => data.len() as u64,
                         _ => 0,
                     };
                     let dma = Nanos((payload as f64 * self.cfg.per_byte_ns).round() as u64);
                     self.cfg.rx_pipeline + dma
                 };
-                let _ = bytes;
                 let rx = &mut self.rnic_mut(pkt.dst).rx_engine;
                 let done = rx.submit(now + extra, service);
                 rx.complete();
@@ -504,15 +556,16 @@ impl RdmaNet {
             RdmaEvent::RxDone { pkt } => {
                 if pkt.corrupted {
                     self.counters.inc("crc_drop");
-                    return step;
+                    return;
                 }
-                self.rx_done(now, pkt, &mut step);
+                self.rx_done(now, pkt, step);
             }
             RdmaEvent::RtoCheck { node, qpn, epoch } => {
                 let (stale, expired) = {
                     let Ok(qp) = self.rnic_mut(node).qp_mut(qpn) else {
-                        return step;
+                        return;
                     };
+                    qp.rto_pending = false;
                     let stale = qp.rto_epoch != epoch || qp.inflight_depth() == 0;
                     let expired = qp
                         .oldest_inflight_at()
@@ -521,7 +574,13 @@ impl RdmaNet {
                     (stale, expired)
                 };
                 if stale {
-                    return step;
+                    // The timer may be stale only because retirement bumped
+                    // the epoch while newer transmissions were already
+                    // inflight (`arm_rto` skips re-arming while a check is
+                    // pending) — restore coverage before retiring this
+                    // event. `arm_rto` is a no-op when nothing is inflight.
+                    self.arm_rto(node, qpn, step);
+                    return;
                 }
                 if expired {
                     self.counters.inc("rto");
@@ -532,15 +591,16 @@ impl RdmaNet {
                         qp.retries > self.cfg.retry_limit
                     };
                     if over_limit {
-                        self.fail_qp(node, qpn, CqeStatus::RetryExceeded, &mut step);
+                        self.fail_qp(node, qpn, CqeStatus::RetryExceeded, step);
                     } else {
-                        self.tx_kick(now, node, qpn, &mut step);
+                        self.tx_kick(now, node, qpn, step);
                     }
                 } else {
                     // Not yet expired: re-check when the oldest would expire.
                     let rto = self.cfg.rto;
                     let (next_at, epoch) = {
                         let qp = self.rnic_mut(node).qp_mut(qpn).expect("checked above");
+                        qp.rto_pending = true;
                         (
                             qp.oldest_inflight_at().expect("inflight nonempty") + rto,
                             qp.rto_epoch,
@@ -553,7 +613,7 @@ impl RdmaNet {
                 if let Ok(qp) = self.rnic_mut(node).qp_mut(qpn) {
                     qp.rnr_paused = false;
                 }
-                self.tx_kick(now, node, qpn, &mut step);
+                self.tx_kick(now, node, qpn, step);
             }
             RdmaEvent::ConnectDone { a, qa, b, qb } => {
                 let tenant = {
@@ -568,27 +628,41 @@ impl RdmaNet {
                 step.push_event(Nanos::ZERO, RdmaEvent::TxKick { node: b, qpn: qb });
             }
         }
-        step
     }
 
-    fn rx_done(&mut self, now: Nanos, pkt: Packet, step: &mut Step) {
-        match pkt.kind.clone() {
-            PacketKind::Data { psn, wr } => {
-                let dst = pkt.dst;
+    fn rx_done(&mut self, now: Nanos, mut pkt: Box<Packet>, step: &mut Step) {
+        // Take the frame contents out of the box (the payload handle moves
+        // into the CQE / output it feeds — no per-frame clone) and recycle
+        // the box for a future transmission.
+        let (src, dst, src_qpn, dst_qpn) = (pkt.src, pkt.dst, pkt.src_qpn, pkt.dst_qpn);
+        let kind = std::mem::replace(&mut pkt.kind, PacketKind::Ack { upto: 0 });
+        if self.pkt_boxes.len() < 1024 {
+            self.pkt_boxes.push(pkt);
+        }
+        match kind {
+            PacketKind::Data {
+                psn,
+                wr_id,
+                op,
+                payload,
+                remote,
+                read_len,
+                imm,
+            } => {
                 let (decision, tenant) = {
                     let rnic = self.rnic_mut(dst);
-                    let tenant = match rnic.qp(pkt.dst_qpn) {
+                    let tenant = match rnic.qp(dst_qpn) {
                         Ok(qp) => qp.tenant,
                         Err(_) => return,
                     };
                     let rq_avail = rnic.rq_available(tenant);
-                    let qp = rnic.qp_mut(pkt.dst_qpn).expect("checked above");
-                    (qp.classify_rx(psn, wr.op, rq_avail), tenant)
+                    let qp = rnic.qp_mut(dst_qpn).expect("checked above");
+                    (qp.classify_rx(psn, op, rq_avail), tenant)
                 };
                 match decision {
                     RxDecision::Deliver => {
                         self.counters.inc("delivered");
-                        match wr.op {
+                        match op {
                             OpKind::Send => {
                                 let entry = self
                                     .rnic_mut(dst)
@@ -598,11 +672,11 @@ impl RdmaNet {
                                     wr_id: entry.wr_id,
                                     kind: CqeKind::Recv,
                                     status: CqeStatus::Success,
-                                    qpn: pkt.dst_qpn,
+                                    qpn: dst_qpn,
                                     tenant,
-                                    peer: pkt.src,
-                                    data: wr.payload.clone(),
-                                    imm: wr.imm,
+                                    peer: src,
+                                    data: payload,
+                                    imm,
                                 };
                                 self.rnic_mut(dst).push_cqe(cqe);
                                 step.outputs.push(RdmaOutput::CqReady { node: dst });
@@ -610,30 +684,25 @@ impl RdmaNet {
                             OpKind::Write => {
                                 step.outputs.push(RdmaOutput::WriteDelivered {
                                     node: dst,
-                                    addr: wr.remote.expect("write carries remote addr"),
-                                    data: wr.payload.clone(),
-                                    imm: wr.imm,
+                                    addr: remote.expect("write carries remote addr"),
+                                    data: payload,
+                                    imm,
                                     tenant,
                                 });
                             }
                             OpKind::Read => {
-                                let handle = self.next_read_handle;
-                                self.next_read_handle += 1;
-                                self.reads.insert(
-                                    handle,
-                                    ReadCtx {
-                                        requester: pkt.src,
-                                        requester_qpn: pkt.src_qpn,
-                                        responder: dst,
-                                        responder_qpn: pkt.dst_qpn,
-                                        wr_id: wr.wr_id,
-                                        orig_psn: psn,
-                                    },
-                                );
+                                let handle = self.reads.insert(ReadCtx {
+                                    requester: src,
+                                    requester_qpn: src_qpn,
+                                    responder: dst,
+                                    responder_qpn: dst_qpn,
+                                    wr_id,
+                                    orig_psn: psn,
+                                });
                                 step.outputs.push(RdmaOutput::ReadRequested {
                                     node: dst,
-                                    addr: wr.remote.expect("read carries remote addr"),
-                                    len: wr.read_len,
+                                    addr: remote.expect("read carries remote addr"),
+                                    len: read_len,
                                     handle,
                                 });
                             }
@@ -642,9 +711,9 @@ impl RdmaNet {
                         self.send_control(
                             now,
                             dst,
-                            pkt.dst_qpn,
-                            pkt.src,
-                            pkt.src_qpn,
+                            dst_qpn,
+                            src,
+                            src_qpn,
                             PacketKind::Ack { upto: psn },
                             step,
                         );
@@ -652,7 +721,7 @@ impl RdmaNet {
                     RxDecision::DuplicateAck => {
                         let upto = self
                             .rnic(dst)
-                            .qp(pkt.dst_qpn)
+                            .qp(dst_qpn)
                             .ok()
                             .and_then(|q| q.last_delivered_psn())
                             .unwrap_or(0);
@@ -660,9 +729,9 @@ impl RdmaNet {
                         self.send_control(
                             now,
                             dst,
-                            pkt.dst_qpn,
-                            pkt.src,
-                            pkt.src_qpn,
+                            dst_qpn,
+                            src,
+                            src_qpn,
                             PacketKind::Ack { upto },
                             step,
                         );
@@ -678,9 +747,9 @@ impl RdmaNet {
                         self.send_control(
                             now,
                             dst,
-                            pkt.dst_qpn,
-                            pkt.src,
-                            pkt.src_qpn,
+                            dst_qpn,
+                            src,
+                            src_qpn,
                             PacketKind::Nak { expected },
                             step,
                         );
@@ -691,9 +760,9 @@ impl RdmaNet {
                         self.send_control(
                             now,
                             dst,
-                            pkt.dst_qpn,
-                            pkt.src,
-                            pkt.src_qpn,
+                            dst_qpn,
+                            src,
+                            src_qpn,
                             PacketKind::RnrNak { psn },
                             step,
                         );
@@ -701,15 +770,15 @@ impl RdmaNet {
                 }
             }
             PacketKind::Ack { upto } => {
-                let node = pkt.dst;
-                let qpn = pkt.dst_qpn;
+                let node = dst;
+                let qpn = dst_qpn;
                 self.retire_acked(node, qpn, upto, step);
                 // Window may have opened.
                 self.tx_kick(now, node, qpn, step);
             }
             PacketKind::Nak { expected } => {
-                let node = pkt.dst;
-                let qpn = pkt.dst_qpn;
+                let node = dst;
+                let qpn = dst_qpn;
                 // A NAK for `expected` is an implicit cumulative ACK of
                 // everything before it: the receiver delivered the prefix.
                 if let Some(upto) = expected.checked_sub(1) {
@@ -737,8 +806,8 @@ impl RdmaNet {
                 }
             }
             PacketKind::RnrNak { psn } => {
-                let node = pkt.dst;
-                let qpn = pkt.dst_qpn;
+                let node = dst;
+                let qpn = dst_qpn;
                 // Everything before the RNR'd SEND was delivered.
                 if let Some(upto) = psn.checked_sub(1) {
                     self.retire_acked(node, qpn, upto, step);
@@ -765,9 +834,9 @@ impl RdmaNet {
                 }
             }
             PacketKind::ReadResp { wr_id, orig_psn: _, data } => {
-                let node = pkt.dst;
+                let node = dst;
                 let (tenant, peer) = {
-                    let Ok(qp) = self.rnic(node).qp(pkt.dst_qpn) else {
+                    let Ok(qp) = self.rnic(node).qp(dst_qpn) else {
                         return;
                     };
                     (qp.tenant, qp.peer_node)
@@ -776,7 +845,7 @@ impl RdmaNet {
                     wr_id,
                     kind: CqeKind::ReadData,
                     status: CqeStatus::Success,
-                    qpn: pkt.dst_qpn,
+                    qpn: dst_qpn,
                     tenant,
                     peer,
                     data,
@@ -1115,6 +1184,70 @@ mod tests {
             last_delivery < single * 8,
             "16 pipelined messages delivered by {last_delivery}, single is {single}"
         );
+    }
+
+    #[test]
+    fn rto_recovers_after_stale_timer_with_new_inflight() {
+        // Regression: with a single outstanding RTO timer per QP, a timer
+        // left pending across a full inflight drain goes stale; when it
+        // fires it must re-arm if newer transmissions are inflight,
+        // otherwise a tail loss on those is never retransmitted.
+        let (mut net, qa, _) = two_node_net();
+        post_rq(&mut net, NodeId(1), 4);
+        let mut sim = Sim::new();
+        let step = net
+            .post_send(sim.now(), NodeId(0), qa, WorkRequest::send(WrId(1), Bytes::from_static(b"a"), 1))
+            .unwrap();
+        for t in step.events {
+            sim.schedule(t.after, t.value);
+        }
+        // Run until WR1 hits the wire and its ACK retires it — the armed
+        // RtoCheck stays queued.
+        let mut seen_inflight = false;
+        loop {
+            let depth = net.rnic(NodeId(0)).qp(qa).unwrap().inflight_depth();
+            seen_inflight |= depth > 0;
+            if seen_inflight && depth == 0 {
+                break;
+            }
+            let (now, ev) = sim.next().expect("ack in flight");
+            let s = net.handle(now, ev);
+            for t in s.events {
+                sim.schedule(t.after, t.value);
+            }
+        }
+        // WR2: arm_rto is skipped (a timer is pending), then its only data
+        // frame is lost in flight (simulated tail loss).
+        let step = net
+            .post_send(sim.now(), NodeId(0), qa, WorkRequest::send(WrId(2), Bytes::from_static(b"b"), 2))
+            .unwrap();
+        for t in step.events {
+            sim.schedule(t.after, t.value);
+        }
+        let mut dropped = false;
+        while let Some((now, ev)) = sim.next() {
+            if !dropped {
+                if let RdmaEvent::Arrive { pkt } = &ev {
+                    if matches!(pkt.kind, PacketKind::Data { .. }) {
+                        dropped = true;
+                        continue; // frame lost on the wire
+                    }
+                }
+            }
+            let s = net.handle(now, ev);
+            for t in s.events {
+                sim.schedule(t.after, t.value);
+            }
+            assert!(sim.events_fired() < 100_000, "runaway simulation");
+        }
+        let recvs: Vec<u64> = net
+            .poll_cq(NodeId(1), 16)
+            .iter()
+            .filter(|c| c.kind == CqeKind::Recv)
+            .map(|c| c.imm)
+            .collect();
+        assert_eq!(recvs, vec![1, 2], "tail loss must be recovered by RTO");
+        assert!(net.counters.get("rto") >= 1, "recovery must come from the RTO path");
     }
 
     #[test]

@@ -22,6 +22,7 @@ use std::collections::VecDeque;
 use palladium_membuf::{NodeId, TenantId};
 use palladium_simnet::Nanos;
 
+use crate::fabric::PacketKind;
 use crate::verbs::{OpKind, QpState, Qpn, WorkRequest};
 
 /// A transmitted-but-unacked message.
@@ -33,6 +34,24 @@ pub struct Inflight {
     pub wr: WorkRequest,
     /// Last transmission time (for RTO).
     pub sent_at: Nanos,
+}
+
+impl Inflight {
+    /// Build the wire frame for this message. Go-back-N retransmits the
+    /// same message many times under loss; this clones only the refcounted
+    /// payload handle — never the payload bytes, never the whole
+    /// [`WorkRequest`].
+    pub fn frame(&self) -> PacketKind {
+        PacketKind::Data {
+            psn: self.psn,
+            wr_id: self.wr.wr_id,
+            op: self.wr.op,
+            payload: self.wr.payload.clone(),
+            remote: self.wr.remote,
+            read_len: self.wr.read_len,
+            imm: self.wr.imm,
+        }
+    }
 }
 
 /// What the receiver side decided about an arriving data message.
@@ -82,6 +101,11 @@ pub struct RcQp {
     pub retries: u32,
     /// Monotonic epoch to invalidate stale RTO timers.
     pub rto_epoch: u64,
+    /// An RTO check is already scheduled for this QP. At most one timer
+    /// event is outstanding per QP — re-arms while one is pending would
+    /// only produce stale no-op events (the seed scheduled one per
+    /// `tx_kick`, which dominated far-future queue traffic).
+    pub rto_pending: bool,
     /// Sender is in an RNR backoff (transmission paused).
     pub rnr_paused: bool,
 
@@ -108,6 +132,7 @@ impl RcQp {
             rnr_retries: 0,
             retries: 0,
             rto_epoch: 0,
+            rto_pending: false,
             rnr_paused: false,
             expected_psn: 0,
             nak_sent_for: None,
@@ -180,6 +205,15 @@ impl RcQp {
     /// Returns the retired messages (for completion generation) in order.
     pub fn on_ack(&mut self, upto: u64) -> Vec<Inflight> {
         let mut retired = Vec::new();
+        self.on_ack_into(upto, &mut retired);
+        retired
+    }
+
+    /// [`RcQp::on_ack`] appending into a caller-owned buffer, so the ACK
+    /// hot path (one call per received ACK frame) can reuse one scratch
+    /// allocation for the whole simulation.
+    pub fn on_ack_into(&mut self, upto: u64, retired: &mut Vec<Inflight>) {
+        let before = retired.len();
         while let Some(front) = self.inflight.front() {
             if front.psn <= upto {
                 retired.push(self.inflight.pop_front().expect("front exists"));
@@ -187,11 +221,10 @@ impl RcQp {
                 break;
             }
         }
-        if !retired.is_empty() {
+        if retired.len() > before {
             self.retries = 0;
             self.rnr_retries = 0;
         }
-        retired
     }
 
     /// PSN the next fresh transmission would use. A NAK for `expected >=

@@ -11,10 +11,10 @@
 //!   beyond that every operation pays a thrash penalty — the reason the DNE
 //!   caps active QPs via shadow-QP management.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use palladium_membuf::{MmapExport, NodeId, PoolId, TenantId};
-use palladium_simnet::{Counters, FifoServer, Nanos};
+use palladium_simnet::{Counters, FifoServer, IdTable, Nanos};
 
 use crate::config::RdmaConfig;
 use crate::mr::{MrError, MrKey, MrTable};
@@ -48,10 +48,13 @@ pub enum RnicError {
 #[derive(Debug)]
 pub struct Rnic {
     node: NodeId,
-    qps: HashMap<u32, RcQp>,
-    next_qpn: u32,
-    /// Shared receive queue per tenant (§3.3).
-    rqs: HashMap<TenantId, VecDeque<RqEntry>>,
+    /// QP table, indexed densely by `qpn - 1` (QPNs are allocated
+    /// sequentially from 1 and never destroyed — `Qpn(0)` is the
+    /// "unpaired" placeholder and always misses).
+    qps: Vec<RcQp>,
+    /// Shared receive queue per tenant (§3.3), indexed by the dense
+    /// tenant id.
+    rqs: IdTable<VecDeque<RqEntry>>,
     /// Shared completion queue (single per node).
     cq: VecDeque<Cqe>,
     mrs: MrTable,
@@ -68,9 +71,8 @@ impl Rnic {
     pub fn new(node: NodeId) -> Self {
         Rnic {
             node,
-            qps: HashMap::new(),
-            next_qpn: 1,
-            rqs: HashMap::new(),
+            qps: Vec::new(),
+            rqs: IdTable::new(),
             cq: VecDeque::new(),
             mrs: MrTable::new(),
             egress: FifoServer::new(format!("rnic{}-egress", node.raw())),
@@ -97,27 +99,37 @@ impl Rnic {
     /// Create a QP half; the peer fields are fixed at creation (RC is
     /// point-to-point).
     pub fn create_qp(&mut self, tenant: TenantId, peer_node: NodeId, peer_qpn: Qpn) -> Qpn {
-        let qpn = Qpn(self.next_qpn);
-        self.next_qpn += 1;
-        self.qps.insert(qpn.0, RcQp::new(qpn, tenant, peer_node, peer_qpn));
+        let qpn = Qpn(self.qps.len() as u32 + 1);
+        self.qps.push(RcQp::new(qpn, tenant, peer_node, peer_qpn));
         qpn
+    }
+
+    #[inline]
+    fn qp_index(qpn: Qpn) -> Result<usize, RnicError> {
+        (qpn.0 as usize).checked_sub(1).ok_or(RnicError::NoSuchQp)
     }
 
     /// Fix up the peer QPN after both halves exist (pair creation helper).
     pub fn set_peer(&mut self, qpn: Qpn, peer_qpn: Qpn) {
-        if let Some(qp) = self.qps.get_mut(&qpn.0) {
+        if let Ok(qp) = self.qp_mut(qpn) {
             qp.peer_qpn = peer_qpn;
         }
     }
 
     /// Borrow a QP.
+    #[inline]
     pub fn qp(&self, qpn: Qpn) -> Result<&RcQp, RnicError> {
-        self.qps.get(&qpn.0).ok_or(RnicError::NoSuchQp)
+        self.qps
+            .get(Self::qp_index(qpn)?)
+            .ok_or(RnicError::NoSuchQp)
     }
 
     /// Mutably borrow a QP.
+    #[inline]
     pub fn qp_mut(&mut self, qpn: Qpn) -> Result<&mut RcQp, RnicError> {
-        self.qps.get_mut(&qpn.0).ok_or(RnicError::NoSuchQp)
+        self.qps
+            .get_mut(Self::qp_index(qpn)?)
+            .ok_or(RnicError::NoSuchQp)
     }
 
     /// Post a receive buffer to the tenant's shared RQ. The pool must be
@@ -127,18 +139,25 @@ impl Rnic {
         if !self.mrs.covers(entry.pool) {
             return Err(RnicError::UnregisteredPool);
         }
-        self.rqs.entry(tenant).or_default().push_back(entry);
+        self.rqs
+            .get_or_insert_with(tenant.raw() as usize, VecDeque::new)
+            .push_back(entry);
         Ok(())
     }
 
     /// Depth of a tenant's shared RQ.
     pub fn rq_depth(&self, tenant: TenantId) -> usize {
-        self.rqs.get(&tenant).map(|q| q.len()).unwrap_or(0)
+        self.rqs
+            .get(tenant.raw() as usize)
+            .map(|q| q.len())
+            .unwrap_or(0)
     }
 
     /// Consume the head receive buffer for `tenant`.
     pub fn take_rq(&mut self, tenant: TenantId) -> Option<RqEntry> {
-        self.rqs.get_mut(&tenant).and_then(|q| q.pop_front())
+        self.rqs
+            .get_mut(tenant.raw() as usize)
+            .and_then(|q| q.pop_front())
     }
 
     /// Peek whether a receive buffer is available for `tenant`.
@@ -153,8 +172,16 @@ impl Rnic {
 
     /// Poll up to `max` completions (the DNE RX stage).
     pub fn poll_cq(&mut self, max: usize) -> Vec<Cqe> {
+        let mut out = Vec::new();
+        self.poll_cq_into(max, &mut out);
+        out
+    }
+
+    /// [`Rnic::poll_cq`] into a caller-owned buffer (appends), so pollers
+    /// on the hot path can reuse one scratch allocation.
+    pub fn poll_cq_into(&mut self, max: usize, out: &mut Vec<Cqe>) {
         let n = max.min(self.cq.len());
-        self.cq.drain(..n).collect()
+        out.extend(self.cq.drain(..n));
     }
 
     /// Completions waiting.
@@ -164,7 +191,7 @@ impl Rnic {
 
     /// Number of QPs in the shadow-QP "active" state (holding work).
     pub fn active_qps(&self) -> u32 {
-        self.qps.values().filter(|q| q.is_active()).count() as u32
+        self.qps.iter().filter(|q| q.is_active()).count() as u32
     }
 
     /// Per-operation penalty from QP-context-cache and MTT-cache pressure.
@@ -179,11 +206,9 @@ impl Rnic {
         p
     }
 
-    /// All QPNs (diagnostics).
+    /// All QPNs (diagnostics; ascending by construction).
     pub fn qpns(&self) -> Vec<Qpn> {
-        let mut v: Vec<Qpn> = self.qps.values().map(|q| q.qpn).collect();
-        v.sort();
-        v
+        self.qps.iter().map(|q| q.qpn).collect()
     }
 }
 

@@ -29,11 +29,13 @@ pub mod rng;
 pub mod server;
 pub mod sim;
 pub mod stats;
+pub mod table;
 pub mod time;
 
 pub use fault::{FaultPlan, Verdict};
 pub use harness::{Effects, Engine, Harness, LoadReport, RunStats};
-pub use queue::{EventId, EventQueue};
+pub use queue::{queue_kind, set_queue_kind, EventId, EventQueue, QueueKind};
+pub use table::{IdTable, Slab};
 pub use rate::TokenBucket;
 pub use rng::SimRng;
 pub use server::{FifoServer, ServerBank};

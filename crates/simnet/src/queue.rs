@@ -4,7 +4,40 @@
 //! same instant fire in the order they were scheduled. This makes every
 //! simulation in the workspace fully deterministic — a property the tests
 //! rely on (same seed ⇒ byte-identical reports).
+//!
+//! # Backends
+//!
+//! The workhorse backend is a **hierarchical timer wheel**: [`LEVELS`]
+//! wheels of 64 slots each with nanosecond granularity at level 0,
+//! occupancy bitmaps and per-slot minima for O(1) next-event scans, and an
+//! overflow binary heap for events beyond the wheel horizon (≈1.07 s ahead
+//! of the cursor). Scheduling is O(1); emitting the next same-instant
+//! batch costs one cached scan plus at most [`LEVELS`] redistributions per
+//! event over its lifetime — independent of the number of pending events,
+//! where the seed's `BinaryHeap` paid an O(log n) sift with full-entry
+//! moves on every operation.
+//!
+//! The default [`QueueKind::Adaptive`] starts on the seed's binary heap —
+//! which stays cache-resident and unbeatable for small simulations — and
+//! migrates to the wheel when the pending population crosses
+//! [`ADAPTIVE_THRESHOLD`]. The heap implementation is also kept as
+//! [`QueueKind::BinaryHeap`]: the property tests dequeue the backends in
+//! lockstep to prove the wheel preserves the ordering contract, and the
+//! `simcore_throughput` bench runs the drivers on both to measure the
+//! swap. [`set_queue_kind`] selects the backend for queues subsequently
+//! constructed on the current thread.
+//!
+//! Every backend implements the same contract:
+//! * strict `(time, seq)` pop order, same-instant FIFO;
+//! * cancellation by [`EventId`], lazily discarded;
+//! * scheduling never targets the past — the [`Sim`] driver clamps to
+//!   "now" at its layer. The wheel additionally clamps to its cursor
+//!   (including during adaptive migration); the heap backend preserves
+//!   submitted times verbatim, as the seed did.
+//!
+//! [`Sim`]: crate::sim::Sim
 
+use std::cell::Cell;
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
 
@@ -13,6 +46,43 @@ use crate::time::Nanos;
 /// Identifier of a scheduled event, used to cancel timers.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct EventId(u64);
+
+/// Which event-queue implementation to use.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum QueueKind {
+    /// Start on the binary heap and migrate to the timer wheel once the
+    /// pending population crosses [`ADAPTIVE_THRESHOLD`] (default). A
+    /// cache-resident heap wins below a few hundred pending events; the
+    /// wheel's O(1) operations win beyond, where heap sifts deepen and
+    /// spill the cache. Migration is one-way (a simulation that grew once
+    /// is expected to grow again) and observationally invisible.
+    Adaptive,
+    /// The hierarchical timer wheel, unconditionally.
+    TimerWheel,
+    /// The seed's binary heap — kept as the reference for property tests
+    /// and before/after benchmarking.
+    BinaryHeap,
+}
+
+/// Pending-event population at which an [`QueueKind::Adaptive`] queue
+/// migrates from the heap to the timer wheel.
+pub const ADAPTIVE_THRESHOLD: usize = 256;
+
+thread_local! {
+    static QUEUE_KIND: Cell<QueueKind> = const { Cell::new(QueueKind::Adaptive) };
+}
+
+/// Select the backend used by [`EventQueue::new`] on this thread. Both
+/// backends are observationally identical; this is a benchmarking/testing
+/// hook, not a tuning knob.
+pub fn set_queue_kind(kind: QueueKind) {
+    QUEUE_KIND.with(|k| k.set(kind));
+}
+
+/// The backend currently selected on this thread.
+pub fn queue_kind() -> QueueKind {
+    QUEUE_KIND.with(|k| k.get())
+}
 
 struct Entry<M> {
     at: Nanos,
@@ -44,11 +114,379 @@ impl<M> Ord for Entry<M> {
     }
 }
 
+/// log2 of the slot count per wheel level.
+const BITS: u32 = 6;
+/// Slots per wheel level (one `u64` occupancy bitmap each).
+const SLOTS: usize = 1 << BITS;
+/// Wheel levels; level `k` has slot granularity `2^(6k)` ns, so the wheel
+/// horizon is `2^(6·LEVELS)` ns ≈ 1.07 s ahead of the cursor. Events
+/// beyond it go to the overflow heap.
+const LEVELS: usize = 5;
+
+struct Slot<M> {
+    entries: Vec<Entry<M>>,
+    /// Least `(time, seq)` among `entries`; only meaningful when
+    /// non-empty. Maintained on insert, reset when the slot drains — this
+    /// is what makes a non-mutating peek O(levels) instead of a scan over
+    /// (possibly thousands of) parked timers.
+    min: (u64, u64),
+}
+
+impl<M> Slot<M> {
+    fn push(&mut self, e: Entry<M>) {
+        let key = (e.at.0, e.seq);
+        if self.entries.is_empty() || key < self.min {
+            self.min = key;
+        }
+        self.entries.push(e);
+    }
+
+    fn recompute_min(&mut self) {
+        self.min = self
+            .entries
+            .iter()
+            .map(|e| (e.at.0, e.seq))
+            .min()
+            .unwrap_or((0, 0));
+    }
+}
+
+struct Level<M> {
+    /// Bit `s` set ⇔ `slots[s]` non-empty.
+    occupied: u64,
+    slots: [Slot<M>; SLOTS],
+}
+
+impl<M> Level<M> {
+    fn new() -> Self {
+        Level {
+            occupied: 0,
+            slots: std::array::from_fn(|_| Slot {
+                entries: Vec::new(),
+                min: (0, 0),
+            }),
+        }
+    }
+}
+
+/// Cached result of the earliest-instant scan: the instant, the least
+/// sequence number at it, the levels whose earliest slot contains it
+/// (bitmask + slot index per level) and whether the overflow heap shares
+/// it. Kept up to date incrementally across pushes (a push later than the
+/// cached instant cannot change the next batch), so steady-state operation
+/// performs one full scan per emitted batch rather than one per peek/pop.
+#[derive(Clone, Copy)]
+struct Scan {
+    tmin: u64,
+    best_seq: u64,
+    mask: u8,
+    slots: [u8; LEVELS],
+    heap: bool,
+}
+
+/// The hierarchical timer wheel.
+///
+/// Invariants:
+/// * `base` ≤ the time of every stored event (the cursor; advances only
+///   to the time of the earliest pending event);
+/// * an event at level `k` agrees with `base` on all bits above `6(k+1)`
+///   (enforced by XOR placement), so per level the occupied slots are
+///   never circularly behind the cursor and a slot never mixes windows;
+/// * `current` holds the same-instant batch being drained, sorted by
+///   sequence number descending (pop takes from the back).
+struct Wheel<M> {
+    levels: Vec<Level<M>>,
+    overflow: BinaryHeap<Entry<M>>,
+    base: u64,
+    current: Vec<Entry<M>>,
+    /// Cascade scratch, reused so steady-state popping does not allocate.
+    scratch: Vec<Entry<M>>,
+    scan: Option<Scan>,
+    len: usize,
+}
+
+impl<M> Wheel<M> {
+    fn new() -> Self {
+        Wheel {
+            levels: (0..LEVELS).map(|_| Level::new()).collect(),
+            overflow: BinaryHeap::new(),
+            base: 0,
+            current: Vec::new(),
+            scratch: Vec::new(),
+            scan: None,
+            len: 0,
+        }
+    }
+
+    fn push(&mut self, at: Nanos, seq: u64, msg: M) {
+        // The Sim layer already clamps past scheduling to "now"; the wheel
+        // cannot represent times behind its cursor, so enforce the clamp.
+        let at = Nanos(at.0.max(self.base));
+        self.len += 1;
+        let loc = self.place(Entry { at, seq, msg });
+        // Keep the earliest-instant cache valid: only a push at or before
+        // the cached instant can matter for the next batch. (A same-level
+        // push at the cached instant always lands in — or before — that
+        // level's cached slot: later slots of a level cover strictly later
+        // times.)
+        if let Some(c) = &mut self.scan {
+            let t = at.0;
+            if t < c.tmin {
+                *c = Scan {
+                    tmin: t,
+                    best_seq: seq,
+                    mask: 0,
+                    slots: c.slots,
+                    heap: loc.is_none(),
+                };
+                if let Some((level, slot)) = loc {
+                    c.mask = 1 << level;
+                    c.slots[level] = slot as u8;
+                }
+            } else if t == c.tmin {
+                c.best_seq = c.best_seq.min(seq);
+                match loc {
+                    Some((level, slot)) => {
+                        c.mask |= 1 << level;
+                        c.slots[level] = slot as u8;
+                    }
+                    None => c.heap = true,
+                }
+            }
+        }
+    }
+
+    /// File an entry into the wheel level/slot (or overflow heap) given the
+    /// current cursor; returns the `(level, slot)` it landed in (`None` for
+    /// the overflow heap). Used by both fresh pushes and redistribution.
+    fn place(&mut self, e: Entry<M>) -> Option<(usize, usize)> {
+        let t = e.at.0;
+        debug_assert!(t >= self.base, "wheel entry behind cursor");
+        let x = t ^ self.base;
+        let level = if x < SLOTS as u64 {
+            0
+        } else {
+            ((63 - x.leading_zeros()) / BITS) as usize
+        };
+        if level >= LEVELS {
+            self.overflow.push(e);
+            return None;
+        }
+        let slot = ((t >> (BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
+        let lvl = &mut self.levels[level];
+        lvl.slots[slot].push(e);
+        lvl.occupied |= 1 << slot;
+        Some((level, slot))
+    }
+
+    /// Earliest occupied slot of `level` at or after the cursor, with its
+    /// start time clamped to the cursor. Slot starts lower-bound the times
+    /// of the events inside, exactly for level 0.
+    fn next_slot(&self, level: usize) -> Option<(usize, u64)> {
+        let lvl = &self.levels[level];
+        if lvl.occupied == 0 {
+            return None;
+        }
+        let shift = BITS * level as u32;
+        let pos = ((self.base >> shift) & (SLOTS as u64 - 1)) as u32;
+        let off = lvl.occupied.rotate_right(pos).trailing_zeros();
+        let slot = ((pos + off) & (SLOTS as u32 - 1)) as usize;
+        debug_assert!(slot as u32 >= pos, "occupied slot behind cursor window");
+        let window_mask = !((1u64 << (shift + BITS)) - 1);
+        let slot_start = (self.base & window_mask) | ((slot as u64) << shift);
+        Some((slot, slot_start.max(self.base)))
+    }
+
+    /// Compute (or reuse) the earliest-instant scan. `None` when empty.
+    fn ensure_scan(&mut self) -> Option<Scan> {
+        if let Some(c) = self.scan {
+            return Some(c);
+        }
+        let mut c = Scan {
+            tmin: u64::MAX,
+            best_seq: u64::MAX,
+            mask: 0,
+            slots: [0; LEVELS],
+            heap: false,
+        };
+        for level in 0..LEVELS {
+            if let Some((slot, _)) = self.next_slot(level) {
+                let (t, seq) = self.levels[level].slots[slot].min;
+                if t < c.tmin {
+                    c.tmin = t;
+                    c.best_seq = seq;
+                    c.mask = 1 << level;
+                } else if t == c.tmin {
+                    c.best_seq = c.best_seq.min(seq);
+                    c.mask |= 1 << level;
+                }
+                c.slots[level] = slot as u8;
+            }
+        }
+        if let Some(e) = self.overflow.peek() {
+            if e.at.0 < c.tmin {
+                c.tmin = e.at.0;
+                c.best_seq = e.seq;
+                c.mask = 0;
+                c.heap = true;
+            } else if e.at.0 == c.tmin {
+                c.best_seq = c.best_seq.min(e.seq);
+                c.heap = true;
+            }
+        }
+        if c.mask == 0 && !c.heap {
+            return None;
+        }
+        self.scan = Some(c);
+        Some(c)
+    }
+
+    /// Move the earliest same-instant batch into `current`. Returns
+    /// `false` when the wheel and heap are empty.
+    ///
+    /// This jumps the cursor directly to the earliest instant `tmin` in
+    /// one pass instead of cascading level by level. That is sound
+    /// because the XOR placement implies: if the earliest entry sits at
+    /// level `k`, every level below `k` is empty (an entry at a lower
+    /// level agrees with the cursor on the bit where the minimum first
+    /// differs, which would make it smaller than the minimum). So
+    /// advancing `base` to `tmin` and redistributing only the levels whose
+    /// earliest slot contains `tmin` preserves every invariant, and each
+    /// redistributed entry lands at a strictly lower level (same slot ⇒
+    /// shared high bits ⇒ smaller XOR), bounding total redistribution work
+    /// at `LEVELS` placements per event over its lifetime.
+    fn refill(&mut self) -> bool {
+        debug_assert!(self.current.is_empty());
+        let Some(c) = self.ensure_scan() else {
+            return false;
+        };
+        self.scan = None;
+        let tmin = c.tmin;
+        self.base = tmin;
+        // Fast path: the instant lives in a single level-0 slot (no heap
+        // ties). Level-0 slots hold exactly one instant, so the whole
+        // batch transfers by one O(1) vector swap.
+        if c.mask == 1 && !c.heap {
+            let slot = c.slots[0] as usize;
+            std::mem::swap(&mut self.current, &mut self.levels[0].slots[slot].entries);
+            self.levels[0].occupied &= !(1 << slot);
+            if self.current.len() > 1 {
+                self.current.sort_unstable_by_key(|e| std::cmp::Reverse(e.seq));
+            }
+            return true;
+        }
+        // Drain every level holding the instant: entries at `tmin` become
+        // the batch, later entries re-file under the advanced cursor.
+        for level in 0..LEVELS {
+            if c.mask & (1 << level) == 0 {
+                continue;
+            }
+            let slot = c.slots[level] as usize;
+            let mut batch = std::mem::take(&mut self.scratch);
+            std::mem::swap(&mut batch, &mut self.levels[level].slots[slot].entries);
+            self.levels[level].occupied &= !(1 << slot);
+            for e in batch.drain(..) {
+                if e.at.0 == tmin {
+                    self.current.push(e);
+                } else {
+                    self.place(e);
+                }
+            }
+            self.scratch = batch;
+        }
+        // Overflow entries can share the instant (filed under an older
+        // cursor); merge them.
+        if c.heap {
+            while self.overflow.peek().is_some_and(|e| e.at.0 == tmin) {
+                self.current.push(self.overflow.pop().expect("peeked"));
+            }
+        }
+        // Same-instant FIFO: redistribution can interleave sequence
+        // numbers, so restore seq order (descending; pops take the back).
+        if self.current.len() > 1 {
+            self.current.sort_unstable_by_key(|e| std::cmp::Reverse(e.seq));
+        }
+        true
+    }
+
+    fn pop(&mut self) -> Option<Entry<M>> {
+        if self.current.is_empty() && !self.refill() {
+            return None;
+        }
+        self.len -= 1;
+        self.current.pop()
+    }
+
+    /// `(time, seq)` of the earliest entry, *without* mutating the wheel.
+    ///
+    /// The cursor may only advance when an event is actually removed (the
+    /// `Sim` layer guarantees nothing schedules before the last *popped*
+    /// time, not the last peeked one), so peeking scans instead of
+    /// cascading: per level, the earliest occupied slot's time range
+    /// precedes every other slot of that level, so the global minimum is
+    /// the least entry across those candidate slots, `current`, and the
+    /// overflow root.
+    fn peek(&mut self) -> Option<(Nanos, u64)> {
+        if let Some(e) = self.current.last() {
+            return Some((e.at, e.seq));
+        }
+        self.ensure_scan().map(|c| (Nanos(c.tmin), c.best_seq))
+    }
+
+    /// Remove the entry [`Wheel::peek`] would return, without advancing
+    /// the cursor. Used to lazily discard cancelled events during peeks —
+    /// the cursor must stay at the last popped time so later schedules
+    /// before the cancelled instant remain representable.
+    fn remove_earliest(&mut self) {
+        let Some((at, seq)) = self.peek() else {
+            return;
+        };
+        self.scan = None;
+        self.len -= 1;
+        if self.current.last().is_some_and(|e| e.seq == seq) {
+            self.current.pop();
+            return;
+        }
+        if self.overflow.peek().is_some_and(|e| e.seq == seq) {
+            self.overflow.pop();
+            return;
+        }
+        for level in 0..LEVELS {
+            let Some((slot, _)) = self.next_slot(level) else {
+                continue;
+            };
+            let s = &mut self.levels[level].slots[slot];
+            if let Some(i) = s.entries.iter().position(|e| e.at == at && e.seq == seq) {
+                s.entries.remove(i);
+                if s.entries.is_empty() {
+                    self.levels[level].occupied &= !(1 << slot);
+                } else {
+                    s.recompute_min();
+                }
+                return;
+            }
+        }
+        unreachable!("peeked entry not found in any store");
+    }
+}
+
+enum Backend<M> {
+    Wheel(Wheel<M>),
+    Heap(BinaryHeap<Entry<M>>),
+}
+
 /// A time-ordered queue of events carrying messages of type `M`.
 pub struct EventQueue<M> {
-    heap: BinaryHeap<Entry<M>>,
+    backend: Backend<M>,
     cancelled: HashSet<u64>,
     next_seq: u64,
+    /// Adaptive mode: still on the heap, watching for the migration
+    /// threshold.
+    adaptive: bool,
+    /// Time of the last popped event — the only lower bound the `Sim`
+    /// contract gives for future schedules, and therefore the wheel cursor
+    /// a migration must start from.
+    last_popped: u64,
 }
 
 impl<M> Default for EventQueue<M> {
@@ -58,12 +496,47 @@ impl<M> Default for EventQueue<M> {
 }
 
 impl<M> EventQueue<M> {
-    /// An empty queue.
+    /// An empty queue on the thread's selected backend (see
+    /// [`set_queue_kind`]; adaptive unless overridden).
     pub fn new() -> Self {
+        Self::with_kind(queue_kind())
+    }
+
+    /// An empty queue on an explicit backend.
+    pub fn with_kind(kind: QueueKind) -> Self {
+        let backend = match kind {
+            QueueKind::TimerWheel => Backend::Wheel(Wheel::new()),
+            QueueKind::BinaryHeap | QueueKind::Adaptive => Backend::Heap(BinaryHeap::new()),
+        };
         EventQueue {
-            heap: BinaryHeap::new(),
+            backend,
             cancelled: HashSet::new(),
             next_seq: 0,
+            adaptive: kind == QueueKind::Adaptive,
+            last_popped: 0,
+        }
+    }
+
+    /// Adaptive migration: move every pending entry from the heap into a
+    /// wheel whose cursor is the last popped time. Insertion order into
+    /// slots is irrelevant (emission sorts each same-instant batch), so
+    /// the heap is drained unordered.
+    fn migrate_to_wheel(&mut self) {
+        let Backend::Heap(heap) = std::mem::replace(&mut self.backend, Backend::Wheel(Wheel::new()))
+        else {
+            unreachable!("migration starts from the heap");
+        };
+        let Backend::Wheel(w) = &mut self.backend else {
+            unreachable!("just installed");
+        };
+        w.base = self.last_popped;
+        for mut e in heap.into_vec() {
+            // The heap backend (like the seed) stores past-scheduled times
+            // verbatim; the wheel cannot represent times behind its
+            // cursor, so clamp here exactly as `Wheel::push` would.
+            e.at = Nanos(e.at.0.max(w.base));
+            w.len += 1;
+            w.place(e);
         }
     }
 
@@ -72,7 +545,15 @@ impl<M> EventQueue<M> {
     pub fn schedule_at(&mut self, at: Nanos, msg: M) -> EventId {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { at, seq, msg });
+        match &mut self.backend {
+            Backend::Wheel(w) => w.push(at, seq, msg),
+            Backend::Heap(h) => {
+                h.push(Entry { at, seq, msg });
+                if self.adaptive && h.len() > ADAPTIVE_THRESHOLD {
+                    self.migrate_to_wheel();
+                }
+            }
+        }
         EventId(seq)
     }
 
@@ -82,41 +563,81 @@ impl<M> EventQueue<M> {
         self.cancelled.insert(id.0);
     }
 
+    fn pop_any(&mut self) -> Option<(Nanos, u64, M)> {
+        let popped = match &mut self.backend {
+            Backend::Wheel(w) => w.pop().map(|e| (e.at, e.seq, e.msg)),
+            Backend::Heap(h) => h.pop().map(|e| (e.at, e.seq, e.msg)),
+        };
+        if let Some((at, _, _)) = &popped {
+            self.last_popped = at.0;
+        }
+        popped
+    }
+
     /// Remove and return the earliest pending event, skipping cancelled
     /// entries. Returns `None` when the queue is exhausted.
     pub fn pop(&mut self) -> Option<(Nanos, M)> {
-        while let Some(entry) = self.heap.pop() {
-            if self.cancelled.remove(&entry.seq) {
+        // Fast path: no outstanding cancellations (the common case).
+        if self.cancelled.is_empty() {
+            return self.pop_any().map(|(at, _, msg)| (at, msg));
+        }
+        // Cancelled entries must be discarded *without* advancing the
+        // wheel cursor: a skipped timer fires no event, so the driver's
+        // clock does not move and later schedules may still target times
+        // before the cancelled instant.
+        loop {
+            let (_, seq) = match &mut self.backend {
+                Backend::Wheel(w) => w.peek()?,
+                Backend::Heap(h) => h.peek().map(|e| (e.at, e.seq))?,
+            };
+            if self.cancelled.remove(&seq) {
+                match &mut self.backend {
+                    Backend::Wheel(w) => w.remove_earliest(),
+                    Backend::Heap(h) => {
+                        h.pop();
+                    }
+                }
                 continue;
             }
-            return Some((entry.at, entry.msg));
+            let (at, popped, msg) = self.pop_any().expect("peeked entry present");
+            debug_assert_eq!(popped, seq, "pop must return the peeked head");
+            return Some((at, msg));
         }
-        None
     }
 
     /// Time of the earliest pending (non-cancelled) event without removing
-    /// it.
+    /// it. Cancelled entries encountered at the front are discarded.
     pub fn peek_time(&mut self) -> Option<Nanos> {
-        while let Some(entry) = self.heap.peek() {
-            if self.cancelled.contains(&entry.seq) {
-                let seq = entry.seq;
-                self.heap.pop();
+        loop {
+            let (at, seq) = match &mut self.backend {
+                Backend::Wheel(w) => w.peek()?,
+                Backend::Heap(h) => h.peek().map(|e| (e.at, e.seq))?,
+            };
+            if self.cancelled.contains(&seq) {
+                match &mut self.backend {
+                    Backend::Wheel(w) => w.remove_earliest(),
+                    Backend::Heap(h) => {
+                        h.pop();
+                    }
+                }
                 self.cancelled.remove(&seq);
                 continue;
             }
-            return Some(entry.at);
+            return Some(at);
         }
-        None
     }
 
     /// Number of pending entries (including not-yet-skipped cancelled ones).
     pub fn len(&self) -> usize {
-        self.heap.len()
+        match &self.backend {
+            Backend::Wheel(w) => w.len,
+            Backend::Heap(h) => h.len(),
+        }
     }
 
     /// True when no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.len() == self.cancelled.len()
+        self.len() == self.cancelled.len()
     }
 }
 
@@ -124,66 +645,177 @@ impl<M> EventQueue<M> {
 mod tests {
     use super::*;
 
+    /// Run a test closure against every backend.
+    fn each_kind(f: impl Fn(QueueKind)) {
+        f(QueueKind::Adaptive);
+        f(QueueKind::TimerWheel);
+        f(QueueKind::BinaryHeap);
+    }
+
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::new();
-        q.schedule_at(Nanos(30), "c");
-        q.schedule_at(Nanos(10), "a");
-        q.schedule_at(Nanos(20), "b");
-        assert_eq!(q.pop(), Some((Nanos(10), "a")));
-        assert_eq!(q.pop(), Some((Nanos(20), "b")));
-        assert_eq!(q.pop(), Some((Nanos(30), "c")));
-        assert_eq!(q.pop(), None);
+        each_kind(|k| {
+            let mut q = EventQueue::with_kind(k);
+            q.schedule_at(Nanos(30), "c");
+            q.schedule_at(Nanos(10), "a");
+            q.schedule_at(Nanos(20), "b");
+            assert_eq!(q.pop(), Some((Nanos(10), "a")));
+            assert_eq!(q.pop(), Some((Nanos(20), "b")));
+            assert_eq!(q.pop(), Some((Nanos(30), "c")));
+            assert_eq!(q.pop(), None);
+        });
     }
 
     #[test]
     fn ties_break_by_schedule_order() {
-        let mut q = EventQueue::new();
-        q.schedule_at(Nanos(5), 1);
-        q.schedule_at(Nanos(5), 2);
-        q.schedule_at(Nanos(5), 3);
-        assert_eq!(q.pop().unwrap().1, 1);
-        assert_eq!(q.pop().unwrap().1, 2);
-        assert_eq!(q.pop().unwrap().1, 3);
+        each_kind(|k| {
+            let mut q = EventQueue::with_kind(k);
+            q.schedule_at(Nanos(5), 1);
+            q.schedule_at(Nanos(5), 2);
+            q.schedule_at(Nanos(5), 3);
+            assert_eq!(q.pop().unwrap().1, 1);
+            assert_eq!(q.pop().unwrap().1, 2);
+            assert_eq!(q.pop().unwrap().1, 3);
+        });
     }
 
     #[test]
     fn cancel_removes_event() {
-        let mut q = EventQueue::new();
-        let a = q.schedule_at(Nanos(1), "a");
-        q.schedule_at(Nanos(2), "b");
-        q.cancel(a);
-        assert_eq!(q.pop(), Some((Nanos(2), "b")));
-        assert_eq!(q.pop(), None);
+        each_kind(|k| {
+            let mut q = EventQueue::with_kind(k);
+            let a = q.schedule_at(Nanos(1), "a");
+            q.schedule_at(Nanos(2), "b");
+            q.cancel(a);
+            assert_eq!(q.pop(), Some((Nanos(2), "b")));
+            assert_eq!(q.pop(), None);
+        });
     }
 
     #[test]
     fn cancel_after_fire_is_noop() {
-        let mut q = EventQueue::new();
-        let a = q.schedule_at(Nanos(1), "a");
-        assert_eq!(q.pop(), Some((Nanos(1), "a")));
-        q.cancel(a); // already fired; must not corrupt anything
-        q.schedule_at(Nanos(2), "b");
-        assert_eq!(q.pop(), Some((Nanos(2), "b")));
+        each_kind(|k| {
+            let mut q = EventQueue::with_kind(k);
+            let a = q.schedule_at(Nanos(1), "a");
+            assert_eq!(q.pop(), Some((Nanos(1), "a")));
+            q.cancel(a); // already fired; must not corrupt anything
+            q.schedule_at(Nanos(2), "b");
+            assert_eq!(q.pop(), Some((Nanos(2), "b")));
+        });
     }
 
     #[test]
     fn peek_time_skips_cancelled() {
-        let mut q = EventQueue::new();
-        let a = q.schedule_at(Nanos(1), "a");
-        q.schedule_at(Nanos(7), "b");
-        q.cancel(a);
-        assert_eq!(q.peek_time(), Some(Nanos(7)));
-        assert_eq!(q.pop(), Some((Nanos(7), "b")));
+        each_kind(|k| {
+            let mut q = EventQueue::with_kind(k);
+            let a = q.schedule_at(Nanos(1), "a");
+            q.schedule_at(Nanos(7), "b");
+            q.cancel(a);
+            assert_eq!(q.peek_time(), Some(Nanos(7)));
+            assert_eq!(q.pop(), Some((Nanos(7), "b")));
+        });
     }
 
     #[test]
     fn is_empty_accounts_for_cancelled() {
-        let mut q: EventQueue<u8> = EventQueue::new();
-        assert!(q.is_empty());
-        let a = q.schedule_at(Nanos(1), 0);
-        assert!(!q.is_empty());
-        q.cancel(a);
-        assert!(q.is_empty());
+        each_kind(|k| {
+            let mut q: EventQueue<u8> = EventQueue::with_kind(k);
+            assert!(q.is_empty());
+            let a = q.schedule_at(Nanos(1), 0);
+            assert!(!q.is_empty());
+            q.cancel(a);
+            assert!(q.is_empty());
+        });
+    }
+
+    #[test]
+    fn far_future_events_overflow_and_return() {
+        // Beyond the wheel horizon (2^30 ns): exercised via the overflow
+        // heap, including same-instant ties straddling both stores.
+        let mut q = EventQueue::with_kind(QueueKind::TimerWheel);
+        let far = Nanos(3_000_000_000); // 3 s
+        q.schedule_at(far, "far1");
+        q.schedule_at(Nanos(50), "near");
+        q.schedule_at(far, "far2");
+        assert_eq!(q.pop(), Some((Nanos(50), "near")));
+        assert_eq!(q.pop(), Some((far, "far1")));
+        assert_eq!(q.pop(), Some((far, "far2")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn cascades_preserve_same_instant_fifo() {
+        // Schedule an instant far enough out to sit in a high level, pop
+        // up to it, and add same-instant events from a nearer cursor: the
+        // cascade must not reorder them against the late-scheduled ones.
+        let mut q = EventQueue::with_kind(QueueKind::TimerWheel);
+        let t = Nanos(70_000);
+        q.schedule_at(t, 1); // lands in level 2
+        q.schedule_at(Nanos(60_000), 0);
+        assert_eq!(q.pop(), Some((Nanos(60_000), 0)));
+        q.schedule_at(t, 2); // cursor at 60_000: lands in a lower level
+        q.schedule_at(t, 3);
+        assert_eq!(q.pop(), Some((t, 1)));
+        assert_eq!(q.pop(), Some((t, 2)));
+        assert_eq!(q.pop(), Some((t, 3)));
+    }
+
+    #[test]
+    fn interleaved_schedule_pop_matches_heap() {
+        // A dense deterministic workload driven through both backends.
+        let run = |kind: QueueKind| {
+            let mut q = EventQueue::with_kind(kind);
+            let mut order = Vec::new();
+            let mut now = 0u64;
+            for i in 0..2_000u64 {
+                // Pseudo-random but fixed delays spanning all levels.
+                let d = (i * 2_654_435_761) % 1_000_003;
+                q.schedule_at(Nanos(now + d), i as u32);
+                if i % 3 == 0 {
+                    if let Some((t, v)) = q.pop() {
+                        now = t.0;
+                        order.push((t, v));
+                    }
+                }
+            }
+            while let Some((t, v)) = q.pop() {
+                order.push((t, v));
+            }
+            order
+        };
+        assert_eq!(run(QueueKind::TimerWheel), run(QueueKind::BinaryHeap));
+    }
+
+    #[test]
+    fn thread_kind_override_applies_to_new() {
+        set_queue_kind(QueueKind::TimerWheel);
+        let q: EventQueue<u8> = EventQueue::new();
+        assert!(matches!(q.backend, Backend::Wheel(_)));
+        set_queue_kind(QueueKind::Adaptive);
+        let q: EventQueue<u8> = EventQueue::new();
+        assert!(matches!(q.backend, Backend::Heap(_)) && q.adaptive);
+    }
+
+    #[test]
+    fn adaptive_migrates_past_threshold_and_stays_ordered() {
+        let mut q = EventQueue::with_kind(QueueKind::Adaptive);
+        // Advance the cursor a bit first so migration must anchor the
+        // wheel at the last popped time, not zero.
+        q.schedule_at(Nanos(100), u32::MAX);
+        assert_eq!(q.pop(), Some((Nanos(100), u32::MAX)));
+        let n = (ADAPTIVE_THRESHOLD + 64) as u64;
+        for i in 0..n {
+            // Deterministic scatter incl. past-horizon times.
+            let t = 100 + (i * 2_654_435_761) % (1 << 31);
+            q.schedule_at(Nanos(t), i as u32);
+        }
+        assert!(matches!(q.backend, Backend::Wheel(_)), "must have migrated");
+        let mut last = (Nanos(0), 0u64);
+        let mut popped = 0;
+        while let Some((t, _)) = q.pop() {
+            assert!(t >= last.0);
+            last = (t, 0);
+            popped += 1;
+        }
+        assert_eq!(popped, n);
     }
 }

@@ -114,9 +114,24 @@ impl FifoServer {
 
 /// A bank of identical FIFO servers with earliest-free dispatch — models a
 /// pool of cores or a multi-engine device (e.g. the RNIC's DMA engines).
+///
+/// Earliest-free dispatch runs on every request hop, so the bank keeps a
+/// lazy min-heap of `(busy_until, index)` beside a dense truth vector:
+/// dispatch is O(log n) instead of an argmin scan over one `FifoServer`
+/// cache line per core (a bank models up to dozens of cores). Heap entries
+/// go stale when a server is re-dispatched; they are discarded on sight
+/// against the truth vector. [`ServerBank::get_mut`] hands out direct
+/// server access, so it marks the index dirty and the next dispatch
+/// rebuilds it.
 #[derive(Debug, Clone)]
 pub struct ServerBank {
     servers: Vec<FifoServer>,
+    /// Truth: `busy[i]` mirrors `servers[i].busy_until()`.
+    busy: Vec<Nanos>,
+    /// Lazy min-heap over `(busy_until, index)`; `Reverse` for min order.
+    /// Ties break toward the lowest index by the tuple order.
+    heap: std::collections::BinaryHeap<std::cmp::Reverse<(Nanos, usize)>>,
+    dirty: bool,
 }
 
 impl ServerBank {
@@ -126,6 +141,9 @@ impl ServerBank {
             servers: (0..n)
                 .map(|i| FifoServer::new(format!("{prefix}-{i}")))
                 .collect(),
+            busy: vec![Nanos::ZERO; n],
+            heap: (0..n).map(|i| std::cmp::Reverse((Nanos::ZERO, i))).collect(),
+            dirty: false,
         }
     }
 
@@ -139,17 +157,32 @@ impl ServerBank {
         self.servers.is_empty()
     }
 
-    /// Submit to the server that will start the work the earliest. Returns
-    /// `(server index, completion time)`.
+    /// Submit to the server that will start the work the earliest (ties
+    /// break toward the lowest index). Returns `(server index, completion
+    /// time)`.
     pub fn submit(&mut self, now: Nanos, service: Nanos) -> (usize, Nanos) {
-        let idx = self
-            .servers
-            .iter()
-            .enumerate()
-            .min_by_key(|(i, s)| (s.busy_until(), *i))
-            .map(|(i, _)| i)
-            .expect("ServerBank must not be empty");
+        assert!(!self.servers.is_empty(), "ServerBank must not be empty");
+        if self.dirty {
+            for (b, s) in self.busy.iter_mut().zip(&self.servers) {
+                *b = s.busy_until();
+            }
+            self.heap.clear();
+            self.heap
+                .extend(self.busy.iter().enumerate().map(|(i, &b)| std::cmp::Reverse((b, i))));
+            self.dirty = false;
+        }
+        let idx = loop {
+            let &std::cmp::Reverse((b, i)) = self.heap.peek().expect("bank indexed");
+            if self.busy[i] != b {
+                self.heap.pop(); // stale: server was re-dispatched since
+                continue;
+            }
+            break i;
+        };
         let done = self.servers[idx].submit(now, service);
+        self.busy[idx] = done;
+        self.heap.pop();
+        self.heap.push(std::cmp::Reverse((done, idx)));
         (idx, done)
     }
 
@@ -165,6 +198,7 @@ impl ServerBank {
 
     /// Mutable access by index (for targeted submission, e.g. RSS pinning).
     pub fn get_mut(&mut self, idx: usize) -> &mut FifoServer {
+        self.dirty = true;
         &mut self.servers[idx]
     }
 

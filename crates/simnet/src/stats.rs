@@ -217,9 +217,21 @@ impl UtilizationBins {
 
 /// A monotonically increasing named counter set, used for copy accounting
 /// and protocol statistics.
+///
+/// Counters fire several times per simulated frame, so keys are `'static`
+/// literals compared by pointer+length first — the common case (the same
+/// literal from the same call site) resolves without touching the bytes.
 #[derive(Debug, Clone, Default)]
 pub struct Counters {
-    entries: Vec<(String, u64)>,
+    entries: Vec<(&'static str, u64)>,
+}
+
+/// Fast path: the same string literal is deduplicated by the compiler, so
+/// a pointer/length match almost always decides; fall back to a byte
+/// compare for distinct-but-equal literals across crates.
+#[inline]
+fn key_eq(a: &'static str, b: &str) -> bool {
+    std::ptr::eq(a.as_ptr(), b.as_ptr()) && a.len() == b.len() || a == b
 }
 
 impl Counters {
@@ -229,16 +241,16 @@ impl Counters {
     }
 
     /// Add `n` to counter `name`, creating it at zero if absent.
-    pub fn add(&mut self, name: &str, n: u64) {
-        if let Some(e) = self.entries.iter_mut().find(|(k, _)| k == name) {
+    pub fn add(&mut self, name: &'static str, n: u64) {
+        if let Some(e) = self.entries.iter_mut().find(|(k, _)| key_eq(k, name)) {
             e.1 += n;
         } else {
-            self.entries.push((name.to_string(), n));
+            self.entries.push((name, n));
         }
     }
 
     /// Increment counter `name` by one.
-    pub fn inc(&mut self, name: &str) {
+    pub fn inc(&mut self, name: &'static str) {
         self.add(name, 1);
     }
 
@@ -246,14 +258,14 @@ impl Counters {
     pub fn get(&self, name: &str) -> u64 {
         self.entries
             .iter()
-            .find(|(k, _)| k == name)
+            .find(|(k, _)| key_eq(k, name))
             .map(|(_, v)| *v)
             .unwrap_or(0)
     }
 
     /// Iterate over `(name, value)` pairs in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
-        self.entries.iter().map(|(k, v)| (k.as_str(), *v))
+        self.entries.iter().map(|(k, v)| (*k, *v))
     }
 }
 

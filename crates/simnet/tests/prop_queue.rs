@@ -1,0 +1,141 @@
+//! Property-based equivalence test between the timer-wheel event queue
+//! (plus the adaptive heap→wheel hybrid) and the reference binary heap.
+//!
+//! The determinism of every simulation in the workspace rests on the event
+//! queue's ordering contract — strict `(time, seq)` order, same-instant
+//! FIFO, cancellation by id. The timer wheel reimplements that contract
+//! with very different machinery (per-level slots, cascades, an overflow
+//! heap), so this test drives both backends through random
+//! schedule/cancel/pop interleavings — including same-instant bursts and
+//! far-future events that exercise the overflow path — and asserts the
+//! dequeued `(time, payload)` streams are identical.
+
+use proptest::prelude::*;
+
+use palladium_simnet::{EventQueue, Nanos, QueueKind};
+
+/// One step of a randomized queue workload. Delays are relative to the
+/// time of the last popped event, mirroring how `Sim` drives the queue
+/// (nothing schedules into the past).
+#[derive(Clone, Debug)]
+enum Op {
+    /// Schedule at `now + delay` for a near-future delay (wheel levels
+    /// 0–2; delay 0 creates same-instant bursts at the cursor).
+    Near(u32),
+    /// Schedule at `now + delay` for a mid/far delay spanning the upper
+    /// wheel levels.
+    Far(u32),
+    /// Schedule beyond the wheel horizon (overflow heap), `extra` past it.
+    Overflow(u32),
+    /// Schedule a same-instant burst of `n` events at one future time.
+    Burst(u8, u16),
+    /// Cancel the i-th issued id (modulo issued count) — may target fired,
+    /// pending, or already-cancelled events.
+    Cancel(usize),
+    /// Pop one event.
+    Pop,
+    /// Compare `peek_time` across backends (also exercises lazy discard of
+    /// cancelled heads).
+    Peek,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0u32..5_000).prop_map(Op::Near),
+        2 => (0u32..20_000_000).prop_map(Op::Far),
+        1 => (0u32..10_000).prop_map(Op::Overflow),
+        1 => ((1u8..8), (0u16..2_000)).prop_map(|(n, d)| Op::Burst(n, d)),
+        2 => (0usize..256).prop_map(Op::Cancel),
+        4 => Just(Op::Pop),
+        2 => Just(Op::Peek),
+    ]
+}
+
+/// The wheel horizon in nanoseconds (2^30; see `palladium_simnet::queue`).
+const HORIZON: u64 = 1 << 30;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn wheel_and_heap_dequeue_identically(
+        ops in proptest::collection::vec(op_strategy(), 1..400),
+    ) {
+        let mut wheel: EventQueue<u64> = EventQueue::with_kind(QueueKind::TimerWheel);
+        let mut adapt: EventQueue<u64> = EventQueue::with_kind(QueueKind::Adaptive);
+        let mut heap: EventQueue<u64> = EventQueue::with_kind(QueueKind::BinaryHeap);
+        let mut ids = Vec::new();
+        let mut now = 0u64;
+        let mut payload = 0u64;
+
+        let schedule = |wheel: &mut EventQueue<u64>,
+                        adapt: &mut EventQueue<u64>,
+                        heap: &mut EventQueue<u64>,
+                        ids: &mut Vec<_>,
+                        payload: &mut u64,
+                        at: Nanos| {
+            let a = wheel.schedule_at(at, *payload);
+            let c = adapt.schedule_at(at, *payload);
+            let b = heap.schedule_at(at, *payload);
+            *payload += 1;
+            ids.push((a, c, b));
+        };
+
+        for op in ops {
+            match op {
+                Op::Near(d) | Op::Far(d) => {
+                    schedule(&mut wheel, &mut adapt, &mut heap, &mut ids, &mut payload,
+                             Nanos(now + d as u64));
+                }
+                Op::Overflow(extra) => {
+                    schedule(&mut wheel, &mut adapt, &mut heap, &mut ids, &mut payload,
+                             Nanos(now + HORIZON + extra as u64));
+                }
+                Op::Burst(n, d) => {
+                    for _ in 0..n {
+                        schedule(&mut wheel, &mut adapt, &mut heap, &mut ids, &mut payload,
+                                 Nanos(now + d as u64));
+                    }
+                }
+                Op::Cancel(i) => {
+                    if !ids.is_empty() {
+                        let (a, c, b) = ids[i % ids.len()];
+                        wheel.cancel(a);
+                        adapt.cancel(c);
+                        heap.cancel(b);
+                    }
+                }
+                Op::Pop => {
+                    let w = wheel.pop();
+                    let c = adapt.pop();
+                    let h = heap.pop();
+                    prop_assert_eq!(&w, &h, "pop diverged");
+                    prop_assert_eq!(&c, &h, "adaptive pop diverged");
+                    if let Some((t, _)) = w {
+                        now = t.0;
+                    }
+                }
+                Op::Peek => {
+                    prop_assert_eq!(wheel.peek_time(), heap.peek_time(), "peek diverged");
+                    prop_assert_eq!(adapt.peek_time(), heap.peek_time(), "adaptive peek diverged");
+                }
+            }
+        }
+
+        // Drain both to the end: the full remaining (time, payload)
+        // sequence must match, and both must report empty.
+        loop {
+            let w = wheel.pop();
+            let c = adapt.pop();
+            let h = heap.pop();
+            prop_assert_eq!(&w, &h, "drain diverged");
+            prop_assert_eq!(&c, &h, "adaptive drain diverged");
+            if w.is_none() {
+                break;
+            }
+        }
+        prop_assert_eq!(wheel.pop(), None);
+        prop_assert_eq!(adapt.pop(), None);
+        prop_assert_eq!(heap.pop(), None);
+    }
+}

@@ -1,0 +1,156 @@
+//! Golden-trace determinism tests for the DES kernel.
+//!
+//! Every driver runs with a fixed seed and its report is compared
+//! byte-for-byte against the checked-in snapshot in
+//! `tests/golden/simcore_golden.txt`, captured *before* the timer-wheel /
+//! dense-table kernel swap. Any change to event ordering, RNG consumption
+//! or table iteration anywhere in the stack shows up here as a diff — the
+//! kernel optimizations are provably behavior-preserving.
+//!
+//! To regenerate after an *intentional* simulation change:
+//! `GOLDEN_REGEN=1 cargo test -q --test golden_traces` and commit the
+//! updated snapshot together with the change that explains it.
+
+use palladium_core::driver::chain::{
+    AppSpec, ChainSim, ChainSimConfig, ChainSpec, FnSpec, HopSpec,
+};
+use palladium_core::driver::fairness::{FairnessSim, FairnessSimConfig};
+use palladium_core::driver::ingress_sweep::{IngressSim, IngressSimConfig};
+use palladium_core::dwrr::SchedPolicy;
+use palladium_core::system::{IngressKind, SystemKind};
+use palladium_membuf::FnId;
+use palladium_simnet::{LoadReport, Nanos};
+
+/// Hex-exact rendering of an `f64` (no shortest-repr ambiguity).
+fn f(x: f64) -> String {
+    format!("{:016x}", x.to_bits())
+}
+
+fn load_line(tag: &str, r: &LoadReport) -> String {
+    format!(
+        "{tag}: rps={} mean={} p99={} completed={}",
+        f(r.rps),
+        r.mean_latency.as_nanos(),
+        r.p99_latency.as_nanos(),
+        r.completed
+    )
+}
+
+/// The same 4-function / 5-hop app the chain driver's unit tests use.
+fn golden_app() -> AppSpec {
+    let us = Nanos::from_micros;
+    AppSpec {
+        functions: vec![
+            FnSpec { id: FnId(1), name: "A", node: 0, exec: us(15) },
+            FnSpec { id: FnId(2), name: "B", node: 1, exec: us(10) },
+            FnSpec { id: FnId(3), name: "C", node: 1, exec: us(10) },
+            FnSpec { id: FnId(4), name: "D", node: 0, exec: us(12) },
+        ],
+        chains: vec![ChainSpec {
+            name: "golden-chain",
+            entry: FnId(1),
+            hops: vec![
+                HopSpec { from: FnId(1), to: FnId(2), bytes: 512 },
+                HopSpec { from: FnId(2), to: FnId(3), bytes: 1024 },
+                HopSpec { from: FnId(3), to: FnId(2), bytes: 256 },
+                HopSpec { from: FnId(2), to: FnId(4), bytes: 512 },
+                HopSpec { from: FnId(4), to: FnId(1), bytes: 256 },
+            ],
+            req_bytes: 256,
+            resp_bytes: 512,
+        }],
+    }
+}
+
+fn golden_trace() -> String {
+    let mut out = String::new();
+
+    // Chain driver, every inter-node data plane.
+    for sys in [
+        SystemKind::PalladiumDne,
+        SystemKind::PalladiumCne,
+        SystemKind::Spright,
+        SystemKind::FuyaoF,
+        SystemKind::NightCore,
+    ] {
+        let r = ChainSim::new(
+            ChainSimConfig::new(sys, golden_app(), 0)
+                .clients(12)
+                .warmup_ms(30)
+                .duration_ms(90),
+        )
+        .run();
+        out.push_str(&load_line(&format!("chain/{sys:?}"), &r.load));
+        out.push_str(&format!(
+            " sw_bytes={} sw_ops={} dma_bytes={} cpu={} dpu={}\n",
+            r.software_copy_bytes,
+            r.software_copy_ops,
+            r.rnic_dma_bytes,
+            f(r.cpu_util_pct),
+            f(r.dpu_util_pct)
+        ));
+    }
+
+    // Ingress sweep, all three designs.
+    for kind in [
+        IngressKind::Palladium,
+        IngressKind::FStackDeferred,
+        IngressKind::KernelDeferred,
+    ] {
+        let r = IngressSim::new(IngressSimConfig::fig13(kind, 24)).sweep();
+        out.push_str(&load_line(&format!("ingress/{kind:?}"), &r));
+        out.push('\n');
+    }
+
+    // Fairness driver, both scheduling policies at a small time scale.
+    for policy in [SchedPolicy::Dwrr, SchedPolicy::Fcfs] {
+        let r = FairnessSim::new(FairnessSimConfig::paper(policy, 0.02)).run();
+        out.push_str(&format!("fairness/{policy:?}: totals="));
+        for (t, n) in &r.totals {
+            out.push_str(&format!("{}:{} ", t.raw(), n));
+        }
+        out.push_str("series=");
+        for (t, s) in &r.series {
+            let sum: f64 = s.iter().map(|&(_, rps)| rps).sum();
+            out.push_str(&format!("{}:{}@{} ", t.raw(), f(sum), s.len()));
+        }
+        out.push('\n');
+    }
+
+    out
+}
+
+#[test]
+fn reports_match_checked_in_snapshot() {
+    let got = golden_trace();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/simcore_golden.txt");
+    if std::env::var("GOLDEN_REGEN").is_ok() {
+        std::fs::create_dir_all(std::path::Path::new(path).parent().unwrap()).unwrap();
+        std::fs::write(path, &got).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(path).expect(
+        "golden snapshot missing — run with GOLDEN_REGEN=1 to create it",
+    );
+    assert_eq!(
+        got, want,
+        "simulation output diverged from the golden snapshot"
+    );
+}
+
+#[test]
+fn heap_backend_reproduces_the_same_snapshot() {
+    // The legacy binary-heap queue must produce the *same* bytes as the
+    // timer wheel: the backend is an optimization, never a semantics
+    // change. (The kind override is thread-local, so this does not affect
+    // concurrently running tests.)
+    palladium_simnet::set_queue_kind(palladium_simnet::QueueKind::BinaryHeap);
+    let got = golden_trace();
+    palladium_simnet::set_queue_kind(palladium_simnet::QueueKind::TimerWheel);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/simcore_golden.txt");
+    if std::env::var("GOLDEN_REGEN").is_ok() {
+        return; // snapshot written by the wheel-backend test
+    }
+    let want = std::fs::read_to_string(path).expect("golden snapshot present");
+    assert_eq!(got, want, "heap backend diverged from the golden snapshot");
+}

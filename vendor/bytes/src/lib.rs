@@ -16,18 +16,31 @@ use std::ops::{Deref, DerefMut};
 use std::sync::Arc;
 
 /// A cheaply clonable, contiguous, immutable byte buffer.
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct Bytes {
     data: Arc<[u8]>,
-    start: usize,
-    end: usize,
+    // u32 offsets keep the handle at 24 bytes — `Bytes` rides inside the
+    // simulator's event enums, so its size is on the DES hot path. Buffers
+    // larger than 4 GiB are rejected at construction.
+    start: u32,
+    end: u32,
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
 }
 
 impl Bytes {
-    /// An empty buffer.
+    /// An empty buffer. Allocation-free: every empty `Bytes` shares one
+    /// static backing `Arc` (empty buffers are constructed per completion
+    /// on simulation hot paths; upstream `bytes` is likewise alloc-free
+    /// here).
     pub fn new() -> Self {
+        static EMPTY: std::sync::OnceLock<Arc<[u8]>> = std::sync::OnceLock::new();
         Bytes {
-            data: Arc::from(&[][..]),
+            data: Arc::clone(EMPTY.get_or_init(|| Arc::from(&[][..]))),
             start: 0,
             end: 0,
         }
@@ -38,6 +51,27 @@ impl Bytes {
         Bytes::from(s.to_vec())
     }
 
+    /// A buffer of `len` zero bytes with `prefix` written at the start.
+    ///
+    /// Builds the shared allocation directly (`Arc::new_zeroed_slice`), so
+    /// unlike `Bytes::from(vec![0; len])` there is no intermediate vector
+    /// and no full-length copy — simulators fabricate payloads like this on
+    /// their hot paths. (This is an extension over upstream `bytes`.)
+    pub fn zeroed_with_prefix(len: usize, prefix: &[u8]) -> Bytes {
+        assert!(prefix.len() <= len, "prefix longer than the buffer");
+        assert!(len <= u32::MAX as usize, "Bytes buffers are capped at 4 GiB");
+        let zeroed = Arc::<[u8]>::new_zeroed_slice(len);
+        // SAFETY: zeroed `MaybeUninit<u8>` is a valid initialized `u8`.
+        let mut data: Arc<[u8]> = unsafe { zeroed.assume_init() };
+        Arc::get_mut(&mut data).expect("freshly allocated")[..prefix.len()]
+            .copy_from_slice(prefix);
+        Bytes {
+            data,
+            start: 0,
+            end: len as u32,
+        }
+    }
+
     /// Copy `src` into a new buffer.
     pub fn copy_from_slice(src: &[u8]) -> Self {
         Bytes::from(src.to_vec())
@@ -45,7 +79,7 @@ impl Bytes {
 
     /// Length in bytes.
     pub fn len(&self) -> usize {
-        self.end - self.start
+        (self.end - self.start) as usize
     }
 
     /// True when the buffer holds no bytes.
@@ -55,7 +89,7 @@ impl Bytes {
 
     /// The bytes as a slice.
     pub fn as_slice(&self) -> &[u8] {
-        &self.data[self.start..self.end]
+        &self.data[self.start as usize..self.end as usize]
     }
 
     /// A sub-range view sharing the same backing allocation.
@@ -74,8 +108,8 @@ impl Bytes {
         assert!(lo <= hi && hi <= self.len(), "slice out of range");
         Bytes {
             data: Arc::clone(&self.data),
-            start: self.start + lo,
-            end: self.start + hi,
+            start: self.start + lo as u32,
+            end: self.start + hi as u32,
         }
     }
 
@@ -84,10 +118,10 @@ impl Bytes {
         assert!(at <= self.len());
         let tail = Bytes {
             data: Arc::clone(&self.data),
-            start: self.start + at,
+            start: self.start + at as u32,
             end: self.end,
         };
-        self.end = self.start + at;
+        self.end = self.start + at as u32;
         tail
     }
 
@@ -97,9 +131,9 @@ impl Bytes {
         let head = Bytes {
             data: Arc::clone(&self.data),
             start: self.start,
-            end: self.start + at,
+            end: self.start + at as u32,
         };
-        self.start += at;
+        self.start += at as u32;
         head
     }
 
@@ -112,10 +146,11 @@ impl Bytes {
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
         let len = v.len();
+        assert!(len <= u32::MAX as usize, "Bytes buffers are capped at 4 GiB");
         Bytes {
             data: Arc::from(v.into_boxed_slice()),
             start: 0,
-            end: len,
+            end: len as u32,
         }
     }
 }
@@ -376,7 +411,7 @@ impl Buf for Bytes {
     }
     fn advance(&mut self, cnt: usize) {
         assert!(cnt <= self.len());
-        self.start += cnt;
+        self.start += cnt as u32;
     }
 }
 

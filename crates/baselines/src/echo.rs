@@ -28,7 +28,8 @@ use palladium_core::driver::LoadReport;
 use palladium_dpu::{SocDma, SocDmaSpec};
 use palladium_membuf::{MmapExporter, NodeId, PoolId, Region, TenantId};
 use palladium_rdma::{
-    CqeKind, RdmaConfig, RdmaEvent, RdmaNet, RdmaOutput, RemoteAddr, RqEntry, WorkRequest, WrId,
+    Cqe, CqeKind, RdmaConfig, RdmaEvent, RdmaNet, RdmaOutput, RemoteAddr, RqEntry, WorkRequest,
+    WrId,
 };
 use palladium_simnet::{Effects, Engine, FifoServer, Harness, Nanos, RunStats};
 
@@ -170,6 +171,9 @@ struct EchoState {
     owdl_stage: Vec<OwdlStage>,
     next_wr: u64,
     payload: u32,
+    /// Reused CQ-drain scratch: each doorbell wakeup drains the node's
+    /// whole backlog into this buffer (no per-wakeup allocation).
+    cqe_scratch: Vec<Cqe>,
 }
 
 impl EchoState {
@@ -346,7 +350,13 @@ impl Engine for PrimitiveEngine {
                 for out in step.outputs {
                     match out {
                         RdmaOutput::CqReady { node } => {
-                            for cqe in self.st.net.poll_cq(node, 64) {
+                            // One doorbell wakeup retires the whole CQ
+                            // window (the doorbell stays down until the CQ
+                            // drains empty).
+                            let mut cqes = std::mem::take(&mut self.st.cqe_scratch);
+                            cqes.clear();
+                            self.st.net.drain_cq_into(node, &mut cqes);
+                            for cqe in cqes.drain(..) {
                                 if let CqeKind::Recv = cqe.kind {
                                     // Keep the RQ replenished (the core-
                                     // thread duty, §3.5.2) so senders never
@@ -355,6 +365,7 @@ impl Engine for PrimitiveEngine {
                                     self.on_recv(now, fx, node, cqe.imm);
                                 }
                             }
+                            self.st.cqe_scratch = cqes;
                         }
                         RdmaOutput::WriteDelivered { node, imm, .. } => {
                             // Receiver is polling: visible after half a
@@ -432,8 +443,10 @@ impl Engine for PathModeEngine {
                 for out in step.outputs {
                     match out {
                         RdmaOutput::CqReady { node } => {
-                            let cqes = self.st.net.poll_cq(node, 64);
-                            for cqe in cqes {
+                            let mut cqes = std::mem::take(&mut self.st.cqe_scratch);
+                            cqes.clear();
+                            self.st.net.drain_cq_into(node, &mut cqes);
+                            for cqe in cqes.drain(..) {
                                 if let CqeKind::Recv = cqe.kind {
                                     self.st.post_rq(node, 1);
                                     let conn = cqe.imm as usize;
@@ -462,6 +475,7 @@ impl Engine for PathModeEngine {
                                     }
                                 }
                             }
+                            self.st.cqe_scratch = cqes;
                         }
                         RdmaOutput::RnrSeen { node, .. } => {
                             self.st.post_rq(node, 32);
@@ -506,6 +520,7 @@ impl EchoSim {
             owdl_stage: vec![OwdlStage::AwaitGrant; self.cfg.connections],
             next_wr: 1,
             payload: self.cfg.payload,
+            cqe_scratch: Vec::new(),
         };
         st.post_rq(CLIENT, 4 * self.cfg.connections as u64 + 64);
         st.post_rq(SERVER, 4 * self.cfg.connections as u64 + 64);

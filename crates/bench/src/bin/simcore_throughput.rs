@@ -8,18 +8,26 @@
 //! time across backends). It writes `BENCH_simcore.json`, the workspace's
 //! recorded kernel-performance trajectory.
 //!
-//! Two comparisons are recorded per driver:
+//! Three reference points are recorded per driver:
 //!
 //! * **`heap_queue`** — the same binary rerun with the legacy
 //!   `(BinaryHeap, tombstone set)` event queue (`QueueKind::BinaryHeap`),
 //!   isolating the timer-wheel swap on the same machine in the same
 //!   process;
-//! * **`before`** — wall times measured with this harness at the
-//!   pre-flattening seed commit (recorded constants below), i.e. heap
-//!   queue *plus* `HashMap` state tables *plus* per-frame clones. The
-//!   headline `speedup` compares `after` against this.
+//! * **`before`** — wall times measured with this harness at the PR 2
+//!   commit ("Flatten the DES hot path…", recorded constants below): the
+//!   baseline the current PR's batched completion pipeline + fixed-point
+//!   cost tables are judged against;
+//! * **`seed`** — the pre-flattening seed commit, keeping the full
+//!   trajectory visible.
 //!
-//! Usage: `simcore_throughput [--quick] [--out PATH]`
+//! Usage: `simcore_throughput [--quick] [--wheel-sweep] [--out PATH]`
+//!
+//! `--quick` shrinks the workloads for CI smoke runs (no seed/PR 2
+//! comparison; numbers are machine-relative). `--wheel-sweep` additionally
+//! measures the chain workload on the two timer-wheel geometries
+//! (`TimerWheel` = the default 6 bits × 5 levels vs `TimerWheelWide` =
+//! 8 × 4) and prints the comparison — the ROADMAP wheel-tuning record.
 
 use std::time::Instant;
 
@@ -33,7 +41,7 @@ use palladium_workloads::boutique::{self, ChainKind};
 /// (best of 3), measured with this harness on the development machine on
 /// 2026-07-29 at the pre-flattening commit ("Bootstrap the Cargo
 /// workspace..."). Only meaningful at scale 1.0; `--quick` runs skip the
-/// seed comparison.
+/// baseline comparisons.
 const SEED_CHAIN_WALL_S: f64 = 0.821;
 const SEED_INGRESS_WALL_S: f64 = 0.137;
 /// Events the *seed* kernel processed for the same workloads (it scheduled
@@ -42,6 +50,21 @@ const SEED_INGRESS_WALL_S: f64 = 0.137;
 /// reports). Seed events/sec uses the seed's own counts.
 const SEED_CHAIN_EVENTS: u64 = 2_017_098;
 const SEED_INGRESS_EVENTS: u64 = 1_559_476;
+
+/// PR 2 ("Flatten the DES hot path…") `after` numbers from the committed
+/// `BENCH_simcore.json`, same harness/machine/workloads, 2026-07-29 — the
+/// `before` this PR's batched completion pipeline is measured against.
+/// Events/sec is recorded directly (not rederived from the 3-decimal
+/// wall-clock) so the baseline reproduces the committed artifact exactly.
+const PR2_CHAIN_WALL_S: f64 = 0.397;
+const PR2_INGRESS_WALL_S: f64 = 0.107;
+const PR2_CHAIN_EVENTS: u64 = 1_894_694;
+const PR2_INGRESS_EVENTS: u64 = 1_559_476;
+const PR2_CHAIN_EPS: f64 = 4_775_811.0;
+const PR2_INGRESS_EPS: f64 = 14_560_116.0;
+/// Seed events/sec as recorded (seed event counts differ; see above).
+const SEED_CHAIN_EPS: f64 = 2_456_879.0;
+const SEED_INGRESS_EPS: f64 = 11_383_036.0;
 
 struct RunOut {
     events: u64,
@@ -87,11 +110,26 @@ fn best_of<F: FnMut() -> RunOut>(reps: usize, mut f: F) -> RunOut {
     best.expect("at least one rep")
 }
 
+/// A named recorded baseline.
+struct Baseline {
+    tag: &'static str,
+    wall_s: f64,
+    events: u64,
+    /// Events/sec as originally recorded (the wall-clock field is rounded
+    /// to 3 decimals, so rederiving would drift the committed artifact).
+    events_per_sec: f64,
+    source: &'static str,
+}
+
 struct DriverRecord {
     name: &'static str,
     wheel: RunOut,
     heap: RunOut,
-    seed: Option<(f64, u64)>,
+    /// `(before, seed)` baselines; absent on `--quick` runs.
+    baselines: Vec<Baseline>,
+    /// Events/s of a `--quick`-scale run on this machine (recorded on
+    /// full runs so CI can diff its own quick run like-for-like).
+    quick_reference: Option<f64>,
 }
 
 impl DriverRecord {
@@ -99,22 +137,27 @@ impl DriverRecord {
         let eps = |r: &RunOut| r.events as f64 / r.wall_s;
         let after = eps(&self.wheel);
         let heap = eps(&self.heap);
-        let seed_fields = match self.seed {
-            Some((wall, events)) => {
-                let seed = events as f64 / wall;
-                format!(
-                    "\"before\": {{\"events_per_sec\": {seed:.0}, \"events\": {events}, \"wall_s\": {wall:.3}, \
-                     \"source\": \"seed commit, same harness/machine, 2026-07-29\"}}, \
-                     \"speedup_vs_seed\": {:.2}, \"wall_speedup_vs_seed\": {:.2}, ",
-                    after / seed,
-                    wall / self.wheel.wall_s
-                )
-            }
-            None => String::new(),
-        };
+        let mut base_fields = String::new();
+        if let Some(q) = self.quick_reference {
+            base_fields.push_str(&format!("\"quick_reference\": {{\"events_per_sec\": {q:.0}}}, "));
+        }
+        for b in &self.baselines {
+            let base = b.events_per_sec;
+            base_fields.push_str(&format!(
+                "\"{tag}\": {{\"events_per_sec\": {base:.0}, \"events\": {events}, \
+                 \"wall_s\": {wall:.3}, \"source\": \"{source}\"}}, \
+                 \"speedup_vs_{tag}\": {:.2}, \"wall_speedup_vs_{tag}\": {:.2}, ",
+                after / base,
+                b.wall_s / self.wheel.wall_s,
+                tag = b.tag,
+                events = b.events,
+                wall = b.wall_s,
+                source = b.source,
+            ));
+        }
         format!(
             "    {{\"driver\": \"{}\", \"events\": {}, \"completed\": {}, \
-             {seed_fields}\"heap_queue\": {{\"events_per_sec\": {heap:.0}, \"wall_s\": {:.3}}}, \
+             {base_fields}\"heap_queue\": {{\"events_per_sec\": {heap:.0}, \"wall_s\": {:.3}}}, \
              \"after\": {{\"events_per_sec\": {after:.0}, \"wall_s\": {:.3}}}, \
              \"speedup_vs_heap_queue\": {:.2}}}",
             self.name,
@@ -127,9 +170,31 @@ impl DriverRecord {
     }
 }
 
+/// The ROADMAP wheel-tuning record: chain workload on both geometries.
+fn wheel_sweep(scale: f64, reps: usize) {
+    println!("wheel geometry sweep (chain workload, best of {reps}):");
+    let mut results = Vec::new();
+    for (label, kind) in [
+        ("6 bits x 5 levels (default)", QueueKind::TimerWheel),
+        ("8 bits x 4 levels (wide)", QueueKind::TimerWheelWide),
+    ] {
+        set_queue_kind(kind);
+        let r = best_of(reps, || run_chain(scale));
+        let eps = r.events as f64 / r.wall_s;
+        println!(
+            "  {label:>28}: {} events in {:.3}s = {eps:.0} events/s",
+            r.events, r.wall_s
+        );
+        results.push((label, eps));
+    }
+    set_queue_kind(QueueKind::Adaptive);
+    println!("  6/5 vs 8/4: {:.3}x", results[0].1 / results[1].1);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let sweep = args.iter().any(|a| a == "--wheel-sweep");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -138,19 +203,62 @@ fn main() {
         .unwrap_or_else(|| "BENCH_simcore.json".to_string());
     let (scale, reps) = if quick { (0.25, 1) } else { (1.0, 5) };
 
+    if sweep {
+        wheel_sweep(scale, reps);
+        for (label, kind) in [
+            ("ingress adaptive", QueueKind::Adaptive),
+            ("ingress wheel 6/5", QueueKind::TimerWheel),
+            ("ingress wheel 8/4", QueueKind::TimerWheelWide),
+            ("ingress std heap", QueueKind::BinaryHeap),
+        ] {
+            set_queue_kind(kind);
+            let r = best_of(reps, || run_ingress(scale));
+            println!("  {label}: {:.0} events/s", r.events as f64 / r.wall_s);
+        }
+        set_queue_kind(QueueKind::Adaptive);
+    }
+
     let mut records = Vec::new();
-    for (name, run, seed_wall, seed_events) in [
+    for (name, run, baselines) in [
         (
             "chain",
             run_chain as fn(f64) -> RunOut,
-            SEED_CHAIN_WALL_S,
-            SEED_CHAIN_EVENTS,
+            vec![
+                Baseline {
+                    tag: "before",
+                    wall_s: PR2_CHAIN_WALL_S,
+                    events: PR2_CHAIN_EVENTS,
+                    events_per_sec: PR2_CHAIN_EPS,
+                    source: "PR 2 (flattened DES hot path), same harness/machine, 2026-07-29",
+                },
+                Baseline {
+                    tag: "seed",
+                    wall_s: SEED_CHAIN_WALL_S,
+                    events: SEED_CHAIN_EVENTS,
+                    events_per_sec: SEED_CHAIN_EPS,
+                    source: "seed commit, same harness/machine, 2026-07-29",
+                },
+            ],
         ),
         (
             "ingress_sweep",
             run_ingress,
-            SEED_INGRESS_WALL_S,
-            SEED_INGRESS_EVENTS,
+            vec![
+                Baseline {
+                    tag: "before",
+                    wall_s: PR2_INGRESS_WALL_S,
+                    events: PR2_INGRESS_EVENTS,
+                    events_per_sec: PR2_INGRESS_EPS,
+                    source: "PR 2 (flattened DES hot path), same harness/machine, 2026-07-29",
+                },
+                Baseline {
+                    tag: "seed",
+                    wall_s: SEED_INGRESS_WALL_S,
+                    events: SEED_INGRESS_EVENTS,
+                    events_per_sec: SEED_INGRESS_EPS,
+                    source: "seed commit, same harness/machine, 2026-07-29",
+                },
+            ],
         ),
     ] {
         set_queue_kind(QueueKind::Adaptive);
@@ -163,11 +271,19 @@ fn main() {
             "{name}: backends must process identical event streams"
         );
         assert_eq!(wheel.completed, heap.completed);
+        // Full runs also record a quick-scale reference point so the CI
+        // smoke job can diff its own --quick run against the same-shape
+        // workload instead of the full-scale numbers.
+        let quick_reference = (!quick).then(|| {
+            let r = best_of(2, || run(0.25));
+            r.events as f64 / r.wall_s
+        });
         records.push(DriverRecord {
             name,
             wheel,
             heap,
-            seed: (!quick).then_some((seed_wall, seed_events)),
+            baselines: if quick { Vec::new() } else { baselines },
+            quick_reference,
         });
     }
 

@@ -8,7 +8,7 @@
 //! and client-level knobs plus derived helpers.
 
 use palladium_dpu::SocSpec;
-use palladium_simnet::Nanos;
+use palladium_simnet::{ByteCost, Nanos};
 
 /// Where a network engine runs.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -54,11 +54,11 @@ pub struct CostModel {
     /// receivers poll memory for arrivals; adds half an interval on
     /// average — we charge the deterministic mean).
     pub onesided_poll_interval: Nanos,
-    /// Receiver-side copy rate for OWRC designs, ns per byte, when the
-    /// copy hits cache (OWRC-Best, §4.1.2).
-    pub copy_ns_per_byte_hot: f64,
+    /// Receiver-side copy rate for OWRC designs (fixed-point ns/byte) when
+    /// the copy hits cache (OWRC-Best, §4.1.2).
+    pub copy_per_byte_hot: ByteCost,
     /// ... and when it goes to main memory (OWRC-Worst).
-    pub copy_ns_per_byte_cold: f64,
+    pub copy_per_byte_cold: ByteCost,
     /// Distributed-lock round trips for OWDL: lock request + grant (one
     /// fabric RTT) plus lock-manager processing per side.
     pub owdl_lock_proc: Nanos,
@@ -82,8 +82,8 @@ impl Default for CostModel {
             livelock_threshold: 2,
             client_wire: Nanos::from_micros(20),
             onesided_poll_interval: Nanos::from_micros(2),
-            copy_ns_per_byte_hot: 0.12,
-            copy_ns_per_byte_cold: 0.25,
+            copy_per_byte_hot: ByteCost::per_byte_ns(0.12),
+            copy_per_byte_cold: ByteCost::per_byte_ns(0.25),
             owdl_lock_proc: Nanos::from_micros(1),
             fuyao_engine_op: Nanos::from_nanos(5_000),
         }
@@ -124,11 +124,11 @@ impl CostModel {
     /// OWRC receiver-side copy cost for `bytes`.
     pub fn owrc_copy(&self, bytes: u64, cold: bool) -> Nanos {
         let rate = if cold {
-            self.copy_ns_per_byte_cold
+            self.copy_per_byte_cold
         } else {
-            self.copy_ns_per_byte_hot
+            self.copy_per_byte_hot
         };
-        Nanos((bytes as f64 * rate).round() as u64)
+        rate.cost(bytes)
     }
 }
 

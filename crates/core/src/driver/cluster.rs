@@ -27,7 +27,7 @@ use palladium_rdma::{
     WorkRequest, WrId,
 };
 use palladium_simnet::{Effects, Engine, FifoServer, IdTable, Nanos, RunStats, ServerBank, Slab};
-use palladium_tcpstack::{StackKind, TcpCosts};
+use palladium_tcpstack::{StackKind, TcpCostTable, TcpCosts};
 
 use super::chain::{ChainReport, ChainSimConfig, ChainSpec, INGRESS_FN};
 use super::LoadReport;
@@ -166,10 +166,16 @@ pub(crate) struct Cluster {
     /// WR ids, resolved on that worker's CQ only).
     fuyao_tx: Vec<Slab<BufToken>>,
 
-    // Channel costs.
+    // Channel costs. The TCP tables are per-size-class lookups: every
+    // payload size a run can charge (chain hops, request, response) is
+    // precomputed at build, so the steady-state rx/tx charge is one dense
+    // index.
     comch: ChannelCosts,
     skmsg: SkMsgCosts,
-    worker_tcp: TcpCosts,
+    worker_tcp: TcpCostTable,
+    /// SPRIGHT's inter-node legs always ride the kernel stack, whatever
+    /// the worker-side stack is.
+    internode_tcp: TcpCostTable,
 
     // Request state.
     reqs: Vec<ReqState>,
@@ -335,6 +341,16 @@ impl Cluster {
             SystemKind::Spright | SystemKind::FuyaoF => TcpCosts::for_kind(StackKind::FStack),
             _ => TcpCosts::for_kind(StackKind::Kernel),
         };
+        // Every payload size this run can charge over TCP.
+        let tcp_sizes = || {
+            chain
+                .hops
+                .iter()
+                .map(|h| h.bytes as u64)
+                .chain([chain.req_bytes as u64, chain.resp_bytes as u64])
+        };
+        let worker_tcp = TcpCostTable::new(worker_tcp, tcp_sizes());
+        let internode_tcp = TcpCostTable::new(TcpCosts::for_kind(StackKind::Kernel), tcp_sizes());
 
         let warmup = cfg.warmup;
         let mut cluster = Cluster {
@@ -365,6 +381,7 @@ impl Cluster {
             comch: ChannelCosts::for_kind(ChannelKind::ComchE),
             skmsg: SkMsgCosts::default(),
             worker_tcp,
+            internode_tcp,
             reqs: Vec::new(),
             inbound_tokens: (0..=INGRESS_NODE).map(|_| IdTable::new()).collect(),
             stats: RunStats::new(warmup),
@@ -534,26 +551,34 @@ impl Cluster {
     fn on_rdma_output(&mut self, now: Nanos, fx: &mut Effects<'_, Ev>, out: RdmaOutput) {
         match out {
             RdmaOutput::CqReady { node } => {
+                // One doorbell wakeup surfaces the whole CQ backlog: drain
+                // everything into the reused scratch, then retire it as one
+                // window (required for liveness — the doorbell stays down
+                // until the CQ goes empty).
                 let n = node.raw() as usize;
                 let mut cqes = std::mem::take(&mut self.cqe_scratch);
                 cqes.clear();
                 self.net
                     .as_mut()
                     .expect("rdma")
-                    .rnic_mut(node)
-                    .poll_cq_into(64, &mut cqes);
-                for cqe in cqes.drain(..) {
-                    if n == INGRESS_NODE {
-                        self.on_ingress_cqe(now, fx, cqe);
-                    } else if self.spec.inter_node == InterNode::TwoSidedRdma {
-                        let mut step = std::mem::take(&mut self.dne_fx);
-                        self.dnes[n].submit_cqe_into(now, cqe, &mut step);
-                        self.apply_dne_step(fx, n, &mut step);
-                        self.dne_fx = step;
-                    } else if let CqeKind::SendDone(_) = cqe.kind {
-                        // FUYAO: free the sender-side buffer on completion.
-                        if let Some(token) = self.fuyao_tx[n].remove(cqe.wr_id.0) {
-                            let _ = self.pools[n].free(token);
+                    .drain_cq_into(node, &mut cqes);
+                if n != INGRESS_NODE && self.spec.inter_node == InterNode::TwoSidedRdma {
+                    // Palladium engines take the batched path: the entire
+                    // window feeds the DNE RX queue in one call, one kick.
+                    let mut step = std::mem::take(&mut self.dne_fx);
+                    self.dnes[n].drain_cq_into(now, &mut cqes, &mut step);
+                    self.apply_dne_step(fx, n, &mut step);
+                    self.dne_fx = step;
+                } else {
+                    for cqe in cqes.drain(..) {
+                        if n == INGRESS_NODE {
+                            self.on_ingress_cqe(now, fx, cqe);
+                        } else if let CqeKind::SendDone(_) = cqe.kind {
+                            // FUYAO: free the sender-side buffer on
+                            // completion.
+                            if let Some(token) = self.fuyao_tx[n].remove(cqe.wr_id.0) {
+                                let _ = self.pools[n].free(token);
+                            }
                         }
                     }
                 }
@@ -747,8 +772,7 @@ impl Cluster {
                 // SPRIGHT: serialize out through the node engine over
                 // kernel TCP — a software copy at each end.
                 let send_done = self.on_fn_core(n, now, self.skmsg.send_cpu);
-                let tcp = TcpCosts::for_kind(StackKind::Kernel);
-                let tx = tcp.tx(bytes as u64);
+                let tx = self.internode_tcp.tx(bytes as u64);
                 let done = self.on_engine(n, send_done + self.skmsg.transit, tx);
                 fx.at(done, Ev::EngineRelease { n });
                 self.meters[n].record(MoveKind::Software, bytes as u64);

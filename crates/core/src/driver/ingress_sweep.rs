@@ -155,7 +155,13 @@ impl IngressPath {
     }
 
     fn client_of(&self, conn: usize) -> usize {
-        conn / self.cfg.conns_per_client
+        // One connection per client (the Fig 13 sweep) must not pay a
+        // hardware divide per leg.
+        if self.cfg.conns_per_client == 1 {
+            conn
+        } else {
+            conn / self.cfg.conns_per_client
+        }
     }
 
     /// Gateway inbound leg.

@@ -115,9 +115,16 @@ impl IngressGateway {
         &self.model
     }
 
-    /// RSS: assign a client's connection to a worker.
+    /// RSS: assign a client's connection to a worker. The single-worker
+    /// case (every Fig 13 run pins one core) skips the hardware divide —
+    /// a measurable cost when this runs once per leg on the hot path.
+    #[inline]
     pub fn rss_worker(&self, client: usize) -> usize {
-        client % self.active
+        if self.active == 1 {
+            0
+        } else {
+            client % self.active
+        }
     }
 
     fn leg_service(&self, leg: Leg, req_bytes: u64, resp_bytes: u64, backlog: u64) -> Nanos {

@@ -10,22 +10,27 @@
 use std::collections::HashMap;
 
 use palladium_membuf::{FnId, NodeId, TenantId};
-use palladium_simnet::IdTable;
+use palladium_simnet::PageTable;
 
 /// One node's view of the routing state.
 ///
-/// Both tables are dense [`IdTable`]s indexed by the raw function id: the
-/// DNE consults `node_of` for every TX descriptor and the I/O library
-/// consults `is_local` for every hand-off, so a route query is an index —
-/// not a hash — on the hot path. The control-plane [`Coordinator`] keeps
-/// the sparse authoritative map and materializes these per node.
+/// Both tables are two-level [`PageTable`]s over the 16-bit fn-id space
+/// (256×256): the DNE consults `node_of` for every TX descriptor and the
+/// I/O library consults `is_local` for every hand-off, so a route query is
+/// two indexes — not a hash — on the hot path, while a node routing a
+/// sparse production-scale slice of the fn-id space allocates only the
+/// pages it touches instead of one dense 64 Ki-entry vector per node.
+/// Small fn-id ranges (< 256, every paper topology) stay on the dense
+/// fast path through the pre-allocated first page. The control-plane
+/// [`Coordinator`] keeps the sparse authoritative map and materializes
+/// these per node.
 #[derive(Debug, Default, Clone)]
 pub struct RouteTables {
     /// Functions running on this node (fn → owning tenant).
-    local: IdTable<TenantId>,
+    local: PageTable<TenantId>,
     /// Function → node for every function in the cluster (inter-node table,
     /// kept on the DPU for the DNE's TX stage).
-    global: IdTable<NodeId>,
+    global: PageTable<NodeId>,
 }
 
 impl RouteTables {
@@ -56,6 +61,12 @@ impl RouteTables {
     /// Locally deployed functions, in ascending id order.
     pub fn local_functions(&self) -> Vec<FnId> {
         self.local.iter().map(|(f, _)| FnId(f as u16)).collect()
+    }
+
+    /// Pages allocated across both tables (memory-footprint diagnostics:
+    /// sparse fn-id populations should stay near the 2-page floor).
+    pub fn pages_allocated(&self) -> usize {
+        self.local.pages_allocated() + self.global.pages_allocated()
     }
 }
 
@@ -170,6 +181,33 @@ mod tests {
         assert!(!t.is_local(FnId(1)));
         assert_eq!(t.node_of(FnId(1)), None);
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn sparse_fn_ids_stay_sparse_in_memory() {
+        // Production-scale fn ids scattered across the 16-bit space: the
+        // per-node tables must allocate only the touched 256-entry pages
+        // (plus the always-present first page per table), not 64 Ki slots.
+        let mut c = Coordinator::new();
+        for f in [1u16, 300, 9_000, 40_000, 65_535] {
+            c.apply(DeployEvent::Created {
+                f: FnId(f),
+                tenant: TenantId(1),
+                node: NodeId(f % 2),
+            });
+        }
+        let t = c.tables_for(NodeId(0));
+        // global: pages for ids {1}, {300}, {9000}, {40000}, {65535} → 5
+        // pages; local: first page + at most the pages of node-0 ids.
+        assert!(
+            t.pages_allocated() <= 10,
+            "pages {} — sparse ids must not densify",
+            t.pages_allocated()
+        );
+        assert_eq!(t.node_of(FnId(65_535)), Some(NodeId(1)));
+        assert_eq!(t.node_of(FnId(9_000)), Some(NodeId(0)));
+        assert!(t.is_local(FnId(40_000)));
+        assert_eq!(t.node_of(FnId(12_345)), None);
     }
 
     #[test]

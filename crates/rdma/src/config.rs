@@ -4,7 +4,7 @@
 //! DESIGN.md §6). Changing these shifts absolute results but not the
 //! *shapes* the reproduction asserts (who wins, by what factor).
 
-use palladium_simnet::Nanos;
+use palladium_simnet::{ByteCost, Nanos};
 
 /// RDMA substrate configuration.
 #[derive(Clone, Copy, Debug)]
@@ -20,9 +20,11 @@ pub struct RdmaConfig {
     /// CQE generation).
     pub rx_pipeline: Nanos,
     /// Extra per-byte cost (PCIe DMA + memory) applied on each traversal
-    /// direction, in ns/byte. Calibrated so a 4 KB two-sided echo lands at
-    /// ≈11.6 µs vs ≈8.4 µs for 64 B (§4.1.2).
-    pub per_byte_ns: f64,
+    /// direction, as a precomputed fixed-point Q32.32 ns/byte multiplier
+    /// (charged on every received data frame — integer math only on that
+    /// path). Calibrated so a 4 KB two-sided echo lands at ≈11.6 µs vs
+    /// ≈8.4 µs for 64 B (§4.1.2).
+    pub per_byte: ByteCost,
     /// Cost from posting a WR to the NIC observing it (doorbell + WQE DMA).
     pub doorbell: Nanos,
     /// Per-message RoCE header bytes on the wire.
@@ -60,7 +62,7 @@ impl Default for RdmaConfig {
             propagation: Nanos::from_nanos(500),
             tx_pipeline: Nanos::from_nanos(800),
             rx_pipeline: Nanos::from_nanos(900),
-            per_byte_ns: 0.35,
+            per_byte: ByteCost::per_byte_ns(0.35),
             doorbell: Nanos::from_nanos(900),
             header_bytes: 40,
             ack_bytes: 64,
@@ -84,8 +86,8 @@ impl RdmaConfig {
     /// propagation + RX pipeline + per-byte DMA cost.
     pub fn one_way(&self, bytes: u64) -> Nanos {
         let wire = palladium_simnet::wire_time(bytes + self.header_bytes, self.link_gbps);
-        let dma = Nanos((bytes as f64 * self.per_byte_ns).round() as u64);
-        self.doorbell + self.tx_pipeline + wire + self.propagation + self.rx_pipeline + dma
+        self.doorbell + self.tx_pipeline + wire + self.propagation + self.rx_pipeline
+            + self.per_byte.cost(bytes)
     }
 }
 

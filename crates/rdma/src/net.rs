@@ -82,7 +82,11 @@ pub enum RdmaEvent {
 /// Externally visible effects of a step.
 #[derive(Clone, Debug)]
 pub enum RdmaOutput {
-    /// One or more completions were pushed to `node`'s shared CQ; poll it.
+    /// `node`'s shared CQ went non-empty and its doorbell was armed: drain
+    /// it (e.g. [`RdmaNet::drain_cq_into`]). At most one `CqReady` is
+    /// raised per node until the consumer drains the CQ empty (which
+    /// re-arms the doorbell), so the handler must retire the *whole*
+    /// backlog, not a fixed-size window.
     CqReady {
         /// Node whose CQ has entries.
         node: NodeId,
@@ -299,6 +303,15 @@ impl RdmaNet {
         self.rnic_mut(node).poll_cq(max)
     }
 
+    /// Drain the entire CQ backlog of `node` into `out` (appending),
+    /// re-arming the CQ doorbell. This is the batched consumer API: the
+    /// fabric raises at most one [`RdmaOutput::CqReady`] per node between
+    /// drains, so the handler for that one wakeup retires the whole
+    /// window.
+    pub fn drain_cq_into(&mut self, node: NodeId, out: &mut Vec<Cqe>) {
+        self.rnic_mut(node).drain_cq_into(out)
+    }
+
     /// Completions waiting on `node`.
     pub fn cq_depth(&self, node: NodeId) -> usize {
         self.rnic(node).cq_depth()
@@ -452,13 +465,12 @@ impl RdmaNet {
             (qp.tenant, qp.peer_node)
         };
         self.counters.add("ack_retired", retired.len() as u64);
-        let mut any = false;
+        let mut notify = false;
         for msg in retired.drain(..) {
             // READ completes on data arrival, not on request-ack.
             if msg.wr.op == OpKind::Read {
                 continue;
             }
-            any = true;
             let cqe = Cqe {
                 wr_id: msg.wr.wr_id,
                 kind: CqeKind::SendDone(msg.wr.op),
@@ -469,9 +481,9 @@ impl RdmaNet {
                 data: Bytes::new(),
                 imm: msg.wr.imm,
             };
-            self.rnic_mut(node).push_cqe(cqe);
+            notify |= self.rnic_mut(node).push_cqe(cqe);
         }
-        if any {
+        if notify {
             step.outputs.push(RdmaOutput::CqReady { node });
         }
         self.ack_scratch = retired;
@@ -486,6 +498,7 @@ impl RdmaNet {
             qp.set_error();
             (qp.drain(), qp.tenant, qp.peer_node)
         };
+        let mut notify = false;
         for wr in drained {
             let cqe = Cqe {
                 wr_id: wr.wr_id,
@@ -497,9 +510,11 @@ impl RdmaNet {
                 data: Bytes::new(),
                 imm: wr.imm,
             };
-            self.rnic_mut(node).push_cqe(cqe);
+            notify |= self.rnic_mut(node).push_cqe(cqe);
         }
-        step.outputs.push(RdmaOutput::CqReady { node });
+        if notify {
+            step.outputs.push(RdmaOutput::CqReady { node });
+        }
         step.outputs.push(RdmaOutput::QpError { node, qpn });
     }
 
@@ -545,8 +560,7 @@ impl RdmaNet {
                         PacketKind::ReadResp { data, .. } => data.len() as u64,
                         _ => 0,
                     };
-                    let dma = Nanos((payload as f64 * self.cfg.per_byte_ns).round() as u64);
-                    self.cfg.rx_pipeline + dma
+                    self.cfg.rx_pipeline + self.cfg.per_byte.cost(payload)
                 };
                 let rx = &mut self.rnic_mut(pkt.dst).rx_engine;
                 let done = rx.submit(now + extra, service);
@@ -678,8 +692,9 @@ impl RdmaNet {
                                     data: payload,
                                     imm,
                                 };
-                                self.rnic_mut(dst).push_cqe(cqe);
-                                step.outputs.push(RdmaOutput::CqReady { node: dst });
+                                if self.rnic_mut(dst).push_cqe(cqe) {
+                                    step.outputs.push(RdmaOutput::CqReady { node: dst });
+                                }
                             }
                             OpKind::Write => {
                                 step.outputs.push(RdmaOutput::WriteDelivered {
@@ -851,8 +866,9 @@ impl RdmaNet {
                     data,
                     imm: 0,
                 };
-                self.rnic_mut(node).push_cqe(cqe);
-                step.outputs.push(RdmaOutput::CqReady { node });
+                if self.rnic_mut(node).push_cqe(cqe) {
+                    step.outputs.push(RdmaOutput::CqReady { node });
+                }
             }
         }
     }

@@ -6,7 +6,10 @@
 //!   buffers from a single queue posted exclusively from that tenant's
 //!   private pool — the RNIC therefore always lands data in the right pool.
 //! * **One shared CQ per node.** Completions from every QP funnel into one
-//!   queue the DNE polls in its run-to-completion loop.
+//!   queue the DNE polls in its run-to-completion loop, guarded by an
+//!   event-channel-style doorbell: one notification per burst, re-armed
+//!   when the consumer drains the queue empty (§3.2's batched completion
+//!   retirement).
 //! * **QP context cache.** Only a bounded number of *active* QPs fit on-die;
 //!   beyond that every operation pays a thrash penalty — the reason the DNE
 //!   caps active QPs via shadow-QP management.
@@ -57,6 +60,12 @@ pub struct Rnic {
     rqs: IdTable<VecDeque<RqEntry>>,
     /// Shared completion queue (single per node).
     cq: VecDeque<Cqe>,
+    /// CQ event-channel doorbell: armed ⇔ the next pushed CQE should
+    /// raise a `CqReady` notification. Disarmed by that push, re-armed
+    /// when the consumer drains the CQ empty — so a burst of completions
+    /// costs one notification per node per wakeup instead of one per
+    /// push-site, exactly like a verbs completion channel.
+    cq_armed: bool,
     mrs: MrTable,
     /// Egress port: serializes outbound frames at line rate.
     pub egress: FifoServer,
@@ -74,6 +83,7 @@ impl Rnic {
             qps: Vec::new(),
             rqs: IdTable::new(),
             cq: VecDeque::new(),
+            cq_armed: true,
             mrs: MrTable::new(),
             egress: FifoServer::new(format!("rnic{}-egress", node.raw())),
             rx_engine: FifoServer::new(format!("rnic{}-rx", node.raw())),
@@ -165,9 +175,13 @@ impl Rnic {
         self.rq_depth(tenant) > 0
     }
 
-    /// Push a completion onto the shared CQ.
-    pub fn push_cqe(&mut self, cqe: Cqe) {
+    /// Push a completion onto the shared CQ. Returns `true` when the
+    /// doorbell was armed — the caller must then surface one `CqReady`
+    /// notification (and the doorbell disarms until the CQ drains).
+    #[must_use = "an armed push must surface a CqReady notification"]
+    pub fn push_cqe(&mut self, cqe: Cqe) -> bool {
         self.cq.push_back(cqe);
+        std::mem::take(&mut self.cq_armed)
     }
 
     /// Poll up to `max` completions (the DNE RX stage).
@@ -178,10 +192,24 @@ impl Rnic {
     }
 
     /// [`Rnic::poll_cq`] into a caller-owned buffer (appends), so pollers
-    /// on the hot path can reuse one scratch allocation.
+    /// on the hot path can reuse one scratch allocation. Re-arms the CQ
+    /// doorbell only when the poll leaves the CQ empty — a consumer using
+    /// a bounded window must keep polling until empty (or use
+    /// [`Rnic::drain_cq_into`]) or it will not be notified again.
     pub fn poll_cq_into(&mut self, max: usize, out: &mut Vec<Cqe>) {
         let n = max.min(self.cq.len());
         out.extend(self.cq.drain(..n));
+        if self.cq.is_empty() {
+            self.cq_armed = true;
+        }
+    }
+
+    /// Drain the *entire* CQ backlog into `out` (appending) and re-arm the
+    /// doorbell: the windowed-drain consumer API — one `CqReady` wakeup
+    /// surfaces everything the CQ accumulated.
+    pub fn drain_cq_into(&mut self, out: &mut Vec<Cqe>) {
+        out.extend(self.cq.drain(..));
+        self.cq_armed = true;
     }
 
     /// Completions waiting.
@@ -274,26 +302,54 @@ mod tests {
         assert!(a.qp(Qpn(99)).is_err());
     }
 
+    fn cqe(i: u64) -> Cqe {
+        Cqe {
+            wr_id: WrId(i),
+            kind: crate::verbs::CqeKind::Recv,
+            status: crate::verbs::CqeStatus::Success,
+            qpn: Qpn(1),
+            tenant: TenantId(1),
+            peer: NodeId(1),
+            data: bytes::Bytes::new(),
+            imm: 0,
+        }
+    }
+
     #[test]
     fn shared_cq_drains_in_order() {
         let mut r = registered_rnic();
         for i in 0..5u64 {
-            r.push_cqe(Cqe {
-                wr_id: WrId(i),
-                kind: crate::verbs::CqeKind::Recv,
-                status: crate::verbs::CqeStatus::Success,
-                qpn: Qpn(1),
-                tenant: TenantId(1),
-                peer: NodeId(1),
-                data: bytes::Bytes::new(),
-                imm: 0,
-            });
+            let _ = r.push_cqe(cqe(i));
         }
         let first = r.poll_cq(3);
         assert_eq!(first.len(), 3);
         assert_eq!(first[0].wr_id, WrId(0));
         assert_eq!(r.cq_depth(), 2);
         assert_eq!(r.poll_cq(10).len(), 2);
+    }
+
+    #[test]
+    fn cq_doorbell_coalesces_notifications() {
+        let mut r = registered_rnic();
+        // First push of a burst notifies; the rest of the burst does not.
+        assert!(r.push_cqe(cqe(0)), "armed doorbell fires");
+        assert!(!r.push_cqe(cqe(1)), "disarmed until drained");
+        assert!(!r.push_cqe(cqe(2)));
+        // A partial poll leaves the CQ non-empty: still disarmed — the
+        // consumer owns the backlog until it drains to empty.
+        assert_eq!(r.poll_cq(2).len(), 2);
+        assert!(!r.push_cqe(cqe(3)), "non-empty CQ keeps doorbell down");
+        // Full drain re-arms.
+        let mut out = Vec::new();
+        r.drain_cq_into(&mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(r.cq_depth(), 0);
+        assert!(r.push_cqe(cqe(4)), "drained CQ re-armed the doorbell");
+        // poll_cq_into to empty also re-arms.
+        out.clear();
+        r.poll_cq_into(16, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(r.push_cqe(cqe(5)));
     }
 
     #[test]

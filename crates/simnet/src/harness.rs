@@ -257,11 +257,9 @@ impl<Ev> Harness<Ev> {
     pub fn run<E: Engine<Ev = Ev>>(&mut self, engine: &mut E, deadline: Nanos) -> u64 {
         let mut processed = 0u64;
         loop {
-            match self.sim.peek_time() {
-                Some(t) if t <= deadline => {}
-                _ => break,
-            }
-            let (now, ev) = self.sim.next().expect("peeked entry vanished");
+            let Some((now, ev)) = self.sim.next_until(deadline) else {
+                break;
+            };
             processed += 1;
             let mut fx = Effects {
                 now,

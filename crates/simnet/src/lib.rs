@@ -35,10 +35,10 @@ pub mod time;
 pub use fault::{FaultPlan, Verdict};
 pub use harness::{Effects, Engine, Harness, LoadReport, RunStats};
 pub use queue::{queue_kind, set_queue_kind, EventId, EventQueue, QueueKind};
-pub use table::{IdTable, Slab};
+pub use table::{IdTable, PageTable, Slab};
 pub use rate::TokenBucket;
 pub use rng::SimRng;
 pub use server::{FifoServer, ServerBank};
 pub use sim::{Sim, Timed};
 pub use stats::{Counters, Samples, UtilizationBins, WindowedRate};
-pub use time::{cycles_time, wire_time, Nanos};
+pub use time::{cycles_time, wire_time, ByteCost, Nanos};

@@ -7,22 +7,34 @@
 //!
 //! # Backends
 //!
-//! The workhorse backend is a **hierarchical timer wheel**: [`LEVELS`]
-//! wheels of 64 slots each with nanosecond granularity at level 0,
-//! occupancy bitmaps and per-slot minima for O(1) next-event scans, and an
-//! overflow binary heap for events beyond the wheel horizon (≈1.07 s ahead
-//! of the cursor). Scheduling is O(1); emitting the next same-instant
-//! batch costs one cached scan plus at most [`LEVELS`] redistributions per
-//! event over its lifetime — independent of the number of pending events,
-//! where the seed's `BinaryHeap` paid an O(log n) sift with full-entry
-//! moves on every operation.
+//! The workhorse backend is a **hierarchical timer wheel**, generic over
+//! its geometry (`BITS` = log2 slots per level, `LEVELS` wheels) with
+//! nanosecond granularity at level 0, occupancy bitmaps and per-slot
+//! minima for O(1) next-event scans, and an overflow binary heap for
+//! events beyond the wheel horizon (`2^(BITS·LEVELS)` ns ahead of the
+//! cursor). Scheduling is O(1); emitting the next same-instant batch
+//! costs one cached scan plus at most `LEVELS` redistributions per event
+//! over its lifetime — independent of the number of pending events, where
+//! the seed's `BinaryHeap` paid an O(log n) sift with full-entry moves on
+//! every operation.
+//!
+//! The wheel is generic over its geometry so alternatives stay one type
+//! parameter away. The ROADMAP BITS/LEVELS sweep compared the shipping
+//! [`WHEEL_BITS`]`=6`/[`WHEEL_LEVELS`]`=5` geometry (64-slot levels,
+//! ≈1.07 s horizon) against 8 bits × 4 levels (256-slot levels, ≈4.3 s
+//! horizon): the 6/5 geometry measured ~3.5 % faster on the chain
+//! workload (256-slot levels push the per-level working set past L1 and
+//! the fewer-redistributions advantage never materializes at these
+//! horizons; numbers in ROADMAP.md), so it stays the default. The 8/4
+//! geometry remains reachable as [`QueueKind::TimerWheelWide`] so the
+//! sweep is reproducible on any machine.
 //!
 //! The default [`QueueKind::Adaptive`] starts on the seed's binary heap —
 //! which stays cache-resident and unbeatable for small simulations — and
 //! migrates to the wheel when the pending population crosses
 //! [`ADAPTIVE_THRESHOLD`]. The heap implementation is also kept as
 //! [`QueueKind::BinaryHeap`]: the property tests dequeue the backends in
-//! lockstep to prove the wheel preserves the ordering contract, and the
+//! lockstep to prove the wheels preserve the ordering contract, and the
 //! `simcore_throughput` bench runs the drivers on both to measure the
 //! swap. [`set_queue_kind`] selects the backend for queues subsequently
 //! constructed on the current thread.
@@ -57,8 +69,13 @@ pub enum QueueKind {
     /// spill the cache. Migration is one-way (a simulation that grew once
     /// is expected to grow again) and observationally invisible.
     Adaptive,
-    /// The hierarchical timer wheel, unconditionally.
+    /// The hierarchical timer wheel, unconditionally, in the default
+    /// [`WHEEL_BITS`]/[`WHEEL_LEVELS`] geometry.
     TimerWheel,
+    /// The timer wheel in the alternative 8-bit/4-level geometry
+    /// (256-slot levels, ≈4.3 s horizon) — kept reachable so the
+    /// geometry sweep in ROADMAP.md stays reproducible on any machine.
+    TimerWheelWide,
     /// The seed's binary heap — kept as the reference for property tests
     /// and before/after benchmarking.
     BinaryHeap,
@@ -85,14 +102,40 @@ pub fn queue_kind() -> QueueKind {
 }
 
 struct Entry<M> {
-    at: Nanos,
-    seq: u64,
+    /// `(time << 64) | seq` — the full ordering key as one `u128`, so
+    /// every heap-sift comparison is a single branchless wide compare
+    /// instead of a `(time, seq)` lexicographic chain (pops on the
+    /// heap-resident drivers are the hottest comparisons in the
+    /// workspace).
+    key: u128,
     msg: M,
+}
+
+impl<M> Entry<M> {
+    #[inline]
+    fn new(at: Nanos, seq: u64, msg: M) -> Self {
+        Entry { key: ((at.0 as u128) << 64) | seq as u128, msg }
+    }
+
+    #[inline]
+    fn at(&self) -> Nanos {
+        Nanos((self.key >> 64) as u64)
+    }
+
+    #[inline]
+    fn seq(&self) -> u64 {
+        self.key as u64
+    }
+
+    #[inline]
+    fn set_at(&mut self, at: Nanos) {
+        self.key = ((at.0 as u128) << 64) | (self.key as u64 as u128);
+    }
 }
 
 impl<M> PartialEq for Entry<M> {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.key == other.key
     }
 }
 impl<M> Eq for Entry<M> {}
@@ -107,64 +150,68 @@ impl<M> Ord for Entry<M> {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; reverse so the earliest (time, seq) pops
         // first.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.key.cmp(&self.key)
     }
 }
 
-/// log2 of the slot count per wheel level.
-const BITS: u32 = 6;
-/// Slots per wheel level (one `u64` occupancy bitmap each).
-const SLOTS: usize = 1 << BITS;
-/// Wheel levels; level `k` has slot granularity `2^(6k)` ns, so the wheel
-/// horizon is `2^(6·LEVELS)` ns ≈ 1.07 s ahead of the cursor. Events
-/// beyond it go to the overflow heap.
-const LEVELS: usize = 5;
+/// Default wheel geometry: log2 of the slot count per level. 64-slot
+/// levels won the BITS/LEVELS sweep on the chain workload (see
+/// ROADMAP.md): the per-level slot array stays L1-resident, which beats
+/// the wider geometry's fewer-redistributions advantage.
+pub const WHEEL_BITS: u32 = 6;
+/// Default wheel levels; level `k` has slot granularity `2^(BITS·k)` ns,
+/// so the default horizon is `2^(6·5)` ns ≈ 1.07 s ahead of the cursor.
+/// Events beyond it go to the overflow heap.
+pub const WHEEL_LEVELS: usize = 5;
+/// The alternative wide geometry (256-slot levels, ≈4.3 s horizon),
+/// reachable via [`QueueKind::TimerWheelWide`].
+pub const WIDE_BITS: u32 = 8;
+/// Levels of the wide geometry.
+pub const WIDE_LEVELS: usize = 4;
 
 struct Slot<M> {
     entries: Vec<Entry<M>>,
-    /// Least `(time, seq)` among `entries`; only meaningful when
-    /// non-empty. Maintained on insert, reset when the slot drains — this
-    /// is what makes a non-mutating peek O(levels) instead of a scan over
+    /// Least entry key among `entries`; only meaningful when non-empty.
+    /// Maintained on insert, reset when the slot drains — this is what
+    /// makes a non-mutating peek O(levels) instead of a scan over
     /// (possibly thousands of) parked timers.
-    min: (u64, u64),
+    min: u128,
 }
 
 impl<M> Slot<M> {
     fn push(&mut self, e: Entry<M>) {
-        let key = (e.at.0, e.seq);
-        if self.entries.is_empty() || key < self.min {
-            self.min = key;
+        if self.entries.is_empty() || e.key < self.min {
+            self.min = e.key;
         }
         self.entries.push(e);
     }
 
     fn recompute_min(&mut self) {
-        self.min = self
-            .entries
-            .iter()
-            .map(|e| (e.at.0, e.seq))
-            .min()
-            .unwrap_or((0, 0));
+        self.min = self.entries.iter().map(|e| e.key).min().unwrap_or(0);
     }
 }
 
+/// Occupancy bitmap words per level: sized for the largest supported
+/// geometry (`BITS ≤ 8` ⇒ ≤ 256 slots ⇒ 4 words); narrower geometries use
+/// a prefix and loop bounds stay a compile-time constant per geometry.
+const OCC_WORDS: usize = 4;
+
 struct Level<M> {
-    /// Bit `s` set ⇔ `slots[s]` non-empty.
-    occupied: u64,
-    slots: [Slot<M>; SLOTS],
+    /// Bit `s & 63` of word `s >> 6` set ⇔ `slots[s]` non-empty.
+    occupied: [u64; OCC_WORDS],
+    slots: Box<[Slot<M>]>,
 }
 
 impl<M> Level<M> {
-    fn new() -> Self {
+    fn new(slots: usize) -> Self {
         Level {
-            occupied: 0,
-            slots: std::array::from_fn(|_| Slot {
-                entries: Vec::new(),
-                min: (0, 0),
-            }),
+            occupied: [0; OCC_WORDS],
+            slots: (0..slots)
+                .map(|_| Slot {
+                    entries: Vec::new(),
+                    min: 0,
+                })
+                .collect(),
         }
     }
 }
@@ -176,7 +223,7 @@ impl<M> Level<M> {
 /// cached instant cannot change the next batch), so steady-state operation
 /// performs one full scan per emitted batch rather than one per peek/pop.
 #[derive(Clone, Copy)]
-struct Scan {
+struct Scan<const LEVELS: usize> {
     tmin: u64,
     best_seq: u64,
     mask: u8,
@@ -184,31 +231,40 @@ struct Scan {
     heap: bool,
 }
 
-/// The hierarchical timer wheel.
+/// The hierarchical timer wheel, generic over its geometry: `BITS` = log2
+/// slots per level (≤ 8), `LEVELS` wheels (≤ 8).
 ///
 /// Invariants:
 /// * `base` ≤ the time of every stored event (the cursor; advances only
 ///   to the time of the earliest pending event);
-/// * an event at level `k` agrees with `base` on all bits above `6(k+1)`
-///   (enforced by XOR placement), so per level the occupied slots are
-///   never circularly behind the cursor and a slot never mixes windows;
+/// * an event at level `k` agrees with `base` on all bits above
+///   `BITS·(k+1)` (enforced by XOR placement), so per level the occupied
+///   slots are never circularly behind the cursor and a slot never mixes
+///   windows;
 /// * `current` holds the same-instant batch being drained, sorted by
 ///   sequence number descending (pop takes from the back).
-struct Wheel<M> {
+struct Wheel<M, const BITS: u32, const LEVELS: usize> {
     levels: Vec<Level<M>>,
     overflow: BinaryHeap<Entry<M>>,
     base: u64,
     current: Vec<Entry<M>>,
     /// Cascade scratch, reused so steady-state popping does not allocate.
     scratch: Vec<Entry<M>>,
-    scan: Option<Scan>,
+    scan: Option<Scan<LEVELS>>,
     len: usize,
 }
 
-impl<M> Wheel<M> {
+impl<M, const BITS: u32, const LEVELS: usize> Wheel<M, BITS, LEVELS> {
+    /// Slots per level.
+    const SLOTS: usize = 1 << BITS;
+    /// Occupancy-bitmap words actually in use for this geometry.
+    const WORDS: usize = Self::SLOTS.div_ceil(64);
+
     fn new() -> Self {
+        // `Scan.slots` is `[u8; LEVELS]` and `Scan.mask` one bit per level.
+        const { assert!(BITS <= 8 && LEVELS <= 8 && LEVELS >= 1) };
         Wheel {
-            levels: (0..LEVELS).map(|_| Level::new()).collect(),
+            levels: (0..LEVELS).map(|_| Level::new(Self::SLOTS)).collect(),
             overflow: BinaryHeap::new(),
             base: 0,
             current: Vec::new(),
@@ -218,12 +274,41 @@ impl<M> Wheel<M> {
         }
     }
 
+    #[inline]
+    fn occ_set(occ: &mut [u64; OCC_WORDS], slot: usize) {
+        occ[slot >> 6] |= 1 << (slot & 63);
+    }
+
+    #[inline]
+    fn occ_clear(occ: &mut [u64; OCC_WORDS], slot: usize) {
+        occ[slot >> 6] &= !(1 << (slot & 63));
+    }
+
+    /// First occupied slot at index ≥ `pos`, or `None`. The XOR-placement
+    /// invariant keeps every occupied slot at or after the cursor's
+    /// position within its level window, so no circular wrap is needed.
+    #[inline]
+    fn occ_first_from(occ: &[u64; OCC_WORDS], pos: usize) -> Option<usize> {
+        let mut w = pos >> 6;
+        let mut word = occ[w] & (!0u64 << (pos & 63));
+        loop {
+            if word != 0 {
+                return Some((w << 6) + word.trailing_zeros() as usize);
+            }
+            w += 1;
+            if w >= Self::WORDS {
+                return None;
+            }
+            word = occ[w];
+        }
+    }
+
     fn push(&mut self, at: Nanos, seq: u64, msg: M) {
         // The Sim layer already clamps past scheduling to "now"; the wheel
         // cannot represent times behind its cursor, so enforce the clamp.
         let at = Nanos(at.0.max(self.base));
         self.len += 1;
-        let loc = self.place(Entry { at, seq, msg });
+        let loc = self.place(Entry::new(at, seq, msg));
         // Keep the earliest-instant cache valid: only a push at or before
         // the cached instant can matter for the next batch. (A same-level
         // push at the cached instant always lands in — or before — that
@@ -260,10 +345,10 @@ impl<M> Wheel<M> {
     /// current cursor; returns the `(level, slot)` it landed in (`None` for
     /// the overflow heap). Used by both fresh pushes and redistribution.
     fn place(&mut self, e: Entry<M>) -> Option<(usize, usize)> {
-        let t = e.at.0;
+        let t = e.at().0;
         debug_assert!(t >= self.base, "wheel entry behind cursor");
         let x = t ^ self.base;
-        let level = if x < SLOTS as u64 {
+        let level = if x < Self::SLOTS as u64 {
             0
         } else {
             ((63 - x.leading_zeros()) / BITS) as usize
@@ -272,10 +357,10 @@ impl<M> Wheel<M> {
             self.overflow.push(e);
             return None;
         }
-        let slot = ((t >> (BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
+        let slot = ((t >> (BITS * level as u32)) & (Self::SLOTS as u64 - 1)) as usize;
         let lvl = &mut self.levels[level];
         lvl.slots[slot].push(e);
-        lvl.occupied |= 1 << slot;
+        Self::occ_set(&mut lvl.occupied, slot);
         Some((level, slot))
     }
 
@@ -284,21 +369,16 @@ impl<M> Wheel<M> {
     /// of the events inside, exactly for level 0.
     fn next_slot(&self, level: usize) -> Option<(usize, u64)> {
         let lvl = &self.levels[level];
-        if lvl.occupied == 0 {
-            return None;
-        }
         let shift = BITS * level as u32;
-        let pos = ((self.base >> shift) & (SLOTS as u64 - 1)) as u32;
-        let off = lvl.occupied.rotate_right(pos).trailing_zeros();
-        let slot = ((pos + off) & (SLOTS as u32 - 1)) as usize;
-        debug_assert!(slot as u32 >= pos, "occupied slot behind cursor window");
+        let pos = ((self.base >> shift) & (Self::SLOTS as u64 - 1)) as usize;
+        let slot = Self::occ_first_from(&lvl.occupied, pos)?;
         let window_mask = !((1u64 << (shift + BITS)) - 1);
         let slot_start = (self.base & window_mask) | ((slot as u64) << shift);
         Some((slot, slot_start.max(self.base)))
     }
 
     /// Compute (or reuse) the earliest-instant scan. `None` when empty.
-    fn ensure_scan(&mut self) -> Option<Scan> {
+    fn ensure_scan(&mut self) -> Option<Scan<LEVELS>> {
         if let Some(c) = self.scan {
             return Some(c);
         }
@@ -311,7 +391,8 @@ impl<M> Wheel<M> {
         };
         for level in 0..LEVELS {
             if let Some((slot, _)) = self.next_slot(level) {
-                let (t, seq) = self.levels[level].slots[slot].min;
+                let min = self.levels[level].slots[slot].min;
+                let (t, seq) = ((min >> 64) as u64, min as u64);
                 if t < c.tmin {
                     c.tmin = t;
                     c.best_seq = seq;
@@ -324,13 +405,13 @@ impl<M> Wheel<M> {
             }
         }
         if let Some(e) = self.overflow.peek() {
-            if e.at.0 < c.tmin {
-                c.tmin = e.at.0;
-                c.best_seq = e.seq;
+            if e.at().0 < c.tmin {
+                c.tmin = e.at().0;
+                c.best_seq = e.seq();
                 c.mask = 0;
                 c.heap = true;
-            } else if e.at.0 == c.tmin {
-                c.best_seq = c.best_seq.min(e.seq);
+            } else if e.at().0 == c.tmin {
+                c.best_seq = c.best_seq.min(e.seq());
                 c.heap = true;
             }
         }
@@ -369,9 +450,9 @@ impl<M> Wheel<M> {
         if c.mask == 1 && !c.heap {
             let slot = c.slots[0] as usize;
             std::mem::swap(&mut self.current, &mut self.levels[0].slots[slot].entries);
-            self.levels[0].occupied &= !(1 << slot);
+            Self::occ_clear(&mut self.levels[0].occupied, slot);
             if self.current.len() > 1 {
-                self.current.sort_unstable_by_key(|e| std::cmp::Reverse(e.seq));
+                self.current.sort_unstable_by_key(|e| std::cmp::Reverse(e.key));
             }
             return true;
         }
@@ -384,9 +465,9 @@ impl<M> Wheel<M> {
             let slot = c.slots[level] as usize;
             let mut batch = std::mem::take(&mut self.scratch);
             std::mem::swap(&mut batch, &mut self.levels[level].slots[slot].entries);
-            self.levels[level].occupied &= !(1 << slot);
+            Self::occ_clear(&mut self.levels[level].occupied, slot);
             for e in batch.drain(..) {
-                if e.at.0 == tmin {
+                if e.at().0 == tmin {
                     self.current.push(e);
                 } else {
                     self.place(e);
@@ -397,14 +478,14 @@ impl<M> Wheel<M> {
         // Overflow entries can share the instant (filed under an older
         // cursor); merge them.
         if c.heap {
-            while self.overflow.peek().is_some_and(|e| e.at.0 == tmin) {
+            while self.overflow.peek().is_some_and(|e| e.at().0 == tmin) {
                 self.current.push(self.overflow.pop().expect("peeked"));
             }
         }
         // Same-instant FIFO: redistribution can interleave sequence
         // numbers, so restore seq order (descending; pops take the back).
         if self.current.len() > 1 {
-            self.current.sort_unstable_by_key(|e| std::cmp::Reverse(e.seq));
+            self.current.sort_unstable_by_key(|e| std::cmp::Reverse(e.key));
         }
         true
     }
@@ -428,7 +509,7 @@ impl<M> Wheel<M> {
     /// overflow root.
     fn peek(&mut self) -> Option<(Nanos, u64)> {
         if let Some(e) = self.current.last() {
-            return Some((e.at, e.seq));
+            return Some((e.at(), e.seq()));
         }
         self.ensure_scan().map(|c| (Nanos(c.tmin), c.best_seq))
     }
@@ -443,11 +524,11 @@ impl<M> Wheel<M> {
         };
         self.scan = None;
         self.len -= 1;
-        if self.current.last().is_some_and(|e| e.seq == seq) {
+        if self.current.last().is_some_and(|e| e.seq() == seq) {
             self.current.pop();
             return;
         }
-        if self.overflow.peek().is_some_and(|e| e.seq == seq) {
+        if self.overflow.peek().is_some_and(|e| e.seq() == seq) {
             self.overflow.pop();
             return;
         }
@@ -456,10 +537,11 @@ impl<M> Wheel<M> {
                 continue;
             };
             let s = &mut self.levels[level].slots[slot];
-            if let Some(i) = s.entries.iter().position(|e| e.at == at && e.seq == seq) {
+            let key = ((at.0 as u128) << 64) | seq as u128;
+            if let Some(i) = s.entries.iter().position(|e| e.key == key) {
                 s.entries.remove(i);
                 if s.entries.is_empty() {
-                    self.levels[level].occupied &= !(1 << slot);
+                    Self::occ_clear(&mut self.levels[level].occupied, slot);
                 } else {
                     s.recompute_min();
                 }
@@ -471,8 +553,21 @@ impl<M> Wheel<M> {
 }
 
 enum Backend<M> {
-    Wheel(Wheel<M>),
+    Wheel(Wheel<M, WHEEL_BITS, WHEEL_LEVELS>),
+    WideWheel(Wheel<M, WIDE_BITS, WIDE_LEVELS>),
     Heap(BinaryHeap<Entry<M>>),
+}
+
+/// Dispatch a backend operation over both wheel geometries (the `$w` body
+/// monomorphizes per concrete wheel type) with a separate heap arm.
+macro_rules! by_backend {
+    ($backend:expr, $w:ident => $wheel:expr, $h:ident => $heap:expr) => {
+        match $backend {
+            Backend::Wheel($w) => $wheel,
+            Backend::WideWheel($w) => $wheel,
+            Backend::Heap($h) => $heap,
+        }
+    };
 }
 
 /// A time-ordered queue of events carrying messages of type `M`.
@@ -506,6 +601,7 @@ impl<M> EventQueue<M> {
     pub fn with_kind(kind: QueueKind) -> Self {
         let backend = match kind {
             QueueKind::TimerWheel => Backend::Wheel(Wheel::new()),
+            QueueKind::TimerWheelWide => Backend::WideWheel(Wheel::new()),
             QueueKind::BinaryHeap | QueueKind::Adaptive => Backend::Heap(BinaryHeap::new()),
         };
         EventQueue {
@@ -534,7 +630,7 @@ impl<M> EventQueue<M> {
             // The heap backend (like the seed) stores past-scheduled times
             // verbatim; the wheel cannot represent times behind its
             // cursor, so clamp here exactly as `Wheel::push` would.
-            e.at = Nanos(e.at.0.max(w.base));
+            e.set_at(Nanos(e.at().0.max(w.base)));
             w.len += 1;
             w.place(e);
         }
@@ -545,15 +641,15 @@ impl<M> EventQueue<M> {
     pub fn schedule_at(&mut self, at: Nanos, msg: M) -> EventId {
         let seq = self.next_seq;
         self.next_seq += 1;
-        match &mut self.backend {
-            Backend::Wheel(w) => w.push(at, seq, msg),
-            Backend::Heap(h) => {
-                h.push(Entry { at, seq, msg });
+        by_backend!(&mut self.backend,
+            w => w.push(at, seq, msg),
+            h => {
+                h.push(Entry::new(at, seq, msg));
                 if self.adaptive && h.len() > ADAPTIVE_THRESHOLD {
                     self.migrate_to_wheel();
                 }
             }
-        }
+        );
         EventId(seq)
     }
 
@@ -564,14 +660,48 @@ impl<M> EventQueue<M> {
     }
 
     fn pop_any(&mut self) -> Option<(Nanos, u64, M)> {
-        let popped = match &mut self.backend {
-            Backend::Wheel(w) => w.pop().map(|e| (e.at, e.seq, e.msg)),
-            Backend::Heap(h) => h.pop().map(|e| (e.at, e.seq, e.msg)),
-        };
+        let popped = by_backend!(&mut self.backend,
+            w => w.pop().map(|e| (e.at(), e.seq(), e.msg)),
+            h => h.pop().map(|e| (e.at(), e.seq(), e.msg))
+        );
         if let Some((at, _, _)) = &popped {
             self.last_popped = at.0;
         }
         popped
+    }
+
+    /// Remove and return the earliest pending event only if it fires at or
+    /// before `deadline`; later events stay queued. One backend dispatch
+    /// for the peek-compare-pop sequence the driver loop otherwise spells
+    /// out as `peek_time()` + `pop()` — which is two dispatches per event
+    /// on the hottest loop in the workspace.
+    pub fn pop_until(&mut self, deadline: Nanos) -> Option<(Nanos, M)> {
+        if self.cancelled.is_empty() {
+            let popped = by_backend!(&mut self.backend,
+                w => {
+                    if w.peek()?.0 > deadline {
+                        return None;
+                    }
+                    w.pop().map(|e| (e.at(), e.msg))
+                },
+                h => {
+                    if h.peek()?.at() > deadline {
+                        return None;
+                    }
+                    h.pop().map(|e| (e.at(), e.msg))
+                }
+            );
+            if let Some((at, _)) = &popped {
+                self.last_popped = at.0;
+            }
+            return popped;
+        }
+        // Cancellations pending: take the slow path, which discards them
+        // lazily without advancing the wheel cursor.
+        if self.peek_time()? > deadline {
+            return None;
+        }
+        self.pop()
     }
 
     /// Remove and return the earliest pending event, skipping cancelled
@@ -586,17 +716,17 @@ impl<M> EventQueue<M> {
         // clock does not move and later schedules may still target times
         // before the cancelled instant.
         loop {
-            let (_, seq) = match &mut self.backend {
-                Backend::Wheel(w) => w.peek()?,
-                Backend::Heap(h) => h.peek().map(|e| (e.at, e.seq))?,
-            };
+            let (_, seq) = by_backend!(&mut self.backend,
+                w => w.peek()?,
+                h => h.peek().map(|e| (e.at(), e.seq()))?
+            );
             if self.cancelled.remove(&seq) {
-                match &mut self.backend {
-                    Backend::Wheel(w) => w.remove_earliest(),
-                    Backend::Heap(h) => {
+                by_backend!(&mut self.backend,
+                    w => w.remove_earliest(),
+                    h => {
                         h.pop();
                     }
-                }
+                );
                 continue;
             }
             let (at, popped, msg) = self.pop_any().expect("peeked entry present");
@@ -609,17 +739,17 @@ impl<M> EventQueue<M> {
     /// it. Cancelled entries encountered at the front are discarded.
     pub fn peek_time(&mut self) -> Option<Nanos> {
         loop {
-            let (at, seq) = match &mut self.backend {
-                Backend::Wheel(w) => w.peek()?,
-                Backend::Heap(h) => h.peek().map(|e| (e.at, e.seq))?,
-            };
+            let (at, seq) = by_backend!(&mut self.backend,
+                w => w.peek()?,
+                h => h.peek().map(|e| (e.at(), e.seq()))?
+            );
             if self.cancelled.contains(&seq) {
-                match &mut self.backend {
-                    Backend::Wheel(w) => w.remove_earliest(),
-                    Backend::Heap(h) => {
+                by_backend!(&mut self.backend,
+                    w => w.remove_earliest(),
+                    h => {
                         h.pop();
                     }
-                }
+                );
                 self.cancelled.remove(&seq);
                 continue;
             }
@@ -629,10 +759,7 @@ impl<M> EventQueue<M> {
 
     /// Number of pending entries (including not-yet-skipped cancelled ones).
     pub fn len(&self) -> usize {
-        match &self.backend {
-            Backend::Wheel(w) => w.len,
-            Backend::Heap(h) => h.len(),
-        }
+        by_backend!(&self.backend, w => w.len, h => h.len())
     }
 
     /// True when no events are pending.
@@ -649,6 +776,7 @@ mod tests {
     fn each_kind(f: impl Fn(QueueKind)) {
         f(QueueKind::Adaptive);
         f(QueueKind::TimerWheel);
+        f(QueueKind::TimerWheelWide);
         f(QueueKind::BinaryHeap);
     }
 
@@ -729,17 +857,20 @@ mod tests {
 
     #[test]
     fn far_future_events_overflow_and_return() {
-        // Beyond the wheel horizon (2^30 ns): exercised via the overflow
-        // heap, including same-instant ties straddling both stores.
-        let mut q = EventQueue::with_kind(QueueKind::TimerWheel);
-        let far = Nanos(3_000_000_000); // 3 s
-        q.schedule_at(far, "far1");
-        q.schedule_at(Nanos(50), "near");
-        q.schedule_at(far, "far2");
-        assert_eq!(q.pop(), Some((Nanos(50), "near")));
-        assert_eq!(q.pop(), Some((far, "far1")));
-        assert_eq!(q.pop(), Some((far, "far2")));
-        assert_eq!(q.pop(), None);
+        // Beyond both wheel horizons (2^30 ns default, 2^32 ns wide):
+        // exercised via the overflow heap, including same-instant ties
+        // straddling both stores.
+        for kind in [QueueKind::TimerWheel, QueueKind::TimerWheelWide] {
+            let mut q = EventQueue::with_kind(kind);
+            let far = Nanos(6_000_000_000); // 6 s
+            q.schedule_at(far, "far1");
+            q.schedule_at(Nanos(50), "near");
+            q.schedule_at(far, "far2");
+            assert_eq!(q.pop(), Some((Nanos(50), "near")));
+            assert_eq!(q.pop(), Some((far, "far1")));
+            assert_eq!(q.pop(), Some((far, "far2")));
+            assert_eq!(q.pop(), None);
+        }
     }
 
     #[test]
@@ -783,6 +914,7 @@ mod tests {
             order
         };
         assert_eq!(run(QueueKind::TimerWheel), run(QueueKind::BinaryHeap));
+        assert_eq!(run(QueueKind::TimerWheelWide), run(QueueKind::BinaryHeap));
     }
 
     #[test]

@@ -119,6 +119,18 @@ impl<M> Sim<M> {
         Some((at, msg))
     }
 
+    /// [`Sim::next`], but only consuming the event when it fires at or
+    /// before `deadline` (later events stay queued and the clock does not
+    /// move). One queue access instead of the `peek_time()` + `next()`
+    /// pair on the driver loop.
+    pub fn next_until(&mut self, deadline: Nanos) -> Option<(Nanos, M)> {
+        let (at, msg) = self.queue.pop_until(deadline)?;
+        debug_assert!(at >= self.now, "event queue went backwards");
+        self.now = at;
+        self.fired += 1;
+        Some((at, msg))
+    }
+
     /// Time of the next pending event, if any.
     pub fn peek_time(&mut self) -> Option<Nanos> {
         self.queue.peek_time()

@@ -12,9 +12,16 @@
 //!   *are* reused (in-flight WR ids, outstanding READ handles). Keys pack
 //!   `(generation << 32) | slot`, so a stale key from a previous occupant
 //!   of the slot misses instead of aliasing.
+//! * [`PageTable`] — a two-level table (256-entry pages) for ID spaces
+//!   that are *large but sparse*, e.g. the 16-bit fn-id space of the
+//!   routing tables at production scale: a node routing a handful of
+//!   functions allocates a page or two instead of a dense 64 Ki-entry
+//!   vector, while lookups stay two indexes (no hashing). IDs below 256
+//!   take the dense fast path through the always-present first page.
 //!
-//! Iteration over either table is in index order, which keeps everything
-//! downstream deterministic by construction (no hash-order dependence).
+//! Iteration over any of these tables is in index order, which keeps
+//! everything downstream deterministic by construction (no hash-order
+//! dependence).
 
 /// A dense table keyed by a small integer ID.
 ///
@@ -119,6 +126,126 @@ impl<V> IdTable<V> {
     /// Occupied values in ascending ID order.
     pub fn values(&self) -> impl Iterator<Item = &V> {
         self.entries.iter().filter_map(|e| e.as_ref())
+    }
+}
+
+/// log2 of the [`PageTable`] page size.
+const PAGE_BITS: usize = 8;
+/// Entries per [`PageTable`] page.
+const PAGE_SIZE: usize = 1 << PAGE_BITS;
+
+/// A two-level table keyed by a small integer ID: a directory of lazily
+/// allocated 256-entry pages.
+///
+/// Sparse ID populations over a wide key space (the 16-bit fn-id space at
+/// production function counts) pay memory proportional to the number of
+/// *touched pages*, not the key-space width — where [`IdTable`] would
+/// allocate one dense slot per possible ID. Lookup is two unchecked-width
+/// indexes and stays hash-free; page 0 is allocated eagerly so the common
+/// small-ID range (`id < 256`) never branches on a missing page.
+#[derive(Clone, Debug)]
+pub struct PageTable<V> {
+    pages: Vec<Option<Box<[Option<V>]>>>,
+    len: usize,
+}
+
+impl<V> Default for PageTable<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> PageTable<V> {
+    fn empty_page() -> Box<[Option<V>]> {
+        (0..PAGE_SIZE).map(|_| None).collect()
+    }
+
+    /// An empty table with the dense first page pre-allocated.
+    pub fn new() -> Self {
+        PageTable {
+            pages: vec![Some(Self::empty_page())],
+            len: 0,
+        }
+    }
+
+    /// Number of occupied entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no entry is occupied.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Pages currently allocated (memory-footprint diagnostics).
+    pub fn pages_allocated(&self) -> usize {
+        self.pages.iter().filter(|p| p.is_some()).count()
+    }
+
+    /// Borrow the value at `id`.
+    #[inline]
+    pub fn get(&self, id: usize) -> Option<&V> {
+        self.pages
+            .get(id >> PAGE_BITS)?
+            .as_ref()?
+            .get(id & (PAGE_SIZE - 1))?
+            .as_ref()
+    }
+
+    /// Mutably borrow the value at `id`.
+    #[inline]
+    pub fn get_mut(&mut self, id: usize) -> Option<&mut V> {
+        self.pages
+            .get_mut(id >> PAGE_BITS)?
+            .as_mut()?
+            .get_mut(id & (PAGE_SIZE - 1))?
+            .as_mut()
+    }
+
+    /// True when `id` is occupied.
+    #[inline]
+    pub fn contains(&self, id: usize) -> bool {
+        self.get(id).is_some()
+    }
+
+    /// Insert (or replace) the value at `id`; returns the previous value.
+    pub fn insert(&mut self, id: usize, v: V) -> Option<V> {
+        let pno = id >> PAGE_BITS;
+        if pno >= self.pages.len() {
+            self.pages.resize_with(pno + 1, || None);
+        }
+        let page = self.pages[pno].get_or_insert_with(Self::empty_page);
+        let prev = page[id & (PAGE_SIZE - 1)].replace(v);
+        if prev.is_none() {
+            self.len += 1;
+        }
+        prev
+    }
+
+    /// Remove and return the value at `id`. Emptied pages are kept
+    /// allocated (route tables churn within a working set; dropping the
+    /// page to re-allocate it on the next deploy would thrash).
+    pub fn remove(&mut self, id: usize) -> Option<V> {
+        let prev = self
+            .pages
+            .get_mut(id >> PAGE_BITS)
+            .and_then(|p| p.as_mut())
+            .and_then(|p| p[id & (PAGE_SIZE - 1)].take());
+        if prev.is_some() {
+            self.len -= 1;
+        }
+        prev
+    }
+
+    /// Occupied `(id, &value)` pairs in ascending ID order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &V)> {
+        self.pages.iter().enumerate().flat_map(|(pno, page)| {
+            page.iter()
+                .flat_map(|p| p.iter())
+                .enumerate()
+                .filter_map(move |(i, e)| e.as_ref().map(|v| ((pno << PAGE_BITS) | i, v)))
+        })
     }
 }
 
@@ -233,6 +360,44 @@ mod tests {
         *t.get_or_insert_with(5, || 0) += 7;
         *t.get_or_insert_with(5, || 0) += 1;
         assert_eq!(t.get(5), Some(&8));
+    }
+
+    #[test]
+    fn page_table_basics() {
+        let mut t: PageTable<&str> = PageTable::new();
+        assert!(t.is_empty());
+        assert_eq!(t.pages_allocated(), 1, "dense first page pre-allocated");
+        assert_eq!(t.insert(3, "a"), None);
+        assert_eq!(t.insert(0xFFFF, "z"), None);
+        assert_eq!(t.insert(3, "b"), Some("a"));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(3), Some(&"b"));
+        assert_eq!(t.get(0xFFFF), Some(&"z"));
+        assert_eq!(t.get(700), None, "unallocated page misses cleanly");
+        assert!(t.contains(3) && !t.contains(4));
+        let pairs: Vec<(usize, &&str)> = t.iter().collect();
+        assert_eq!(pairs, vec![(3, &"b"), (0xFFFF, &"z")]);
+        assert_eq!(t.remove(3), Some("b"));
+        assert_eq!(t.remove(3), None);
+        assert_eq!(t.len(), 1);
+        *t.get_mut(0xFFFF).unwrap() = "y";
+        assert_eq!(t.get(0xFFFF), Some(&"y"));
+    }
+
+    #[test]
+    fn page_table_is_sparse() {
+        // A production-scale spread of fn ids across the 16-bit space must
+        // allocate only the touched pages, not 64 Ki entries.
+        let mut t: PageTable<u32> = PageTable::new();
+        for f in [1usize, 42, 300, 5_000, 40_000, 65_535] {
+            t.insert(f, f as u32);
+        }
+        // ids 1+42 share page 0; the rest land on one page each.
+        assert_eq!(t.pages_allocated(), 5);
+        assert_eq!(t.len(), 6);
+        for f in [1usize, 42, 300, 5_000, 40_000, 65_535] {
+            assert_eq!(t.get(f), Some(&(f as u32)));
+        }
     }
 
     #[test]

@@ -199,6 +199,54 @@ impl fmt::Display for Nanos {
     }
 }
 
+/// A per-byte cost slope in fixed-point Q32.32 nanoseconds per byte.
+///
+/// The cost models charge `per_msg + bytes × slope` on every simulated
+/// packet/message; doing that multiply in `f64` (as the seed did) put an
+/// int→float→round→int round trip on the hottest paths (`TcpCosts::rx/tx`,
+/// the RNIC per-byte DMA charge). `ByteCost` precomputes the slope once as
+/// a Q32.32 integer so the per-call work is one widening multiply, an add
+/// and a shift — no floating point, same round-half-up convention as
+/// `f64::round` for non-negative values.
+///
+/// Quantization: slopes that are dyadic rationals (0.25, 0.5, 0.0625…) are
+/// represented *exactly* and reproduce the f64 math bit-for-bit. Other
+/// slopes (0.06, 0.35) are quantized to the nearest 2⁻³² ns/byte —
+/// a relative error under 10⁻⁹, which can flip a result only when the true
+/// product sits within that distance of a .5 boundary.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ByteCost {
+    /// ns/byte in Q32.32.
+    mul: u64,
+}
+
+impl ByteCost {
+    /// A zero slope (per-byte cost disabled).
+    pub const ZERO: ByteCost = ByteCost { mul: 0 };
+
+    /// Build from a floating-point ns/byte slope (done once, at cost-table
+    /// construction).
+    pub fn per_byte_ns(ns: f64) -> ByteCost {
+        debug_assert!(ns >= 0.0, "cost slopes are non-negative");
+        ByteCost {
+            mul: (ns * (1u64 << 32) as f64).round() as u64,
+        }
+    }
+
+    /// Integer-ns cost of `bytes`: `round(bytes × slope)`, computed with a
+    /// widening multiply (no overflow for any `bytes` × any slope that
+    /// fits Q32.32).
+    #[inline]
+    pub fn cost(self, bytes: u64) -> Nanos {
+        Nanos((((bytes as u128 * self.mul as u128) + (1u128 << 31)) >> 32) as u64)
+    }
+
+    /// The slope back as f64 ns/byte (reporting/diagnostics).
+    pub fn ns_per_byte(self) -> f64 {
+        self.mul as f64 / (1u64 << 32) as f64
+    }
+}
+
 /// Transmission (serialization) time of `bytes` over a link of `gbps`
 /// gigabits per second, rounded up to a whole nanosecond.
 ///
@@ -287,5 +335,45 @@ mod tests {
     fn sum_of_spans() {
         let total: Nanos = [Nanos(1), Nanos(2), Nanos(3)].into_iter().sum();
         assert_eq!(total, Nanos(6));
+    }
+
+    #[test]
+    fn byte_cost_matches_f64_for_dyadic_slopes() {
+        // 0.25 ns/B is exactly representable in both f64 and Q32.32: the
+        // fixed-point path must be bit-identical to the seed's f64 math
+        // over the whole byte range the stacks see.
+        let c = ByteCost::per_byte_ns(0.25);
+        for bytes in (0u64..=100_000).step_by(7) {
+            assert_eq!(
+                c.cost(bytes),
+                Nanos((bytes as f64 * 0.25).round() as u64),
+                "bytes={bytes}"
+            );
+        }
+        assert_eq!(ByteCost::per_byte_ns(0.25).ns_per_byte(), 0.25);
+    }
+
+    #[test]
+    fn byte_cost_tracks_f64_for_decimal_slopes() {
+        // 0.06 / 0.35 are not dyadic; fixed-point quantizes the slope to
+        // the nearest 2^-32. Any divergence from the f64 product is at
+        // most 1 ns and only at a .5 rounding boundary.
+        for slope in [0.06f64, 0.35] {
+            let c = ByteCost::per_byte_ns(slope);
+            for bytes in 0u64..=65_536 {
+                let f = (bytes as f64 * slope).round() as u64;
+                let q = c.cost(bytes).as_nanos();
+                assert!(
+                    q.abs_diff(f) <= 1,
+                    "slope {slope} bytes {bytes}: fixed {q} vs f64 {f}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn byte_cost_zero() {
+        assert_eq!(ByteCost::ZERO.cost(1_000_000), Nanos::ZERO);
+        assert_eq!(ByteCost::per_byte_ns(0.0).cost(64), Nanos::ZERO);
     }
 }

@@ -51,7 +51,10 @@ fn op_strategy() -> impl Strategy<Value = Op> {
     ]
 }
 
-/// The wheel horizon in nanoseconds (2^30; see `palladium_simnet::queue`).
+/// The default wheel horizon in nanoseconds (2^30 for the 6/5 geometry;
+/// the wide 8/4 geometry reaches 2^32 — `Op::Overflow` therefore
+/// exercises the overflow heap on the default wheel and the top levels of
+/// the wide one, both interesting).
 const HORIZON: u64 = 1 << 30;
 
 proptest! {
@@ -62,6 +65,7 @@ proptest! {
         ops in proptest::collection::vec(op_strategy(), 1..400),
     ) {
         let mut wheel: EventQueue<u64> = EventQueue::with_kind(QueueKind::TimerWheel);
+        let mut wide: EventQueue<u64> = EventQueue::with_kind(QueueKind::TimerWheelWide);
         let mut adapt: EventQueue<u64> = EventQueue::with_kind(QueueKind::Adaptive);
         let mut heap: EventQueue<u64> = EventQueue::with_kind(QueueKind::BinaryHeap);
         let mut ids = Vec::new();
@@ -69,47 +73,52 @@ proptest! {
         let mut payload = 0u64;
 
         let schedule = |wheel: &mut EventQueue<u64>,
+                        wide: &mut EventQueue<u64>,
                         adapt: &mut EventQueue<u64>,
                         heap: &mut EventQueue<u64>,
                         ids: &mut Vec<_>,
                         payload: &mut u64,
                         at: Nanos| {
             let a = wheel.schedule_at(at, *payload);
+            let n = wide.schedule_at(at, *payload);
             let c = adapt.schedule_at(at, *payload);
             let b = heap.schedule_at(at, *payload);
             *payload += 1;
-            ids.push((a, c, b));
+            ids.push((a, n, c, b));
         };
 
         for op in ops {
             match op {
                 Op::Near(d) | Op::Far(d) => {
-                    schedule(&mut wheel, &mut adapt, &mut heap, &mut ids, &mut payload,
-                             Nanos(now + d as u64));
+                    schedule(&mut wheel, &mut wide, &mut adapt, &mut heap, &mut ids,
+                             &mut payload, Nanos(now + d as u64));
                 }
                 Op::Overflow(extra) => {
-                    schedule(&mut wheel, &mut adapt, &mut heap, &mut ids, &mut payload,
-                             Nanos(now + HORIZON + extra as u64));
+                    schedule(&mut wheel, &mut wide, &mut adapt, &mut heap, &mut ids,
+                             &mut payload, Nanos(now + HORIZON + extra as u64));
                 }
                 Op::Burst(n, d) => {
                     for _ in 0..n {
-                        schedule(&mut wheel, &mut adapt, &mut heap, &mut ids, &mut payload,
-                                 Nanos(now + d as u64));
+                        schedule(&mut wheel, &mut wide, &mut adapt, &mut heap, &mut ids,
+                                 &mut payload, Nanos(now + d as u64));
                     }
                 }
                 Op::Cancel(i) => {
                     if !ids.is_empty() {
-                        let (a, c, b) = ids[i % ids.len()];
+                        let (a, n, c, b) = ids[i % ids.len()];
                         wheel.cancel(a);
+                        wide.cancel(n);
                         adapt.cancel(c);
                         heap.cancel(b);
                     }
                 }
                 Op::Pop => {
                     let w = wheel.pop();
+                    let n = wide.pop();
                     let c = adapt.pop();
                     let h = heap.pop();
                     prop_assert_eq!(&w, &h, "pop diverged");
+                    prop_assert_eq!(&n, &h, "wide-wheel pop diverged");
                     prop_assert_eq!(&c, &h, "adaptive pop diverged");
                     if let Some((t, _)) = w {
                         now = t.0;
@@ -117,6 +126,7 @@ proptest! {
                 }
                 Op::Peek => {
                     prop_assert_eq!(wheel.peek_time(), heap.peek_time(), "peek diverged");
+                    prop_assert_eq!(wide.peek_time(), heap.peek_time(), "wide-wheel peek diverged");
                     prop_assert_eq!(adapt.peek_time(), heap.peek_time(), "adaptive peek diverged");
                 }
             }
@@ -126,15 +136,18 @@ proptest! {
         // sequence must match, and both must report empty.
         loop {
             let w = wheel.pop();
+            let n = wide.pop();
             let c = adapt.pop();
             let h = heap.pop();
             prop_assert_eq!(&w, &h, "drain diverged");
+            prop_assert_eq!(&n, &h, "wide-wheel drain diverged");
             prop_assert_eq!(&c, &h, "adaptive drain diverged");
             if w.is_none() {
                 break;
             }
         }
         prop_assert_eq!(wheel.pop(), None);
+        prop_assert_eq!(wide.pop(), None);
         prop_assert_eq!(adapt.pop(), None);
         prop_assert_eq!(heap.pop(), None);
     }

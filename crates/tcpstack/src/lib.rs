@@ -13,4 +13,4 @@ pub mod http;
 pub mod stack;
 
 pub use http::{parse_request, parse_response, Method, Parse, ParseError, Request, Response};
-pub use stack::{HttpCosts, IngressServiceModel, RdmaBridgeCosts, StackKind, TcpCosts};
+pub use stack::{HttpCosts, IngressServiceModel, RdmaBridgeCosts, StackKind, TcpCostTable, TcpCosts};

@@ -10,7 +10,7 @@
 //! ≈250 K RPS (Palladium), ≈3.2× less for F-Ingress, ≈11.4× less for
 //! K-Ingress.
 
-use palladium_simnet::Nanos;
+use palladium_simnet::{ByteCost, IdTable, Nanos};
 
 /// Which TCP/IP stack a component runs.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -30,8 +30,10 @@ pub struct TcpCosts {
     pub per_msg_rx: Nanos,
     /// Transmit one message.
     pub per_msg_tx: Nanos,
-    /// Extra per-byte cost (copies inside the stack), ns/byte.
-    pub per_byte_ns: f64,
+    /// Extra per-byte cost (copies inside the stack), as a precomputed
+    /// fixed-point Q32.32 ns/byte multiplier — the drivers charge this per
+    /// simulated message, so the hot path must not touch f64.
+    pub per_byte: ByteCost,
     /// Accept a new connection (three-way handshake processing, socket
     /// setup).
     pub per_accept: Nanos,
@@ -46,14 +48,14 @@ impl TcpCosts {
             StackKind::Kernel => TcpCosts {
                 per_msg_rx: Nanos::from_nanos(14_000),
                 per_msg_tx: Nanos::from_nanos(9_000),
-                per_byte_ns: 0.25,
+                per_byte: ByteCost::per_byte_ns(0.25),
                 per_accept: Nanos::from_micros(25),
                 pins_core: false,
             },
             StackKind::FStack => TcpCosts {
                 per_msg_rx: Nanos::from_nanos(2_000),
                 per_msg_tx: Nanos::from_nanos(1_200),
-                per_byte_ns: 0.06,
+                per_byte: ByteCost::per_byte_ns(0.06),
                 per_accept: Nanos::from_micros(6),
                 pins_core: true,
             },
@@ -61,13 +63,61 @@ impl TcpCosts {
     }
 
     /// Receive cost for a message of `bytes`.
+    #[inline]
     pub fn rx(&self, bytes: u64) -> Nanos {
-        self.per_msg_rx + Nanos((bytes as f64 * self.per_byte_ns).round() as u64)
+        self.per_msg_rx + self.per_byte.cost(bytes)
     }
 
     /// Transmit cost for a message of `bytes`.
+    #[inline]
     pub fn tx(&self, bytes: u64) -> Nanos {
-        self.per_msg_tx + Nanos((bytes as f64 * self.per_byte_ns).round() as u64)
+        self.per_msg_tx + self.per_byte.cost(bytes)
+    }
+}
+
+/// A per-size-class lookup over [`TcpCosts`]: `(rx, tx)` totals
+/// precomputed for the message sizes a driver knows it will charge
+/// (request/response/hop payloads are fixed per workload). The steady-state
+/// path is then one dense index — not even the fixed-point multiply — with
+/// a transparent fallback to [`TcpCosts::rx`]/[`TcpCosts::tx`] for sizes
+/// outside the table.
+#[derive(Clone, Debug)]
+pub struct TcpCostTable {
+    costs: TcpCosts,
+    by_size: IdTable<(Nanos, Nanos)>,
+}
+
+impl TcpCostTable {
+    /// Precompute `(rx, tx)` for each of `sizes` (duplicates are fine).
+    pub fn new(costs: TcpCosts, sizes: impl IntoIterator<Item = u64>) -> Self {
+        let mut by_size = IdTable::new();
+        for s in sizes {
+            by_size.insert(s as usize, (costs.rx(s), costs.tx(s)));
+        }
+        TcpCostTable { costs, by_size }
+    }
+
+    /// The underlying cost model.
+    pub fn costs(&self) -> &TcpCosts {
+        &self.costs
+    }
+
+    /// Receive cost for a message of `bytes`.
+    #[inline]
+    pub fn rx(&self, bytes: u64) -> Nanos {
+        match self.by_size.get(bytes as usize) {
+            Some(&(rx, _)) => rx,
+            None => self.costs.rx(bytes),
+        }
+    }
+
+    /// Transmit cost for a message of `bytes`.
+    #[inline]
+    pub fn tx(&self, bytes: u64) -> Nanos {
+        match self.by_size.get(bytes as usize) {
+            Some(&(_, tx)) => tx,
+            None => self.costs.tx(bytes),
+        }
     }
 }
 
@@ -221,5 +271,33 @@ mod tests {
         let f = TcpCosts::for_kind(StackKind::FStack);
         assert!(f.rx(100_000) > f.rx(64) + Nanos::from_micros(5));
         assert_eq!(f.rx(0), f.per_msg_rx);
+    }
+
+    #[test]
+    fn fixed_point_matches_f64_reference() {
+        // The Q32.32 tables must reproduce the seed's f64 cost math on the
+        // message sizes the drivers actually charge (golden traces pin the
+        // end-to-end consequence of this).
+        for (kind, slope) in [(StackKind::Kernel, 0.25f64), (StackKind::FStack, 0.06)] {
+            let c = TcpCosts::for_kind(kind);
+            for bytes in [0u64, 64, 256, 320, 512, 576, 1024, 2048, 4096, 6144, 8192] {
+                let byte_ns = Nanos((bytes as f64 * slope).round() as u64);
+                assert_eq!(c.rx(bytes), c.per_msg_rx + byte_ns, "{kind:?} rx {bytes}");
+                assert_eq!(c.tx(bytes), c.per_msg_tx + byte_ns, "{kind:?} tx {bytes}");
+            }
+        }
+    }
+
+    #[test]
+    fn size_class_table_agrees_with_model() {
+        let c = TcpCosts::for_kind(StackKind::FStack);
+        let t = TcpCostTable::new(c, [256, 512, 1024]);
+        for bytes in [256u64, 512, 1024] {
+            assert_eq!(t.rx(bytes), c.rx(bytes), "tabled rx {bytes}");
+            assert_eq!(t.tx(bytes), c.tx(bytes), "tabled tx {bytes}");
+        }
+        // Out-of-table sizes fall back to the computed path.
+        assert_eq!(t.rx(300), c.rx(300));
+        assert_eq!(t.tx(7777), c.tx(7777));
     }
 }

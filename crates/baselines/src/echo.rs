@@ -28,8 +28,8 @@ use palladium_core::driver::LoadReport;
 use palladium_dpu::{SocDma, SocDmaSpec};
 use palladium_membuf::{MmapExporter, NodeId, PoolId, Region, TenantId};
 use palladium_rdma::{
-    Cqe, CqeKind, RdmaConfig, RdmaEvent, RdmaNet, RdmaOutput, RemoteAddr, RqEntry, WorkRequest,
-    WrId,
+    Cqe, CqeKind, RdmaConfig, RdmaEvent, RdmaNet, RdmaOutput, RemoteAddr, RqEntry, Step,
+    WorkRequest, WrId,
 };
 use palladium_simnet::{Effects, Engine, FifoServer, Harness, Nanos, RunStats};
 
@@ -174,6 +174,12 @@ struct EchoState {
     /// Reused CQ-drain scratch: each doorbell wakeup drains the node's
     /// whole backlog into this buffer (no per-wakeup allocation).
     cqe_scratch: Vec<Cqe>,
+    /// Reused fabric step (cleared between events) so steady-state
+    /// stepping of the dominant event source performs no allocation.
+    rdma_step: Step,
+    /// Separate reused step for posts — `rdma_step` is checked out while
+    /// an `Ev::Rdma` event (whose handlers also post) is in flight.
+    post_step: Step,
 }
 
 impl EchoState {
@@ -246,8 +252,11 @@ impl PrimitiveEngine {
                 WorkRequest::send(wr_id, Bytes::from(vec![0u8; 16]), imm)
             }
         };
-        let step = st.net.post_send(at, node, qpn, wr).expect("post");
-        fx.extend_at(at, step.events, Ev::Rdma);
+        let mut step = std::mem::take(&mut st.post_step);
+        step.clear();
+        st.net.post_send_into(at, node, qpn, wr, &mut step).expect("post");
+        fx.extend_at_drain(at, &mut step.events, Ev::Rdma);
+        st.post_step = step;
     }
 
     fn on_recv(&mut self, now: Nanos, fx: &mut Effects<'_, Ev>, node: NodeId, imm: u64) {
@@ -345,9 +354,13 @@ impl Engine for PrimitiveEngine {
                 fx.at(done, Ev::Engine { node, conn, action: Action::Received });
             }
             Ev::Rdma(rdma_ev) => {
-                let step = self.st.net.handle(now, rdma_ev);
-                fx.extend(step.events, Ev::Rdma);
-                for out in step.outputs {
+                // Reuse one Step across the run: the fabric is the
+                // dominant event source, so this path must not allocate.
+                let mut step = std::mem::take(&mut self.st.rdma_step);
+                step.clear();
+                self.st.net.handle_into(now, rdma_ev, &mut step);
+                fx.extend_drain(&mut step.events, Ev::Rdma);
+                for out in step.outputs.drain(..) {
                     match out {
                         RdmaOutput::CqReady { node } => {
                             // One doorbell wakeup retires the whole CQ
@@ -382,6 +395,7 @@ impl Engine for PrimitiveEngine {
                         _ => {}
                     }
                 }
+                self.st.rdma_step = step;
             }
             Ev::FnStep { .. } => unreachable!("primitive echo has no functions"),
         }
@@ -430,17 +444,21 @@ impl Engine for PathModeEngine {
                     Bytes::from(vec![0u8; payload as usize]),
                     conn as u64,
                 );
-                let step = self
-                    .st
+                let mut step = std::mem::take(&mut self.st.post_step);
+                step.clear();
+                self.st
                     .net
-                    .post_send(engine_done, node, qpn, wr)
+                    .post_send_into(engine_done, node, qpn, wr, &mut step)
                     .expect("post");
-                fx.extend_at(engine_done, step.events, Ev::Rdma);
+                fx.extend_at_drain(engine_done, &mut step.events, Ev::Rdma);
+                self.st.post_step = step;
             }
             Ev::Rdma(rdma_ev) => {
-                let step = self.st.net.handle(now, rdma_ev);
-                fx.extend(step.events, Ev::Rdma);
-                for out in step.outputs {
+                let mut step = std::mem::take(&mut self.st.rdma_step);
+                step.clear();
+                self.st.net.handle_into(now, rdma_ev, &mut step);
+                fx.extend_drain(&mut step.events, Ev::Rdma);
+                for out in step.outputs.drain(..) {
                     match out {
                         RdmaOutput::CqReady { node } => {
                             let mut cqes = std::mem::take(&mut self.st.cqe_scratch);
@@ -483,6 +501,7 @@ impl Engine for PathModeEngine {
                         _ => {}
                     }
                 }
+                self.st.rdma_step = step;
             }
             _ => unreachable!("path-mode echo uses Fn/Rdma events only"),
         }
@@ -521,6 +540,8 @@ impl EchoSim {
             next_wr: 1,
             payload: self.cfg.payload,
             cqe_scratch: Vec::new(),
+            rdma_step: Step::default(),
+            post_step: Step::default(),
         };
         st.post_rq(CLIENT, 4 * self.cfg.connections as u64 + 64);
         st.post_rq(SERVER, 4 * self.cfg.connections as u64 + 64);

@@ -1,0 +1,132 @@
+//! `alloc_smoke` — proves the kernel's zero-steady-state-allocation claim.
+//!
+//! The arena-allocated event path exists so that, once a simulation has
+//! warmed its scratch buffers and the payload arena has grown to the
+//! pending-population high-water mark, *processing an event performs no
+//! heap allocation at all* — no recycled frame boxes, no effect-vector
+//! churn, no queue-entry boxing. This binary pins that property with a
+//! counting global allocator and the heaviest driver in the workspace
+//! (the Fig 16 chain cluster, the `simcore_throughput` chain workload):
+//!
+//! 1. run the workload at a base duration and at an extended duration,
+//!    counting every `alloc`/`realloc`/`alloc_zeroed` call;
+//! 2. the two runs build identical clusters and warm identically, so the
+//!    allocation difference divided by the event difference is the
+//!    *steady-state allocations per event*;
+//! 3. assert it rounds to zero (< [`MAX_ALLOCS_PER_EVENT`]) — the only
+//!    allowance is the amortized doubling of result vectors (latency
+//!    samples, request table), a handful of calls per million events.
+//!
+//! Run by the CI bench-smoke job next to the `--quick` throughput run:
+//! `cargo run --release -p palladium-bench --bin alloc_smoke`.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use palladium_core::driver::chain::ChainSim;
+use palladium_core::system::SystemKind;
+use palladium_workloads::boutique::{self, ChainKind};
+
+/// Pass threshold: steady-state allocations per simulated event. The
+/// target is literally zero on the event path; the budget only absorbs
+/// amortized growth of append-only result state (Vec doublings of the
+/// latency-sample and request tables: O(log events) calls over the run).
+const MAX_ALLOCS_PER_EVENT: f64 = 0.001;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+/// Per-size-bucket counters (bucket = log2 of the rounded-up size),
+/// printed when `ALLOC_SMOKE_HISTOGRAM=1` — pinpoints which object class
+/// regressed when the assertion trips.
+static BUCKETS: [AtomicU64; 32] = {
+    #[allow(clippy::declare_interior_mutable_const)]
+    const ZERO: AtomicU64 = AtomicU64::new(0);
+    [ZERO; 32]
+};
+
+#[inline]
+fn count(layout: Layout) {
+    ALLOCS.fetch_add(1, Ordering::Relaxed);
+    let bucket = (usize::BITS - layout.size().leading_zeros()).min(31) as usize;
+    BUCKETS[bucket].fetch_add(1, Ordering::Relaxed);
+}
+
+// SAFETY: delegates every operation to `System`; the counters are relaxed
+// atomics with no further side effects.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        count(layout);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        count(layout);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        count(layout);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+/// Run the `simcore_throughput` chain workload for `duration_ms`,
+/// returning `(events processed, allocations performed)`.
+fn run_chain(duration_ms: u64) -> (u64, u64) {
+    let cfg = boutique::config(SystemKind::PalladiumDne, ChainKind::HomeQuery)
+        .clients(40)
+        .warmup_ms(60)
+        .duration_ms(duration_ms);
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let (_report, events) = ChainSim::new(cfg).run_counted();
+    (events, ALLOCS.load(Ordering::Relaxed) - before)
+}
+
+fn main() {
+    // Identical builds + warmup; only the steady-state tail differs.
+    let (events_base, allocs_base) = run_chain(120);
+    let histo_before: Vec<u64> = BUCKETS.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+    let (events_long, allocs_long) = run_chain(360);
+    if std::env::var_os("ALLOC_SMOKE_HISTOGRAM").is_some() {
+        println!("steady-state allocation size histogram (bucket = ≤2^k bytes):");
+        for (k, before) in histo_before.iter().enumerate() {
+            let d = BUCKETS[k].load(Ordering::Relaxed) - before;
+            if d > 0 {
+                println!("  ≤{:>10} B: {d}", 1u64 << k);
+            }
+        }
+    }
+    assert!(
+        events_long > events_base,
+        "extended run must process more events ({events_long} vs {events_base})"
+    );
+
+    let d_events = events_long - events_base;
+    let d_allocs = allocs_long.saturating_sub(allocs_base);
+    let per_event = d_allocs as f64 / d_events as f64;
+
+    println!("alloc_smoke (chain driver, Fig 16 HomeQuery, 40 clients):");
+    println!("  base run:     {events_base} events, {allocs_base} allocations");
+    println!("  extended run: {events_long} events, {allocs_long} allocations");
+    println!(
+        "  steady state: {d_allocs} allocations over {d_events} extra events \
+         = {per_event:.6} allocs/event"
+    );
+
+    if per_event >= MAX_ALLOCS_PER_EVENT {
+        eprintln!(
+            "FAIL: steady-state allocations per event {per_event:.6} >= \
+             {MAX_ALLOCS_PER_EVENT} — the zero-allocation event path has regressed"
+        );
+        std::process::exit(1);
+    }
+    println!("PASS: steady-state allocations per event rounds to zero");
+}

@@ -13,28 +13,36 @@
 //! * **`heap_queue`** — the same binary rerun with the legacy
 //!   `(BinaryHeap, tombstone set)` event queue (`QueueKind::BinaryHeap`),
 //!   isolating the timer-wheel swap on the same machine in the same
-//!   process;
-//! * **`before`** — wall times measured with this harness at the PR 2
-//!   commit ("Flatten the DES hot path…", recorded constants below): the
-//!   baseline the current PR's batched completion pipeline + fixed-point
-//!   cost tables are judged against;
+//!   process (note both backends now order POD arena entries, so this
+//!   gap narrowed sharply with the arena swap);
+//! * **`before`** — the PR 3 commit ("Batch the completion pipeline…",
+//!   recorded constants below): the baseline the current PR's
+//!   arena-allocated event payloads are judged against;
 //! * **`seed`** — the pre-flattening seed commit, keeping the full
 //!   trajectory visible.
 //!
-//! Usage: `simcore_throughput [--quick] [--wheel-sweep] [--out PATH]`
+//! Usage: `simcore_throughput [--quick] [--wheel-sweep] [--threshold-sweep]
+//! [--out PATH]`
 //!
 //! `--quick` shrinks the workloads for CI smoke runs (no seed/PR 2
 //! comparison; numbers are machine-relative). `--wheel-sweep` additionally
 //! measures the chain workload on the two timer-wheel geometries
 //! (`TimerWheel` = the default 6 bits × 5 levels vs `TimerWheelWide` =
 //! 8 × 4) and prints the comparison — the ROADMAP wheel-tuning record.
+//! `--threshold-sweep` measures both drivers across a range of
+//! heap→wheel migration thresholds for the adaptive queue — the ROADMAP
+//! `ADAPTIVE_THRESHOLD` calibration record (re-run after entry-layout
+//! changes: the threshold trades the heap's cache residency against the
+//! wheel's O(1) operations, and both moved with the arena swap).
 
 use std::time::Instant;
 
 use palladium_core::driver::chain::ChainSim;
 use palladium_core::driver::ingress_sweep::{IngressSim, IngressSimConfig};
 use palladium_core::system::{IngressKind, SystemKind};
-use palladium_simnet::{set_queue_kind, Nanos, QueueKind};
+use palladium_simnet::{
+    set_adaptive_threshold, set_queue_kind, Nanos, QueueKind, ADAPTIVE_THRESHOLD,
+};
 use palladium_workloads::boutique::{self, ChainKind};
 
 /// Seed-commit wall seconds for the exact full-size workloads below
@@ -51,17 +59,18 @@ const SEED_INGRESS_WALL_S: f64 = 0.137;
 const SEED_CHAIN_EVENTS: u64 = 2_017_098;
 const SEED_INGRESS_EVENTS: u64 = 1_559_476;
 
-/// PR 2 ("Flatten the DES hot path…") `after` numbers from the committed
-/// `BENCH_simcore.json`, same harness/machine/workloads, 2026-07-29 — the
-/// `before` this PR's batched completion pipeline is measured against.
-/// Events/sec is recorded directly (not rederived from the 3-decimal
-/// wall-clock) so the baseline reproduces the committed artifact exactly.
-const PR2_CHAIN_WALL_S: f64 = 0.397;
-const PR2_INGRESS_WALL_S: f64 = 0.107;
-const PR2_CHAIN_EVENTS: u64 = 1_894_694;
-const PR2_INGRESS_EVENTS: u64 = 1_559_476;
-const PR2_CHAIN_EPS: f64 = 4_775_811.0;
-const PR2_INGRESS_EPS: f64 = 14_560_116.0;
+/// PR 3 ("Batch the completion pipeline…") `after` numbers from the
+/// committed `BENCH_simcore.json`, same harness/machine/workloads,
+/// 2026-07-29 — the `before` this PR's arena-allocated event payloads are
+/// measured against. Events/sec is recorded directly (not rederived from
+/// the 3-decimal wall-clock) so the baseline reproduces the committed
+/// artifact exactly.
+const PR3_CHAIN_WALL_S: f64 = 0.378;
+const PR3_INGRESS_WALL_S: f64 = 0.084;
+const PR3_CHAIN_EVENTS: u64 = 1_894_694;
+const PR3_INGRESS_EVENTS: u64 = 1_559_476;
+const PR3_CHAIN_EPS: f64 = 5_009_030.0;
+const PR3_INGRESS_EPS: f64 = 18_560_604.0;
 /// Seed events/sec as recorded (seed event counts differ; see above).
 const SEED_CHAIN_EPS: f64 = 2_456_879.0;
 const SEED_INGRESS_EPS: f64 = 11_383_036.0;
@@ -170,6 +179,32 @@ impl DriverRecord {
     }
 }
 
+/// The ROADMAP `ADAPTIVE_THRESHOLD` calibration record: both drivers
+/// across a range of heap→wheel migration thresholds (0 = always-wheel,
+/// `usize::MAX` = never-migrate ≈ pure heap).
+fn threshold_sweep(scale: f64, reps: usize) {
+    println!("adaptive-threshold sweep (best of {reps}, default = {ADAPTIVE_THRESHOLD}):");
+    for (name, run) in [
+        ("chain", run_chain as fn(f64) -> RunOut),
+        ("ingress_sweep", run_ingress),
+    ] {
+        println!("  {name}:");
+        for threshold in [0usize, 64, 128, 256, 512, 1024, 4096, usize::MAX] {
+            set_adaptive_threshold(threshold);
+            set_queue_kind(QueueKind::Adaptive);
+            let r = best_of(reps, || run(scale));
+            let eps = r.events as f64 / r.wall_s;
+            let label = if threshold == usize::MAX {
+                "never (heap)".to_string()
+            } else {
+                threshold.to_string()
+            };
+            println!("    threshold {label:>12}: {eps:>12.0} events/s ({:.3}s)", r.wall_s);
+        }
+        set_adaptive_threshold(ADAPTIVE_THRESHOLD);
+    }
+}
+
 /// The ROADMAP wheel-tuning record: chain workload on both geometries.
 fn wheel_sweep(scale: f64, reps: usize) {
     println!("wheel geometry sweep (chain workload, best of {reps}):");
@@ -195,6 +230,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     let sweep = args.iter().any(|a| a == "--wheel-sweep");
+    let th_sweep = args.iter().any(|a| a == "--threshold-sweep");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -202,6 +238,10 @@ fn main() {
         .cloned()
         .unwrap_or_else(|| "BENCH_simcore.json".to_string());
     let (scale, reps) = if quick { (0.25, 1) } else { (1.0, 5) };
+
+    if th_sweep {
+        threshold_sweep(scale, reps);
+    }
 
     if sweep {
         wheel_sweep(scale, reps);
@@ -226,10 +266,10 @@ fn main() {
             vec![
                 Baseline {
                     tag: "before",
-                    wall_s: PR2_CHAIN_WALL_S,
-                    events: PR2_CHAIN_EVENTS,
-                    events_per_sec: PR2_CHAIN_EPS,
-                    source: "PR 2 (flattened DES hot path), same harness/machine, 2026-07-29",
+                    wall_s: PR3_CHAIN_WALL_S,
+                    events: PR3_CHAIN_EVENTS,
+                    events_per_sec: PR3_CHAIN_EPS,
+                    source: "PR 3 (batched completion pipeline), same harness/machine, 2026-07-29",
                 },
                 Baseline {
                     tag: "seed",
@@ -246,10 +286,10 @@ fn main() {
             vec![
                 Baseline {
                     tag: "before",
-                    wall_s: PR2_INGRESS_WALL_S,
-                    events: PR2_INGRESS_EVENTS,
-                    events_per_sec: PR2_INGRESS_EPS,
-                    source: "PR 2 (flattened DES hot path), same harness/machine, 2026-07-29",
+                    wall_s: PR3_INGRESS_WALL_S,
+                    events: PR3_INGRESS_EVENTS,
+                    events_per_sec: PR3_INGRESS_EPS,
+                    source: "PR 3 (batched completion pipeline), same harness/machine, 2026-07-29",
                 },
                 Baseline {
                     tag: "seed",

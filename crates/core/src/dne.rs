@@ -75,9 +75,10 @@ pub enum DneEffect {
         dst_node: NodeId,
         /// Tenant the transfer belongs to.
         tenant: TenantId,
-        /// The work request (boxed: the effect rides inside driver event
-        /// enums through the event queue, so the enum stays small).
-        wr: Box<WorkRequest>,
+        /// The work request, by value: driver event queues keep payloads
+        /// in a slab arena (`palladium_simnet::arena`), so a wide effect
+        /// variant no longer needs a box to keep queue entries small.
+        wr: WorkRequest,
     },
     /// Deliver a descriptor to a local function over Comch (driver charges
     /// channel costs and wakes the function).
@@ -351,7 +352,7 @@ impl Dne {
         // The WR id *is* the inflight-table key.
         let wr_id = WrId(self.tx_inflight.insert(item.token));
         let imm = pack_imm(item.desc.src_fn, item.desc.dst_fn, item.desc.tenant);
-        let wr = Box::new(WorkRequest::send(wr_id, item.payload, imm));
+        let wr = WorkRequest::send(wr_id, item.payload, imm);
         self.tx_count += 1;
         out.push(Timed::new(
             delay,

@@ -15,6 +15,8 @@
 //! replenishes its RBR, and every software copy lands on a per-node
 //! [`CopyMeter`] — the zero-copy claims are asserted, not assumed.
 
+use std::collections::VecDeque;
+
 use bytes::Bytes;
 
 use palladium_ipc::{ChannelCosts, ChannelKind, SkMsgCosts};
@@ -45,9 +47,52 @@ const POOL_BUFS: u32 = 4096;
 const BUF_SIZE: u32 = 8192;
 const INITIAL_RQ: u64 = 512;
 
-fn payload_for(req: u64, len: u32) -> Bytes {
-    let len = (len as usize).max(8);
-    Bytes::zeroed_with_prefix(len, &req.to_le_bytes())
+/// Recycles the fabricated request payloads (zero bytes with the request
+/// id as an 8-byte prefix, one per hop). A payload's backing allocation
+/// becomes reusable once every traveling handle has dropped — observed
+/// via [`Bytes::unique_mut`] — at which point only the prefix needs
+/// rewriting: no flow mutates payload contents, so the bytes beyond the
+/// prefix are still zero and a recycled payload is bit-identical to a
+/// fresh one. This removes the last per-hop heap allocation from the
+/// chain driver's steady state (the `alloc_smoke` CI gate pins it).
+struct PayloadCache {
+    /// Per-exact-length rings (a chain charges only a handful of sizes).
+    by_len: Vec<(u32, VecDeque<Bytes>)>,
+}
+
+impl PayloadCache {
+    /// Candidates examined per request before giving up and allocating:
+    /// bounds the scan when many payloads of one size are still in
+    /// flight (their handles alive in pool slots or on the wire).
+    const SCAN: usize = 16;
+
+    fn new() -> Self {
+        PayloadCache { by_len: Vec::new() }
+    }
+
+    fn make(&mut self, req: u64, len: u32) -> Bytes {
+        let len = len.max(8);
+        let q = match self.by_len.iter().position(|(l, _)| *l == len) {
+            Some(i) => &mut self.by_len[i].1,
+            None => {
+                self.by_len.push((len, VecDeque::new()));
+                &mut self.by_len.last_mut().expect("just pushed").1
+            }
+        };
+        for _ in 0..q.len().min(Self::SCAN) {
+            let mut b = q.pop_front().expect("scan bounded by len");
+            if let Some(buf) = b.unique_mut() {
+                buf[..8].copy_from_slice(&req.to_le_bytes());
+                let out = b.clone();
+                q.push_back(b);
+                return out;
+            }
+            q.push_back(b); // still in flight; rotate and try the next
+        }
+        let out = Bytes::zeroed_with_prefix(len as usize, &req.to_le_bytes());
+        q.push_back(out.clone());
+        out
+    }
 }
 
 fn req_of(data: &[u8]) -> u64 {
@@ -68,12 +113,13 @@ pub(crate) enum Ev {
     Rdma(RdmaEvent),
     /// A Palladium engine core freed up.
     EngineSlot { n: usize },
-    /// Engine TX processing done: post the WR.
+    /// Engine TX processing done: post the WR (by value — the event
+    /// queue's payload arena makes wide variants free to schedule).
     PostSend {
         n: usize,
         dst: NodeId,
         tenant: TenantId,
-        wr: Box<WorkRequest>,
+        wr: WorkRequest,
     },
     /// RNIC DMA application of received bytes.
     ApplyDma {
@@ -190,8 +236,13 @@ pub(crate) struct Cluster {
 
     // Reused scratch so steady-state stepping does not allocate.
     rdma_step: Step,
+    /// Separate step for `post_send_into` call sites — `rdma_step` is
+    /// checked out while an `Ev::Rdma` event is being handled.
+    post_step: Step,
     cqe_scratch: Vec<Cqe>,
     dne_fx: crate::dne::DneStep,
+    /// Recycled request payloads (see [`PayloadCache`]).
+    payloads: PayloadCache,
 }
 
 /// Dense inbound-token key for a buffer on one node (see
@@ -393,8 +444,10 @@ impl Cluster {
                 t
             },
             rdma_step: Step::default(),
+            post_step: Step::default(),
             cqe_scratch: Vec::new(),
             dne_fx: Vec::new(),
+            payloads: PayloadCache::new(),
             cfg,
         };
 
@@ -685,7 +738,7 @@ impl Cluster {
         };
 
         let dst_node = self.node_of(to);
-        let data = payload_for(req, bytes);
+        let data = self.payloads.make(req, bytes);
 
         if dst_node == n && to != INGRESS_FN {
             // Local hop over SK_MSG: produce into a fresh buffer, pass the
@@ -753,16 +806,19 @@ impl Cluster {
                     },
                     imm,
                 );
+                let mut step = std::mem::take(&mut self.post_step);
+                step.clear();
                 let net = self.net.as_mut().expect("fuyao fabric");
                 let Some(qpn) = self.fuyao_conns[n].select(net, NodeId(dst_node as u16), TENANT)
                 else {
+                    self.post_step = step;
                     return;
                 };
-                let step = net
-                    .post_send(engine_done, NodeId(n as u16), qpn, wr)
+                net.post_send_into(engine_done, NodeId(n as u16), qpn, wr, &mut step)
                     .expect("post one-sided write");
                 // The doorbell rings when the engine finishes.
-                fx.extend_at(engine_done, step.events, Ev::Rdma);
+                fx.extend_at_drain(engine_done, &mut step.events, Ev::Rdma);
+                self.post_step = step;
             }
             InterNode::KernelTcp => {
                 if to == INGRESS_FN {
@@ -920,7 +976,7 @@ impl Engine for Cluster {
                 if self.spec.ingress == IngressKind::Palladium {
                     // Early conversion: payload into a registered buffer,
                     // over RDMA to the entry node's DNE.
-                    let data = payload_for(req, bytes);
+                    let data = self.payloads.make(req, bytes);
                     let Ok(token) = self.pools[INGRESS_NODE].alloc(Owner::Ingress) else {
                         return; // pool exhausted: shed the request
                     };
@@ -930,6 +986,8 @@ impl Engine for Cluster {
                         .write_bytes(&token, data.clone(), &mut self.meters[INGRESS_NODE])
                         .expect("sized buffer");
                     let wr_id = WrId(self.ingress_tx.insert(token));
+                    let mut step = std::mem::take(&mut self.post_step);
+                    step.clear();
                     let net = self.net.as_mut().expect("palladium fabric");
                     let qpn = self
                         .ingress_conns
@@ -937,15 +995,16 @@ impl Engine for Cluster {
                         .expect("warm ingress connection");
                     self.meters[INGRESS_NODE].record(MoveKind::RnicDma, data.len() as u64);
                     let imm = pack_imm(INGRESS_FN, entry, TENANT);
-                    let step = net
-                        .post_send(
-                            now,
-                            NodeId(INGRESS_NODE as u16),
-                            qpn,
-                            WorkRequest::send(wr_id, data, imm),
-                        )
-                        .expect("post ingress send");
-                    fx.extend(step.events, Ev::Rdma);
+                    net.post_send_into(
+                        now,
+                        NodeId(INGRESS_NODE as u16),
+                        qpn,
+                        WorkRequest::send(wr_id, data, imm),
+                        &mut step,
+                    )
+                    .expect("post ingress send");
+                    fx.extend_drain(&mut step.events, Ev::Rdma);
+                    self.post_step = step;
                 } else {
                     // Deferred conversion: second TCP connection into the
                     // cluster; worker-side termination happens at arrival.
@@ -984,14 +1043,17 @@ impl Engine for Cluster {
             }
             Ev::PostSend { n, dst, tenant, wr } => {
                 self.meters[n].record(MoveKind::RnicDma, wr.payload.len() as u64);
+                let mut step = std::mem::take(&mut self.post_step);
+                step.clear();
                 let net = self.net.as_mut().expect("palladium fabric");
                 let Some(qpn) = self.dnes[n].select_conn(net, dst, tenant) else {
+                    self.post_step = step;
                     return;
                 };
-                let step = net
-                    .post_send(now, NodeId(n as u16), qpn, *wr)
+                net.post_send_into(now, NodeId(n as u16), qpn, wr, &mut step)
                     .expect("post dne send");
-                fx.extend(step.events, Ev::Rdma);
+                fx.extend_drain(&mut step.events, Ev::Rdma);
+                self.post_step = step;
             }
             Ev::ApplyDma { n, token, data } => {
                 self.pools[n]
@@ -1062,7 +1124,7 @@ impl Engine for Cluster {
                 let Ok(token) = self.pools[n].alloc(Owner::Engine) else {
                     return;
                 };
-                let data = payload_for(req, bytes);
+                let data = self.payloads.make(req, bytes);
                 self.pools[n]
                     .write_bytes(&token, data, &mut self.meters[n])
                     .expect("sized buffer");

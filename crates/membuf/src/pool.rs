@@ -233,6 +233,12 @@ impl UnifiedPool {
         slot.owner = Owner::Free;
         slot.len = 0;
         slot.gen = slot.gen.wrapping_add(1);
+        // Release the content handle immediately: a freed buffer holds no
+        // data (reads are owner-gated and `len` is zeroed on re-alloc
+        // anyway), and dropping the `Bytes` here instead of at the next
+        // fill lets payload recyclers observe sole ownership as soon as
+        // the buffer lifecycle ends.
+        slot.content = Bytes::new();
         self.free.push(tok.idx);
         self.stats.frees += 1;
         Ok(())

@@ -40,15 +40,16 @@ pub enum RdmaEvent {
     },
     /// A frame reaches the destination NIC (pre fault-injection).
     Arrive {
-        /// The frame (boxed: one allocation per transmission keeps the
-        /// event enum — which traverses the driver queue several times per
-        /// frame — a few pointer-sized words instead of ~100 bytes).
-        pkt: Box<Packet>,
+        /// The frame, carried by value: driver event queues store their
+        /// payloads in a slab arena (`palladium_simnet::arena`), so a
+        /// wide event variant costs nothing in queue-entry moves and the
+        /// per-frame box the seed recycled here is gone entirely.
+        pkt: Packet,
     },
     /// The destination NIC finished receive processing of a frame.
     RxDone {
-        /// The frame (same box the `Arrive` carried).
-        pkt: Box<Packet>,
+        /// The frame (same value the `Arrive` carried).
+        pkt: Packet,
     },
     /// Retransmission-timeout check.
     RtoCheck {
@@ -203,11 +204,6 @@ pub struct RdmaNet {
     ack_scratch: Vec<Inflight>,
     /// Scratch for a transmit window's frames (one use per TX kick).
     frame_scratch: Vec<PacketKind>,
-    /// Recycled frame boxes: one box travels doorbell→arrive→rx-done per
-    /// transmission, so reusing them removes an alloc/free pair per frame.
-    /// The boxes themselves are the point (they ride inside [`RdmaEvent`]).
-    #[allow(clippy::vec_box)]
-    pkt_boxes: Vec<Box<Packet>>,
 }
 
 impl RdmaNet {
@@ -222,7 +218,6 @@ impl RdmaNet {
             reads: Slab::new(),
             ack_scratch: Vec::new(),
             frame_scratch: Vec::new(),
-            pkt_boxes: Vec::new(),
         }
     }
 
@@ -281,16 +276,32 @@ impl RdmaNet {
     /// carries the doorbell-delayed `TxKick`.
     pub fn post_send(
         &mut self,
-        _now: Nanos,
+        now: Nanos,
         node: NodeId,
         qpn: Qpn,
         wr: WorkRequest,
     ) -> Result<Step, RnicError> {
+        let mut step = Step::default();
+        self.post_send_into(now, node, qpn, wr, &mut step)?;
+        Ok(step)
+    }
+
+    /// [`RdmaNet::post_send`] appending into a caller-owned [`Step`]:
+    /// drivers posting on their hot path reuse one `Step` so each post
+    /// costs no allocation (a fresh `Step`'s event vector is one heap
+    /// allocation per post otherwise).
+    pub fn post_send_into(
+        &mut self,
+        _now: Nanos,
+        node: NodeId,
+        qpn: Qpn,
+        wr: WorkRequest,
+        step: &mut Step,
+    ) -> Result<(), RnicError> {
         let qp = self.rnic_mut(node).qp_mut(qpn)?;
         qp.post(wr).map_err(|_| RnicError::NoSuchQp)?;
-        let mut step = Step::default();
         step.push_event(self.cfg.doorbell, RdmaEvent::TxKick { node, qpn });
-        Ok(step)
+        Ok(())
     }
 
     /// Post a receive buffer to `node`'s shared RQ for `tenant`.
@@ -355,14 +366,7 @@ impl RdmaNet {
         let done = egress.submit(now, service);
         egress.complete();
         let prop = self.cfg.propagation;
-        let boxed = match self.pkt_boxes.pop() {
-            Some(mut b) => {
-                *b = pkt;
-                b
-            }
-            None => Box::new(pkt),
-        };
-        step.push_event(done - now + prop, RdmaEvent::Arrive { pkt: boxed });
+        step.push_event(done - now + prop, RdmaEvent::Arrive { pkt });
     }
 
     /// Emit a control frame from `from` back to `to`.
@@ -644,15 +648,17 @@ impl RdmaNet {
         }
     }
 
-    fn rx_done(&mut self, now: Nanos, mut pkt: Box<Packet>, step: &mut Step) {
-        // Take the frame contents out of the box (the payload handle moves
-        // into the CQE / output it feeds — no per-frame clone) and recycle
-        // the box for a future transmission.
-        let (src, dst, src_qpn, dst_qpn) = (pkt.src, pkt.dst, pkt.src_qpn, pkt.dst_qpn);
-        let kind = std::mem::replace(&mut pkt.kind, PacketKind::Ack { upto: 0 });
-        if self.pkt_boxes.len() < 1024 {
-            self.pkt_boxes.push(pkt);
-        }
+    fn rx_done(&mut self, now: Nanos, pkt: Packet, step: &mut Step) {
+        // Destructure the frame by value (the payload handle moves into
+        // the CQE / output it feeds — no per-frame clone).
+        let Packet {
+            src,
+            dst,
+            src_qpn,
+            dst_qpn,
+            kind,
+            ..
+        } = pkt;
         match kind {
             PacketKind::Data {
                 psn,

@@ -204,12 +204,36 @@ impl Rnic {
         }
     }
 
-    /// Drain the *entire* CQ backlog into `out` (appending) and re-arm the
-    /// doorbell: the windowed-drain consumer API — one `CqReady` wakeup
-    /// surfaces everything the CQ accumulated.
+    /// Drain the *entire* CQ backlog into `out` (appending): the
+    /// windowed-drain consumer API — one `CqReady` wakeup surfaces
+    /// everything the CQ accumulated.
+    ///
+    /// The doorbell re-arms only once the CQ is observed empty, the same
+    /// contract as [`Rnic::poll_cq_into`] — never unconditionally. An
+    /// unconditional re-arm combined with any bounded drain would strand
+    /// the leftover CQEs: armed-while-non-empty means the backlog only
+    /// surfaces if a *new* completion happens to arrive and ring the
+    /// doorbell for it.
     pub fn drain_cq_into(&mut self, out: &mut Vec<Cqe>) {
         out.extend(self.cq.drain(..));
-        self.cq_armed = true;
+        if self.cq.is_empty() {
+            self.cq_armed = true;
+        }
+    }
+
+    /// Drain up to `max` CQEs into `out` (appending), returning how many
+    /// were moved. Like [`Rnic::poll_cq_into`] the doorbell re-arms only
+    /// when the drain leaves the CQ empty — a partial window keeps the
+    /// consumer responsible for the remainder (keep draining until this
+    /// returns less than `max`, or the leftover CQEs stay parked until
+    /// the next completion arrives).
+    pub fn drain_cq_window_into(&mut self, max: usize, out: &mut Vec<Cqe>) -> usize {
+        let n = max.min(self.cq.len());
+        out.extend(self.cq.drain(..n));
+        if self.cq.is_empty() {
+            self.cq_armed = true;
+        }
+        n
     }
 
     /// Completions waiting.
@@ -350,6 +374,29 @@ mod tests {
         r.poll_cq_into(16, &mut out);
         assert_eq!(out.len(), 1);
         assert!(r.push_cqe(cqe(5)));
+    }
+
+    #[test]
+    fn windowed_drain_rearms_only_on_empty() {
+        let mut r = registered_rnic();
+        for i in 0..5u64 {
+            let _ = r.push_cqe(cqe(i));
+        }
+        let mut out = Vec::new();
+        // A partial window leaves backlog: the doorbell must stay down
+        // (an armed doorbell over a non-empty CQ would strand the
+        // leftovers until an unrelated new push).
+        assert_eq!(r.drain_cq_window_into(3, &mut out), 3);
+        assert_eq!(r.cq_depth(), 2);
+        assert!(
+            !r.push_cqe(cqe(5)),
+            "doorbell must stay down while backlog remains"
+        );
+        // Draining the remainder empties the CQ and re-arms.
+        assert_eq!(r.drain_cq_window_into(16, &mut out), 3);
+        assert_eq!(r.cq_depth(), 0);
+        assert_eq!(out.len(), 6);
+        assert!(r.push_cqe(cqe(6)), "empty drain re-armed the doorbell");
     }
 
     #[test]

@@ -162,7 +162,19 @@ impl<'a, Ev> Effects<'a, Ev> {
     /// `base` instead of "now" (e.g. effects produced by a server that
     /// finishes in the future).
     pub fn extend_at<T>(&mut self, base: Nanos, effects: Vec<Timed<T>>, lift: impl Fn(T) -> Ev) {
-        for t in effects {
+        let mut effects = effects;
+        self.extend_at_drain(base, &mut effects, lift);
+    }
+
+    /// [`Effects::extend_at`] draining a reusable buffer in place, the
+    /// absolute-base counterpart of [`Effects::extend_drain`].
+    pub fn extend_at_drain<T>(
+        &mut self,
+        base: Nanos,
+        effects: &mut Vec<Timed<T>>,
+        lift: impl Fn(T) -> Ev,
+    ) {
+        for t in effects.drain(..) {
             self.at(base.saturating_add(t.after), lift(t.value));
         }
     }
@@ -188,7 +200,10 @@ pub const DEFAULT_BATCH: usize = 64;
 pub struct Harness<Ev> {
     sim: Sim<Ev>,
     /// Zero-delay effects awaiting inline drain (delayed effects go
-    /// straight to the queue; see [`Effects`]).
+    /// straight to the queue; see [`Effects`]). Inline-drained effects
+    /// never touch the queue at all, so they also skip the payload
+    /// arena's insert/take pair — the scratch is the cheapest path
+    /// through the kernel and stays a plain by-value ring.
     scratch: VecDeque<Ev>,
     batch: usize,
     drained_inline: u64,

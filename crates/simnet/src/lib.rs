@@ -21,6 +21,7 @@
 //!   queueing phenomenon; [`FifoServer`]/[`ServerBank`] model each core, DMA
 //!   engine and NIC port so saturation emerges instead of being scripted.
 
+pub mod arena;
 pub mod fault;
 pub mod harness;
 pub mod queue;
@@ -32,9 +33,13 @@ pub mod stats;
 pub mod table;
 pub mod time;
 
+pub use arena::{Arena, ArenaSlot};
 pub use fault::{FaultPlan, Verdict};
 pub use harness::{Effects, Engine, Harness, LoadReport, RunStats};
-pub use queue::{queue_kind, set_queue_kind, EventId, EventQueue, QueueKind};
+pub use queue::{
+    adaptive_threshold, queue_kind, set_adaptive_threshold, set_queue_kind, EventId, EventQueue,
+    QueueKind, ADAPTIVE_THRESHOLD,
+};
 pub use table::{IdTable, PageTable, Slab};
 pub use rate::TokenBucket;
 pub use rng::SimRng;

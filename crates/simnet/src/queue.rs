@@ -5,6 +5,18 @@
 //! simulation in the workspace fully deterministic — a property the tests
 //! rely on (same seed ⇒ byte-identical reports).
 //!
+//! # Payload arena
+//!
+//! Message payloads do **not** travel inside queue entries. Every
+//! scheduled `M` lives in a per-queue slab arena ([`crate::arena::Arena`])
+//! and the backends order POD `(u128 key, ArenaSlot)` pairs — so heap
+//! sifts, wheel cascades and same-instant sorts move 32-byte entries no
+//! matter how large the driver's event enum is, and popping *moves* the
+//! payload out of its generation-checked slot (the slot returns to the
+//! arena's free list: zero steady-state heap traffic). This is what lets
+//! drivers carry full RDMA frames and work requests in their event enums
+//! without boxing them.
+//!
 //! # Backends
 //!
 //! The workhorse backend is a **hierarchical timer wheel**, generic over
@@ -31,17 +43,20 @@
 //!
 //! The default [`QueueKind::Adaptive`] starts on the seed's binary heap —
 //! which stays cache-resident and unbeatable for small simulations — and
-//! migrates to the wheel when the pending population crosses
-//! [`ADAPTIVE_THRESHOLD`]. The heap implementation is also kept as
-//! [`QueueKind::BinaryHeap`]: the property tests dequeue the backends in
-//! lockstep to prove the wheels preserve the ordering contract, and the
-//! `simcore_throughput` bench runs the drivers on both to measure the
-//! swap. [`set_queue_kind`] selects the backend for queues subsequently
-//! constructed on the current thread.
+//! migrates to the wheel when the pending population crosses the adaptive
+//! threshold ([`ADAPTIVE_THRESHOLD`] unless overridden via
+//! [`set_adaptive_threshold`], the `--threshold-sweep` hook). The heap
+//! implementation is also kept as [`QueueKind::BinaryHeap`]: the property
+//! tests dequeue the backends in lockstep to prove the wheels preserve
+//! the ordering contract, and the `simcore_throughput` bench runs the
+//! drivers on both to measure the swap. [`set_queue_kind`] selects the
+//! backend for queues subsequently constructed on the current thread.
 //!
 //! Every backend implements the same contract:
 //! * strict `(time, seq)` pop order, same-instant FIFO;
-//! * cancellation by [`EventId`], lazily discarded;
+//! * cancellation by [`EventId`], lazily discarded (the discarded entry's
+//!   arena slot is freed at discard time, so cancelled payloads cannot
+//!   leak);
 //! * scheduling never targets the past — the [`Sim`] driver clamps to
 //!   "now" at its layer. The wheel additionally clamps to its cursor
 //!   (including during adaptive migration); the heap backend preserves
@@ -53,6 +68,7 @@ use std::cell::Cell;
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
 
+use crate::arena::{Arena, ArenaSlot};
 use crate::time::Nanos;
 
 /// Identifier of a scheduled event, used to cancel timers.
@@ -63,7 +79,8 @@ pub struct EventId(u64);
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum QueueKind {
     /// Start on the binary heap and migrate to the timer wheel once the
-    /// pending population crosses [`ADAPTIVE_THRESHOLD`] (default). A
+    /// pending population crosses the adaptive threshold (default;
+    /// [`ADAPTIVE_THRESHOLD`] unless overridden per thread). A
     /// cache-resident heap wins below a few hundred pending events; the
     /// wheel's O(1) operations win beyond, where heap sifts deepen and
     /// spill the cache. Migration is one-way (a simulation that grew once
@@ -81,12 +98,16 @@ pub enum QueueKind {
     BinaryHeap,
 }
 
-/// Pending-event population at which an [`QueueKind::Adaptive`] queue
-/// migrates from the heap to the timer wheel.
+/// Default pending-event population at which an [`QueueKind::Adaptive`]
+/// queue migrates from the heap to the timer wheel. Re-measured after the
+/// arena-entry layout change via `simcore_throughput --threshold-sweep`
+/// (numbers in ROADMAP.md); override per thread with
+/// [`set_adaptive_threshold`].
 pub const ADAPTIVE_THRESHOLD: usize = 256;
 
 thread_local! {
     static QUEUE_KIND: Cell<QueueKind> = const { Cell::new(QueueKind::Adaptive) };
+    static ADAPTIVE_THRESHOLD_TL: Cell<usize> = const { Cell::new(ADAPTIVE_THRESHOLD) };
 }
 
 /// Select the backend used by [`EventQueue::new`] on this thread. Both
@@ -101,20 +122,36 @@ pub fn queue_kind() -> QueueKind {
     QUEUE_KIND.with(|k| k.get())
 }
 
-struct Entry<M> {
-    /// `(time << 64) | seq` — the full ordering key as one `u128`, so
-    /// every heap-sift comparison is a single branchless wide compare
-    /// instead of a `(time, seq)` lexicographic chain (pops on the
-    /// heap-resident drivers are the hottest comparisons in the
-    /// workspace).
-    key: u128,
-    msg: M,
+/// Override the adaptive heap→wheel migration threshold for queues
+/// subsequently constructed on this thread (the `--threshold-sweep`
+/// benchmarking hook; observationally invisible like the backend choice).
+pub fn set_adaptive_threshold(threshold: usize) {
+    ADAPTIVE_THRESHOLD_TL.with(|t| t.set(threshold));
 }
 
-impl<M> Entry<M> {
+/// The adaptive threshold currently selected on this thread.
+pub fn adaptive_threshold() -> usize {
+    ADAPTIVE_THRESHOLD_TL.with(|t| t.get())
+}
+
+/// A queue entry: the full `(time << 64) | seq` ordering key (one
+/// branchless wide compare per sift — pops on the heap-resident drivers
+/// are the hottest comparisons in the workspace) plus the arena slot
+/// holding the payload. POD and `Copy`: backends move entries freely
+/// without touching payload bytes.
+#[derive(Clone, Copy)]
+struct Entry {
+    key: u128,
+    slot: ArenaSlot,
+}
+
+impl Entry {
     #[inline]
-    fn new(at: Nanos, seq: u64, msg: M) -> Self {
-        Entry { key: ((at.0 as u128) << 64) | seq as u128, msg }
+    fn new(at: Nanos, seq: u64, slot: ArenaSlot) -> Self {
+        Entry {
+            key: ((at.0 as u128) << 64) | seq as u128,
+            slot,
+        }
     }
 
     #[inline]
@@ -133,20 +170,20 @@ impl<M> Entry<M> {
     }
 }
 
-impl<M> PartialEq for Entry<M> {
+impl PartialEq for Entry {
     fn eq(&self, other: &Self) -> bool {
         self.key == other.key
     }
 }
-impl<M> Eq for Entry<M> {}
+impl Eq for Entry {}
 
-impl<M> PartialOrd for Entry<M> {
+impl PartialOrd for Entry {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
 
-impl<M> Ord for Entry<M> {
+impl Ord for Entry {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; reverse so the earliest (time, seq) pops
         // first.
@@ -169,8 +206,8 @@ pub const WIDE_BITS: u32 = 8;
 /// Levels of the wide geometry.
 pub const WIDE_LEVELS: usize = 4;
 
-struct Slot<M> {
-    entries: Vec<Entry<M>>,
+struct Slot {
+    entries: Vec<Entry>,
     /// Least entry key among `entries`; only meaningful when non-empty.
     /// Maintained on insert, reset when the slot drains — this is what
     /// makes a non-mutating peek O(levels) instead of a scan over
@@ -178,8 +215,8 @@ struct Slot<M> {
     min: u128,
 }
 
-impl<M> Slot<M> {
-    fn push(&mut self, e: Entry<M>) {
+impl Slot {
+    fn push(&mut self, e: Entry) {
         if self.entries.is_empty() || e.key < self.min {
             self.min = e.key;
         }
@@ -196,13 +233,13 @@ impl<M> Slot<M> {
 /// a prefix and loop bounds stay a compile-time constant per geometry.
 const OCC_WORDS: usize = 4;
 
-struct Level<M> {
+struct Level {
     /// Bit `s & 63` of word `s >> 6` set ⇔ `slots[s]` non-empty.
     occupied: [u64; OCC_WORDS],
-    slots: Box<[Slot<M>]>,
+    slots: Box<[Slot]>,
 }
 
-impl<M> Level<M> {
+impl Level {
     fn new(slots: usize) -> Self {
         Level {
             occupied: [0; OCC_WORDS],
@@ -232,7 +269,9 @@ struct Scan<const LEVELS: usize> {
 }
 
 /// The hierarchical timer wheel, generic over its geometry: `BITS` = log2
-/// slots per level (≤ 8), `LEVELS` wheels (≤ 8).
+/// slots per level (≤ 8), `LEVELS` wheels (≤ 8). Entries are POD handles;
+/// the payloads stay in the owning [`EventQueue`]'s arena, so the wheel
+/// monomorphizes once per geometry rather than once per driver event type.
 ///
 /// Invariants:
 /// * `base` ≤ the time of every stored event (the cursor; advances only
@@ -243,18 +282,18 @@ struct Scan<const LEVELS: usize> {
 ///   windows;
 /// * `current` holds the same-instant batch being drained, sorted by
 ///   sequence number descending (pop takes from the back).
-struct Wheel<M, const BITS: u32, const LEVELS: usize> {
-    levels: Vec<Level<M>>,
-    overflow: BinaryHeap<Entry<M>>,
+struct Wheel<const BITS: u32, const LEVELS: usize> {
+    levels: Vec<Level>,
+    overflow: BinaryHeap<Entry>,
     base: u64,
-    current: Vec<Entry<M>>,
+    current: Vec<Entry>,
     /// Cascade scratch, reused so steady-state popping does not allocate.
-    scratch: Vec<Entry<M>>,
+    scratch: Vec<Entry>,
     scan: Option<Scan<LEVELS>>,
     len: usize,
 }
 
-impl<M, const BITS: u32, const LEVELS: usize> Wheel<M, BITS, LEVELS> {
+impl<const BITS: u32, const LEVELS: usize> Wheel<BITS, LEVELS> {
     /// Slots per level.
     const SLOTS: usize = 1 << BITS;
     /// Occupancy-bitmap words actually in use for this geometry.
@@ -303,12 +342,12 @@ impl<M, const BITS: u32, const LEVELS: usize> Wheel<M, BITS, LEVELS> {
         }
     }
 
-    fn push(&mut self, at: Nanos, seq: u64, msg: M) {
+    fn push(&mut self, at: Nanos, seq: u64, slot: ArenaSlot) {
         // The Sim layer already clamps past scheduling to "now"; the wheel
         // cannot represent times behind its cursor, so enforce the clamp.
         let at = Nanos(at.0.max(self.base));
         self.len += 1;
-        let loc = self.place(Entry::new(at, seq, msg));
+        let loc = self.place(Entry::new(at, seq, slot));
         // Keep the earliest-instant cache valid: only a push at or before
         // the cached instant can matter for the next batch. (A same-level
         // push at the cached instant always lands in — or before — that
@@ -344,7 +383,7 @@ impl<M, const BITS: u32, const LEVELS: usize> Wheel<M, BITS, LEVELS> {
     /// File an entry into the wheel level/slot (or overflow heap) given the
     /// current cursor; returns the `(level, slot)` it landed in (`None` for
     /// the overflow heap). Used by both fresh pushes and redistribution.
-    fn place(&mut self, e: Entry<M>) -> Option<(usize, usize)> {
+    fn place(&mut self, e: Entry) -> Option<(usize, usize)> {
         let t = e.at().0;
         debug_assert!(t >= self.base, "wheel entry behind cursor");
         let x = t ^ self.base;
@@ -490,7 +529,7 @@ impl<M, const BITS: u32, const LEVELS: usize> Wheel<M, BITS, LEVELS> {
         true
     }
 
-    fn pop(&mut self) -> Option<Entry<M>> {
+    fn pop(&mut self) -> Option<Entry> {
         if self.current.is_empty() && !self.refill() {
             return None;
         }
@@ -515,22 +554,19 @@ impl<M, const BITS: u32, const LEVELS: usize> Wheel<M, BITS, LEVELS> {
     }
 
     /// Remove the entry [`Wheel::peek`] would return, without advancing
-    /// the cursor. Used to lazily discard cancelled events during peeks —
+    /// the cursor, returning its arena slot so the owner can free the
+    /// payload. Used to lazily discard cancelled events during peeks —
     /// the cursor must stay at the last popped time so later schedules
     /// before the cancelled instant remain representable.
-    fn remove_earliest(&mut self) {
-        let Some((at, seq)) = self.peek() else {
-            return;
-        };
+    fn remove_earliest(&mut self) -> Option<ArenaSlot> {
+        let (at, seq) = self.peek()?;
         self.scan = None;
         self.len -= 1;
         if self.current.last().is_some_and(|e| e.seq() == seq) {
-            self.current.pop();
-            return;
+            return self.current.pop().map(|e| e.slot);
         }
         if self.overflow.peek().is_some_and(|e| e.seq() == seq) {
-            self.overflow.pop();
-            return;
+            return self.overflow.pop().map(|e| e.slot);
         }
         for level in 0..LEVELS {
             let Some((slot, _)) = self.next_slot(level) else {
@@ -539,23 +575,23 @@ impl<M, const BITS: u32, const LEVELS: usize> Wheel<M, BITS, LEVELS> {
             let s = &mut self.levels[level].slots[slot];
             let key = ((at.0 as u128) << 64) | seq as u128;
             if let Some(i) = s.entries.iter().position(|e| e.key == key) {
-                s.entries.remove(i);
+                let removed = s.entries.remove(i);
                 if s.entries.is_empty() {
                     Self::occ_clear(&mut self.levels[level].occupied, slot);
                 } else {
                     s.recompute_min();
                 }
-                return;
+                return Some(removed.slot);
             }
         }
         unreachable!("peeked entry not found in any store");
     }
 }
 
-enum Backend<M> {
-    Wheel(Wheel<M, WHEEL_BITS, WHEEL_LEVELS>),
-    WideWheel(Wheel<M, WIDE_BITS, WIDE_LEVELS>),
-    Heap(BinaryHeap<Entry<M>>),
+enum Backend {
+    Wheel(Wheel<WHEEL_BITS, WHEEL_LEVELS>),
+    WideWheel(Wheel<WIDE_BITS, WIDE_LEVELS>),
+    Heap(BinaryHeap<Entry>),
 }
 
 /// Dispatch a backend operation over both wheel geometries (the `$w` body
@@ -571,13 +607,23 @@ macro_rules! by_backend {
 }
 
 /// A time-ordered queue of events carrying messages of type `M`.
+///
+/// Payloads are arena-resident (see the module docs): the backends order
+/// POD entries and every pop moves the message out of its slot.
 pub struct EventQueue<M> {
-    backend: Backend<M>,
+    backend: Backend,
+    /// The payload slab. Invariant: live arena payloads == backend
+    /// entries (cancelled-but-not-yet-discarded entries still own their
+    /// payload until the lazy discard frees it).
+    arena: Arena<M>,
     cancelled: HashSet<u64>,
     next_seq: u64,
     /// Adaptive mode: still on the heap, watching for the migration
     /// threshold.
     adaptive: bool,
+    /// The migration threshold captured at construction (see
+    /// [`set_adaptive_threshold`]).
+    threshold: usize,
     /// Time of the last popped event — the only lower bound the `Sim`
     /// contract gives for future schedules, and therefore the wheel cursor
     /// a migration must start from.
@@ -606,17 +652,20 @@ impl<M> EventQueue<M> {
         };
         EventQueue {
             backend,
+            arena: Arena::new(),
             cancelled: HashSet::new(),
             next_seq: 0,
             adaptive: kind == QueueKind::Adaptive,
+            threshold: adaptive_threshold(),
             last_popped: 0,
         }
     }
 
     /// Adaptive migration: move every pending entry from the heap into a
-    /// wheel whose cursor is the last popped time. Insertion order into
-    /// slots is irrelevant (emission sorts each same-instant batch), so
-    /// the heap is drained unordered.
+    /// wheel whose cursor is the last popped time. Entries are POD handles
+    /// (payloads stay put in the arena) and insertion order into slots is
+    /// irrelevant (emission sorts each same-instant batch), so the heap is
+    /// drained unordered.
     fn migrate_to_wheel(&mut self) {
         let Backend::Heap(heap) = std::mem::replace(&mut self.backend, Backend::Wheel(Wheel::new()))
         else {
@@ -637,15 +686,17 @@ impl<M> EventQueue<M> {
     }
 
     /// Schedule `msg` to fire at absolute time `at`. Returns an id that can
-    /// later be passed to [`EventQueue::cancel`].
+    /// later be passed to [`EventQueue::cancel`]. The payload goes into
+    /// the arena; only its POD handle enters the backend.
     pub fn schedule_at(&mut self, at: Nanos, msg: M) -> EventId {
         let seq = self.next_seq;
         self.next_seq += 1;
+        let slot = self.arena.insert(msg);
         by_backend!(&mut self.backend,
-            w => w.push(at, seq, msg),
+            w => w.push(at, seq, slot),
             h => {
-                h.push(Entry::new(at, seq, msg));
-                if self.adaptive && h.len() > ADAPTIVE_THRESHOLD {
+                h.push(Entry::new(at, seq, slot));
+                if self.adaptive && h.len() > self.threshold {
                     self.migrate_to_wheel();
                 }
             }
@@ -659,15 +710,32 @@ impl<M> EventQueue<M> {
         self.cancelled.insert(id.0);
     }
 
-    fn pop_any(&mut self) -> Option<(Nanos, u64, M)> {
-        let popped = by_backend!(&mut self.backend,
-            w => w.pop().map(|e| (e.at(), e.seq(), e.msg)),
-            h => h.pop().map(|e| (e.at(), e.seq(), e.msg))
-        );
-        if let Some((at, _, _)) = &popped {
-            self.last_popped = at.0;
+    /// Take the payload out of a popped entry's slot. Every backend entry
+    /// owns exactly one live arena slot, so this cannot miss.
+    #[inline]
+    fn redeem(&mut self, e: Entry) -> (Nanos, u64, M) {
+        self.last_popped = e.at().0;
+        let msg = self
+            .arena
+            .take(e.slot)
+            .expect("queue entry owns a live arena slot");
+        (e.at(), e.seq(), msg)
+    }
+
+    /// Discard the payload of a lazily-removed cancelled entry so it
+    /// cannot leak in the arena.
+    #[inline]
+    fn discard(&mut self, slot: Option<ArenaSlot>) {
+        if let Some(slot) = slot {
+            self.arena
+                .take(slot)
+                .expect("cancelled entry owns a live arena slot");
         }
-        popped
+    }
+
+    fn pop_any(&mut self) -> Option<(Nanos, u64, M)> {
+        let e = by_backend!(&mut self.backend, w => w.pop(), h => h.pop())?;
+        Some(self.redeem(e))
     }
 
     /// Remove and return the earliest pending event only if it fires at or
@@ -677,24 +745,22 @@ impl<M> EventQueue<M> {
     /// on the hottest loop in the workspace.
     pub fn pop_until(&mut self, deadline: Nanos) -> Option<(Nanos, M)> {
         if self.cancelled.is_empty() {
-            let popped = by_backend!(&mut self.backend,
+            let e = by_backend!(&mut self.backend,
                 w => {
                     if w.peek()?.0 > deadline {
                         return None;
                     }
-                    w.pop().map(|e| (e.at(), e.msg))
+                    w.pop()
                 },
                 h => {
                     if h.peek()?.at() > deadline {
                         return None;
                     }
-                    h.pop().map(|e| (e.at(), e.msg))
+                    h.pop()
                 }
-            );
-            if let Some((at, _)) = &popped {
-                self.last_popped = at.0;
-            }
-            return popped;
+            )?;
+            let (at, _, msg) = self.redeem(e);
+            return Some((at, msg));
         }
         // Cancellations pending: take the slow path, which discards them
         // lazily without advancing the wheel cursor.
@@ -721,12 +787,11 @@ impl<M> EventQueue<M> {
                 h => h.peek().map(|e| (e.at(), e.seq()))?
             );
             if self.cancelled.remove(&seq) {
-                by_backend!(&mut self.backend,
+                let slot = by_backend!(&mut self.backend,
                     w => w.remove_earliest(),
-                    h => {
-                        h.pop();
-                    }
+                    h => h.pop().map(|e| e.slot)
                 );
+                self.discard(slot);
                 continue;
             }
             let (at, popped, msg) = self.pop_any().expect("peeked entry present");
@@ -744,12 +809,11 @@ impl<M> EventQueue<M> {
                 h => h.peek().map(|e| (e.at(), e.seq()))?
             );
             if self.cancelled.contains(&seq) {
-                by_backend!(&mut self.backend,
+                let slot = by_backend!(&mut self.backend,
                     w => w.remove_earliest(),
-                    h => {
-                        h.pop();
-                    }
+                    h => h.pop().map(|e| e.slot)
                 );
+                self.discard(slot);
                 self.cancelled.remove(&seq);
                 continue;
             }
@@ -765,6 +829,14 @@ impl<M> EventQueue<M> {
     /// True when no events are pending.
     pub fn is_empty(&self) -> bool {
         self.len() == self.cancelled.len()
+    }
+
+    /// Payloads resident in the arena. Always equals [`EventQueue::len`]
+    /// — every pending entry (cancelled-but-undiscarded ones included)
+    /// owns exactly one live slot. Exposed so the property tests can
+    /// assert the no-leak/no-double-free invariant from outside.
+    pub fn arena_live(&self) -> usize {
+        self.arena.len()
     }
 }
 
@@ -816,6 +888,7 @@ mod tests {
             q.cancel(a);
             assert_eq!(q.pop(), Some((Nanos(2), "b")));
             assert_eq!(q.pop(), None);
+            assert_eq!(q.arena_live(), 0, "cancelled payload must not leak");
         });
     }
 
@@ -839,6 +912,7 @@ mod tests {
             q.schedule_at(Nanos(7), "b");
             q.cancel(a);
             assert_eq!(q.peek_time(), Some(Nanos(7)));
+            assert_eq!(q.arena_live(), 1, "discard frees the cancelled slot");
             assert_eq!(q.pop(), Some((Nanos(7), "b")));
         });
     }
@@ -852,6 +926,23 @@ mod tests {
             assert!(!q.is_empty());
             q.cancel(a);
             assert!(q.is_empty());
+        });
+    }
+
+    #[test]
+    fn arena_tracks_pending_population() {
+        each_kind(|k| {
+            let mut q = EventQueue::with_kind(k);
+            for i in 0..100u64 {
+                q.schedule_at(Nanos(i * 3), i);
+            }
+            assert_eq!(q.arena_live(), q.len());
+            for _ in 0..60 {
+                q.pop();
+            }
+            assert_eq!(q.arena_live(), q.len());
+            while q.pop().is_some() {}
+            assert_eq!(q.arena_live(), 0);
         });
     }
 
@@ -925,6 +1016,25 @@ mod tests {
         set_queue_kind(QueueKind::Adaptive);
         let q: EventQueue<u8> = EventQueue::new();
         assert!(matches!(q.backend, Backend::Heap(_)) && q.adaptive);
+    }
+
+    #[test]
+    fn thread_threshold_override_applies_to_new() {
+        set_adaptive_threshold(4);
+        let mut q: EventQueue<u8> = EventQueue::new();
+        for i in 0..6 {
+            q.schedule_at(Nanos(i), i as u8);
+        }
+        assert!(
+            matches!(q.backend, Backend::Wheel(_)),
+            "threshold 4 must migrate at 5 pending"
+        );
+        set_adaptive_threshold(ADAPTIVE_THRESHOLD);
+        let mut q: EventQueue<u8> = EventQueue::new();
+        for i in 0..6 {
+            q.schedule_at(Nanos(i), i as u8);
+        }
+        assert!(matches!(q.backend, Backend::Heap(_)), "default restored");
     }
 
     #[test]

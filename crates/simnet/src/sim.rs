@@ -45,6 +45,14 @@ impl<T> Timed<T> {
 }
 
 /// The discrete-event simulation core: current time plus pending events.
+///
+/// Pending payloads are arena-resident: [`Sim::schedule`] moves `msg` into
+/// a generation-checked slot of the queue's per-`Sim` slab arena and the
+/// backends order POD handles; [`Sim::next`] moves the payload back out
+/// (the slot returns to the free list). Drivers can therefore carry large
+/// event variants — full RDMA frames, work requests — without boxing
+/// them: steady-state scheduling performs zero heap allocation however
+/// big `M` is.
 pub struct Sim<M> {
     now: Nanos,
     queue: EventQueue<M>,

@@ -89,12 +89,33 @@ impl Nanos {
         Nanos(self.0.saturating_mul(factor))
     }
 
+    /// Convert a floating-point nanosecond count to [`Nanos`] with
+    /// explicit, platform-independent semantics: NaN and negative values
+    /// (time cannot run backwards) clamp to [`Nanos::ZERO`]; values at or
+    /// beyond the `u64` range saturate to [`Nanos::MAX`]. Every f64→ns
+    /// conversion in the workspace funnels through here, so cost models
+    /// fed degenerate parameters degrade to a deterministic clamp instead
+    /// of whatever the platform's float-to-int cast produces.
+    #[inline]
+    pub fn from_f64_saturating(ns: f64) -> Nanos {
+        // Ordered comparisons are false for NaN, so NaN falls through both
+        // guards into the zero arm.
+        if ns >= u64::MAX as f64 {
+            Nanos::MAX
+        } else if ns > 0.0 {
+            Nanos(ns as u64)
+        } else {
+            Nanos::ZERO
+        }
+    }
+
     /// Scale a span by a floating-point factor, rounding to the nearest
-    /// nanosecond. Used by cost models (e.g. the DPU wimpy-core multiplier).
+    /// nanosecond. Used by cost models (e.g. the DPU wimpy-core
+    /// multiplier). NaN/negative factors clamp to zero and oversized
+    /// products saturate, per [`Nanos::from_f64_saturating`].
     #[inline]
     pub fn scale(self, factor: f64) -> Nanos {
-        debug_assert!(factor >= 0.0, "time cannot be scaled negatively");
-        Nanos((self.0 as f64 * factor).round() as u64)
+        Nanos::from_f64_saturating((self.0 as f64 * factor).round())
     }
 
     /// `max(self, other)`.
@@ -225,20 +246,27 @@ impl ByteCost {
     pub const ZERO: ByteCost = ByteCost { mul: 0 };
 
     /// Build from a floating-point ns/byte slope (done once, at cost-table
-    /// construction).
+    /// construction). NaN/negative slopes clamp to [`ByteCost::ZERO`] and
+    /// slopes too large for Q32.32 saturate, mirroring
+    /// [`Nanos::from_f64_saturating`]'s conversion contract.
     pub fn per_byte_ns(ns: f64) -> ByteCost {
-        debug_assert!(ns >= 0.0, "cost slopes are non-negative");
+        let q = (ns * (1u64 << 32) as f64).round();
         ByteCost {
-            mul: (ns * (1u64 << 32) as f64).round() as u64,
+            mul: Nanos::from_f64_saturating(q).0,
         }
     }
 
     /// Integer-ns cost of `bytes`: `round(bytes × slope)`, computed with a
-    /// widening multiply (no overflow for any `bytes` × any slope that
-    /// fits Q32.32).
+    /// widening multiply. The `u128` product cannot overflow for any
+    /// `bytes` × any Q32.32 slope; the final narrowing to integer
+    /// nanoseconds *saturates* — a byte count large enough to exceed
+    /// `u64::MAX` ns charges [`Nanos::MAX`] instead of silently wrapping
+    /// to a near-zero cost (which would let an absurd transfer finish in
+    /// no simulated time).
     #[inline]
     pub fn cost(self, bytes: u64) -> Nanos {
-        Nanos((((bytes as u128 * self.mul as u128) + (1u128 << 31)) >> 32) as u64)
+        let q = ((bytes as u128 * self.mul as u128) + (1u128 << 31)) >> 32;
+        Nanos(q.min(u64::MAX as u128) as u64)
     }
 
     /// The slope back as f64 ns/byte (reporting/diagnostics).
@@ -251,23 +279,28 @@ impl ByteCost {
 /// gigabits per second, rounded up to a whole nanosecond.
 ///
 /// `wire_time(1_000_000, 200.0)` ≈ 40 µs: the time 1 MB occupies a 200 Gbps
-/// port (the paper's testbed fabric speed).
+/// port (the paper's testbed fabric speed). A non-positive/NaN rate is a
+/// configuration error (asserted in debug builds); the conversion itself
+/// is total — huge byte counts over slow links saturate to [`Nanos::MAX`]
+/// instead of wrapping (see [`Nanos::from_f64_saturating`]).
 #[inline]
 pub fn wire_time(bytes: u64, gbps: f64) -> Nanos {
     debug_assert!(gbps > 0.0, "link rate must be positive");
     // bits / (gigabits/s) = nanoseconds.
     let ns = (bytes as f64 * 8.0) / gbps;
-    Nanos(ns.ceil() as u64)
+    Nanos::from_f64_saturating(ns.ceil())
 }
 
 /// Service time of a task costing `cycles` CPU cycles on a core clocked at
 /// `ghz` GHz. This is how the cost model translates "instructions of work"
 /// into virtual time for both beefy x86 cores (3.7 GHz in the paper's
-/// testbed) and wimpy DPU ARM cores (2.0 GHz).
+/// testbed) and wimpy DPU ARM cores (2.0 GHz). Same conversion contract
+/// as [`wire_time`]: rates are asserted positive in debug builds and the
+/// f64→ns cast saturates explicitly.
 #[inline]
 pub fn cycles_time(cycles: u64, ghz: f64) -> Nanos {
     debug_assert!(ghz > 0.0, "clock rate must be positive");
-    Nanos((cycles as f64 / ghz).ceil() as u64)
+    Nanos::from_f64_saturating((cycles as f64 / ghz).ceil())
 }
 
 #[cfg(test)]
@@ -375,5 +408,55 @@ mod tests {
     fn byte_cost_zero() {
         assert_eq!(ByteCost::ZERO.cost(1_000_000), Nanos::ZERO);
         assert_eq!(ByteCost::per_byte_ns(0.0).cost(64), Nanos::ZERO);
+    }
+
+    #[test]
+    fn byte_cost_saturates_at_the_overflow_boundary() {
+        // Slope 2 ns/B (mul = 2^33): the charged nanoseconds are 2×bytes,
+        // which exceeds u64 exactly at bytes = 2^63. Below the boundary
+        // the exact product must come back; at and above it the cost must
+        // saturate to Nanos::MAX — the pre-fix `as u64` truncation charged
+        // ~0 ns here, letting enormous transfers finish instantly.
+        let c = ByteCost::per_byte_ns(2.0);
+        assert_eq!(c.cost((1 << 62) - 1), Nanos((1 << 63) - 2));
+        assert_eq!(c.cost((1u64 << 63) - 1), Nanos(u64::MAX - 1));
+        assert_eq!(c.cost(1u64 << 63), Nanos::MAX, "first overflowing input");
+        assert_eq!(c.cost(u64::MAX), Nanos::MAX);
+        // Slope 1: u64::MAX bytes lands exactly on u64::MAX ns (no wrap).
+        assert_eq!(ByteCost::per_byte_ns(1.0).cost(u64::MAX), Nanos::MAX);
+    }
+
+    #[test]
+    fn byte_cost_slope_construction_is_total() {
+        assert_eq!(ByteCost::per_byte_ns(f64::NAN), ByteCost::ZERO);
+        assert_eq!(ByteCost::per_byte_ns(-3.5), ByteCost::ZERO);
+        let sat = ByteCost::per_byte_ns(f64::INFINITY);
+        assert_eq!(sat.cost(0), Nanos::ZERO);
+        assert_eq!(sat.cost(u64::MAX), Nanos::MAX);
+    }
+
+    #[test]
+    fn f64_conversion_is_explicit_about_degenerate_inputs() {
+        assert_eq!(Nanos::from_f64_saturating(f64::NAN), Nanos::ZERO);
+        assert_eq!(Nanos::from_f64_saturating(-1.0), Nanos::ZERO);
+        assert_eq!(Nanos::from_f64_saturating(-0.0), Nanos::ZERO);
+        assert_eq!(Nanos::from_f64_saturating(f64::NEG_INFINITY), Nanos::ZERO);
+        assert_eq!(Nanos::from_f64_saturating(f64::INFINITY), Nanos::MAX);
+        assert_eq!(Nanos::from_f64_saturating(1e300), Nanos::MAX);
+        // u64::MAX as f64 rounds up to 2^64, which does not fit: saturate.
+        assert_eq!(Nanos::from_f64_saturating(u64::MAX as f64), Nanos::MAX);
+        assert_eq!(Nanos::from_f64_saturating(42.0), Nanos(42));
+    }
+
+    #[test]
+    fn scale_and_rate_conversions_saturate() {
+        // scale: NaN/negative factors clamp, oversized products saturate.
+        assert_eq!(Nanos(100).scale(f64::NAN), Nanos::ZERO);
+        assert_eq!(Nanos(100).scale(-2.0), Nanos::ZERO);
+        assert_eq!(Nanos::MAX.scale(2.0), Nanos::MAX);
+        // A year of nanoseconds over a 1 bit/s-ish link must clamp, not
+        // wrap.
+        assert_eq!(wire_time(u64::MAX, 1e-9), Nanos::MAX);
+        assert_eq!(cycles_time(u64::MAX, 1e-9), Nanos::MAX);
     }
 }

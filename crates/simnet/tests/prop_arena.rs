@@ -1,0 +1,267 @@
+//! Property-based soundness of the event-payload arena under the queue.
+//!
+//! The arena swap moved every scheduled payload out of the queue entries
+//! and into generation-checked slots; the hazards it must be immune to
+//! are *leaks* (a payload whose entry was popped or cancel-discarded but
+//! whose slot never returned to the free list), *double frees* (two
+//! entries redeeming one slot) and *stale-generation access* (a recycled
+//! slot aliasing a new payload). This test drives every queue backend
+//! through random schedule/cancel/pop interleavings in lockstep with a
+//! boxed reference queue — a deliberately naive `Vec<(key, Box<payload>)>`
+//! with the same `(time, seq)` contract, the layout the kernel had before
+//! the arena — and asserts:
+//!
+//! * the dequeued `(time, payload)` streams are identical (a stale or
+//!   double-freed slot would surface as a wrong/missing payload);
+//! * after **every** operation, live arena payloads == pending entries
+//!   (`EventQueue::arena_live`), so nothing leaks and nothing double
+//!   frees even transiently — including through lazy cancel discards;
+//! * a drained queue holds zero live payloads.
+//!
+//! The raw `Arena` API is exercised directly as well, against a model of
+//! live/retired handles, pinning the generation check on its own.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+
+use palladium_simnet::{Arena, ArenaSlot, EventQueue, Nanos, QueueKind};
+
+/// One step of the randomized queue workload; delays are relative to the
+/// last popped time, mirroring how `Sim` drives the queue.
+#[derive(Clone, Debug)]
+enum Op {
+    /// Schedule at `now + delay` (0 creates same-instant bursts).
+    Schedule(u32),
+    /// Schedule beyond the default wheel horizon (overflow heap).
+    Overflow(u32),
+    /// Schedule a same-instant burst of `n` events at one future time.
+    Burst(u8, u16),
+    /// Cancel the i-th issued id (modulo issued count) — may target
+    /// fired, pending, or already-cancelled events.
+    Cancel(usize),
+    /// Pop one event.
+    Pop,
+    /// Compare `peek_time` (exercises lazy discard of cancelled heads,
+    /// which must free the discarded payload's slot).
+    Peek,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0u32..20_000_000).prop_map(Op::Schedule),
+        1 => (0u32..10_000).prop_map(Op::Overflow),
+        1 => ((1u8..8), (0u16..2_000)).prop_map(|(n, d)| Op::Burst(n, d)),
+        3 => (0usize..256).prop_map(Op::Cancel),
+        5 => Just(Op::Pop),
+        2 => Just(Op::Peek),
+    ]
+}
+
+const HORIZON: u64 = 1 << 30;
+
+/// The boxed reference path: the pre-arena layout (payload owned by its
+/// entry, here behind a `Box` like the seed's recycled frame boxes), with
+/// the identical `(time, seq)` + lazy-cancel contract. O(n) scans — it is
+/// a specification, not an implementation.
+struct BoxedRef {
+    pending: Vec<(u128, Box<u64>)>,
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+}
+
+impl BoxedRef {
+    fn new() -> Self {
+        BoxedRef {
+            pending: Vec::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+        }
+    }
+
+    fn schedule_at(&mut self, at: Nanos, v: u64) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pending.push((((at.0 as u128) << 64) | seq as u128, Box::new(v)));
+        seq
+    }
+
+    fn min_idx(&self) -> Option<usize> {
+        self.pending
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, (key, _))| *key)
+            .map(|(i, _)| i)
+    }
+
+    fn pop(&mut self) -> Option<(Nanos, u64)> {
+        loop {
+            let i = self.min_idx()?;
+            let seq = self.pending[i].0 as u64;
+            let (key, v) = self.pending.swap_remove(i);
+            if self.cancelled.remove(&seq) {
+                continue;
+            }
+            return Some((Nanos((key >> 64) as u64), *v));
+        }
+    }
+
+    fn peek_time(&mut self) -> Option<Nanos> {
+        loop {
+            let i = self.min_idx()?;
+            let seq = self.pending[i].0 as u64;
+            if self.cancelled.remove(&seq) {
+                self.pending.swap_remove(i);
+                continue;
+            }
+            return Some(Nanos((self.pending[i].0 >> 64) as u64));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn arena_queue_matches_boxed_reference_without_leaks(
+        ops in proptest::collection::vec(op_strategy(), 1..400),
+    ) {
+        let kinds = [
+            QueueKind::Adaptive,
+            QueueKind::TimerWheel,
+            QueueKind::TimerWheelWide,
+            QueueKind::BinaryHeap,
+        ];
+        let mut queues: Vec<EventQueue<u64>> =
+            kinds.iter().map(|&k| EventQueue::with_kind(k)).collect();
+        let mut reference = BoxedRef::new();
+        let mut ids = Vec::new();
+        let mut now = 0u64;
+        let mut payload = 0u64;
+
+        for op in &ops {
+            match *op {
+                Op::Schedule(d) => {
+                    let at = Nanos(now + d as u64);
+                    ids.push((
+                        queues.iter_mut().map(|q| q.schedule_at(at, payload)).collect::<Vec<_>>(),
+                        reference.schedule_at(at, payload),
+                    ));
+                    payload += 1;
+                }
+                Op::Overflow(extra) => {
+                    let at = Nanos(now + HORIZON + extra as u64);
+                    ids.push((
+                        queues.iter_mut().map(|q| q.schedule_at(at, payload)).collect::<Vec<_>>(),
+                        reference.schedule_at(at, payload),
+                    ));
+                    payload += 1;
+                }
+                Op::Burst(n, d) => {
+                    for _ in 0..n {
+                        let at = Nanos(now + d as u64);
+                        ids.push((
+                            queues.iter_mut().map(|q| q.schedule_at(at, payload)).collect::<Vec<_>>(),
+                            reference.schedule_at(at, payload),
+                        ));
+                        payload += 1;
+                    }
+                }
+                Op::Cancel(i) => {
+                    if !ids.is_empty() {
+                        let (qids, rid) = &ids[i % ids.len()];
+                        for (q, &id) in queues.iter_mut().zip(qids.iter()) {
+                            q.cancel(id);
+                        }
+                        reference.cancelled.insert(*rid);
+                    }
+                }
+                Op::Pop => {
+                    let r = reference.pop();
+                    for (q, &kind) in queues.iter_mut().zip(kinds.iter()) {
+                        let got = q.pop();
+                        prop_assert_eq!(&got, &r, "pop diverged on {:?}", kind);
+                    }
+                    if let Some((t, _)) = r {
+                        now = t.0;
+                    }
+                }
+                Op::Peek => {
+                    let r = reference.peek_time();
+                    for (q, &kind) in queues.iter_mut().zip(kinds.iter()) {
+                        prop_assert_eq!(q.peek_time(), r, "peek diverged on {:?}", kind);
+                    }
+                }
+            }
+            // The no-leak/no-double-free invariant, after *every* op:
+            // exactly one live arena payload per pending entry. A leak
+            // drifts arena_live above len; a double free drifts it below
+            // (or panics the redeem expect inside the queue).
+            for (q, &kind) in queues.iter().zip(kinds.iter()) {
+                prop_assert_eq!(q.arena_live(), q.len(), "arena drift on {:?}", kind);
+            }
+        }
+
+        // Drain to the end: streams stay identical and the arenas empty
+        // out completely — no payload survives its entry.
+        loop {
+            let r = reference.pop();
+            for (q, &kind) in queues.iter_mut().zip(kinds.iter()) {
+                let got = q.pop();
+                prop_assert_eq!(&got, &r, "drain diverged on {:?}", kind);
+            }
+            if r.is_none() {
+                break;
+            }
+        }
+        for (q, &kind) in queues.iter().zip(kinds.iter()) {
+            prop_assert_eq!(q.arena_live(), 0, "leak after drain on {:?}", kind);
+        }
+    }
+
+    #[test]
+    fn raw_arena_generation_check_is_sound(
+        ops in proptest::collection::vec((0usize..3, 0usize..64), 1..200),
+    ) {
+        let mut arena: Arena<u64> = Arena::new();
+        let mut live: Vec<(ArenaSlot, u64)> = Vec::new();
+        let mut retired: Vec<ArenaSlot> = Vec::new();
+        let mut next = 0u64;
+
+        for (op, pick) in ops {
+            match op {
+                // Insert a fresh payload; its handle must not collide with
+                // any live handle.
+                0 => {
+                    let slot = arena.insert(next);
+                    prop_assert!(live.iter().all(|&(s, _)| s != slot));
+                    live.push((slot, next));
+                    next += 1;
+                }
+                // Take a live payload back out, exactly once.
+                1 => {
+                    if !live.is_empty() {
+                        let (slot, v) = live.swap_remove(pick % live.len());
+                        prop_assert_eq!(arena.take(slot), Some(v));
+                        retired.push(slot);
+                    }
+                }
+                // Stale handles (double free / use-after-take) must miss
+                // both reads and takes, and must not disturb accounting.
+                _ => {
+                    if !retired.is_empty() {
+                        let slot = retired[pick % retired.len()];
+                        prop_assert_eq!(arena.get(slot), None);
+                        prop_assert_eq!(arena.take(slot), None);
+                    }
+                }
+            }
+            prop_assert_eq!(arena.len(), live.len());
+            // Every live handle still reads its own payload (no aliasing
+            // from slot recycling).
+            for &(slot, v) in &live {
+                prop_assert_eq!(arena.get(slot), Some(&v));
+            }
+        }
+    }
+}

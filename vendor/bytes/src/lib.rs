@@ -77,6 +77,17 @@ impl Bytes {
         Bytes::from(src.to_vec())
     }
 
+    /// Mutable access to the viewed bytes, only when this handle is the
+    /// *sole* owner of the backing allocation (no clones or slices
+    /// alive). Returns `None` otherwise — shared contents stay immutable,
+    /// preserving the `Bytes` contract. (An extension over upstream,
+    /// mirroring `Arc::get_mut`: the simulators use it to recycle payload
+    /// allocations once every traveling handle has dropped.)
+    pub fn unique_mut(&mut self) -> Option<&mut [u8]> {
+        let (start, end) = (self.start as usize, self.end as usize);
+        Arc::get_mut(&mut self.data).map(|d| &mut d[start..end])
+    }
+
     /// Length in bytes.
     pub fn len(&self) -> usize {
         (self.end - self.start) as usize
@@ -490,6 +501,21 @@ mod tests {
         let head = m.split_to(2);
         assert_eq!(&head[..], &[1, 2]);
         assert_eq!(&m[..], &[3, 4, 5]);
+    }
+
+    #[test]
+    fn unique_mut_requires_sole_ownership() {
+        let mut b = Bytes::from(vec![0u8; 8]);
+        let c = b.clone();
+        assert!(b.unique_mut().is_none(), "clone alive: no mutable access");
+        drop(c);
+        b.unique_mut().expect("sole owner")[..2].copy_from_slice(&[7, 9]);
+        assert_eq!(&b[..4], &[7, 9, 0, 0]);
+        // A live slice view also blocks mutation.
+        let s = b.slice(2..5);
+        assert!(b.unique_mut().is_none());
+        drop(s);
+        assert!(b.unique_mut().is_some());
     }
 
     #[test]

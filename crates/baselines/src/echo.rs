@@ -21,12 +21,10 @@
 //! shared [`palladium_simnet::Harness`]; only the engine-side protocol
 //! differs.
 
-use bytes::Bytes;
-
 use palladium_core::config::CostModel;
 use palladium_core::driver::LoadReport;
 use palladium_dpu::{SocDma, SocDmaSpec};
-use palladium_membuf::{MmapExporter, NodeId, PoolId, Region, TenantId};
+use palladium_membuf::{MmapExporter, NodeId, PayloadCache, PoolId, Region, TenantId};
 use palladium_rdma::{
     Cqe, CqeKind, RdmaConfig, RdmaEvent, RdmaNet, RdmaOutput, RemoteAddr, RqEntry, Step,
     WorkRequest, WrId,
@@ -180,6 +178,11 @@ struct EchoState {
     /// Separate reused step for posts — `rdma_step` is checked out while
     /// an `Ev::Rdma` event (whose handlers also post) is in flight.
     post_step: Step,
+    /// Recycled fabricated payloads (shared cache, see
+    /// [`palladium_membuf::PayloadCache`]): the echo loops fabricate one
+    /// payload per message forever, so this path must not allocate in
+    /// steady state (`alloc_smoke` gates it alongside the chain driver).
+    payloads: PayloadCache,
 }
 
 impl EchoState {
@@ -237,19 +240,17 @@ impl PrimitiveEngine {
             _ => conn as u64,
         };
         let wr = match kind {
-            MsgKind::Send => WorkRequest::send(
-                wr_id,
-                Bytes::from(vec![0u8; st.payload as usize]),
-                imm,
-            ),
+            MsgKind::Send => {
+                WorkRequest::send(wr_id, st.payloads.make_exact(wr_id.0, st.payload), imm)
+            }
             MsgKind::Write => WorkRequest::write(
                 wr_id,
-                Bytes::from(vec![0u8; st.payload as usize]),
+                st.payloads.make_exact(wr_id.0, st.payload),
                 RemoteAddr { pool: PoolId(peer.raw()), buf_idx: conn as u32 },
                 imm,
             ),
             MsgKind::LockReq | MsgKind::LockGrant => {
-                WorkRequest::send(wr_id, Bytes::from(vec![0u8; 16]), imm)
+                WorkRequest::send(wr_id, st.payloads.make(wr_id.0, 16), imm)
             }
         };
         let mut step = std::mem::take(&mut st.post_step);
@@ -439,11 +440,7 @@ impl Engine for PathModeEngine {
                 let qpn = if node == CLIENT { qc } else { qs };
                 let wr_id = WrId(self.st.next_wr);
                 self.st.next_wr += 1;
-                let wr = WorkRequest::send(
-                    wr_id,
-                    Bytes::from(vec![0u8; payload as usize]),
-                    conn as u64,
-                );
+                let wr = WorkRequest::send(wr_id, self.st.payloads.make_exact(wr_id.0, payload), conn as u64);
                 let mut step = std::mem::take(&mut self.st.post_step);
                 step.clear();
                 self.st
@@ -542,6 +539,7 @@ impl EchoSim {
             cqe_scratch: Vec::new(),
             rdma_step: Step::default(),
             post_step: Step::default(),
+            payloads: PayloadCache::new(),
         };
         st.post_rq(CLIENT, 4 * self.cfg.connections as u64 + 64);
         st.post_rq(SERVER, 4 * self.cfg.connections as u64 + 64);
@@ -550,6 +548,13 @@ impl EchoSim {
 
     /// Fig 12: primitive-selection echo between two bare DNEs.
     pub fn run_primitive(&self, prim: Primitive) -> LoadReport {
+        self.run_primitive_counted(prim).0
+    }
+
+    /// [`EchoSim::run_primitive`], also returning the number of simulation
+    /// events processed — the denominator of the `alloc_smoke` zero-alloc
+    /// gate on this driver.
+    pub fn run_primitive_counted(&self, prim: Primitive) -> (LoadReport, u64) {
         let cfg = self.cfg;
         let mut engine = PrimitiveEngine {
             prim,
@@ -567,7 +572,7 @@ impl EchoSim {
         }
         harness.run(&mut engine, cfg.warmup + cfg.duration);
 
-        engine.st.stats.report(cfg.duration)
+        (engine.st.stats.report(cfg.duration), harness.events_fired())
     }
 
     /// Fig 11: off-path vs on-path function echo through DNEs (two-sided).

@@ -17,14 +17,22 @@
 //!    allowance is the amortized doubling of result vectors (latency
 //!    samples, request table), a handful of calls per million events.
 //!
+//! The same gate runs against the Fig 12 echo driver: since the shared
+//! [`palladium_membuf::PayloadCache`] replaced its per-message
+//! `Bytes::from(vec![0; n])` fabrication, the echo steady state must be
+//! allocation-free too — the zero-alloc contract is uniform across
+//! drivers, not a chain-driver special.
+//!
 //! Run by the CI bench-smoke job next to the `--quick` throughput run:
 //! `cargo run --release -p palladium-bench --bin alloc_smoke`.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use palladium_baselines::echo::{EchoConfig, EchoSim, Primitive};
 use palladium_core::driver::chain::ChainSim;
 use palladium_core::system::SystemKind;
+use palladium_simnet::Nanos;
 use palladium_workloads::boutique::{self, ChainKind};
 
 /// Pass threshold: steady-state allocations per simulated event. The
@@ -90,13 +98,29 @@ fn run_chain(duration_ms: u64) -> (u64, u64) {
     (events, ALLOCS.load(Ordering::Relaxed) - before)
 }
 
-fn main() {
-    // Identical builds + warmup; only the steady-state tail differs.
-    let (events_base, allocs_base) = run_chain(120);
+/// Run the Fig 12 two-sided echo (the driver the shared `PayloadCache`
+/// newly covers) for `duration_ms`, returning `(events, allocations)`.
+fn run_echo(duration_ms: u64) -> (u64, u64) {
+    let mut cfg = EchoConfig::new(1024).connections(16);
+    cfg.duration = Nanos::from_millis(duration_ms);
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let (_report, events) = EchoSim::new(cfg).run_primitive_counted(Primitive::TwoSided);
+    (events, ALLOCS.load(Ordering::Relaxed) - before)
+}
+
+/// Gate one driver: identical builds + warmup at two durations, assert
+/// the steady-state tail allocates (approximately) nothing per event.
+fn gate(
+    label: &str,
+    mut run: impl FnMut(u64) -> (u64, u64),
+    base_ms: u64,
+    long_ms: u64,
+) -> bool {
+    let (events_base, allocs_base) = run(base_ms);
     let histo_before: Vec<u64> = BUCKETS.iter().map(|b| b.load(Ordering::Relaxed)).collect();
-    let (events_long, allocs_long) = run_chain(360);
+    let (events_long, allocs_long) = run(long_ms);
     if std::env::var_os("ALLOC_SMOKE_HISTOGRAM").is_some() {
-        println!("steady-state allocation size histogram (bucket = ≤2^k bytes):");
+        println!("{label}: steady-state allocation size histogram (bucket = ≤2^k bytes):");
         for (k, before) in histo_before.iter().enumerate() {
             let d = BUCKETS[k].load(Ordering::Relaxed) - before;
             if d > 0 {
@@ -113,7 +137,7 @@ fn main() {
     let d_allocs = allocs_long.saturating_sub(allocs_base);
     let per_event = d_allocs as f64 / d_events as f64;
 
-    println!("alloc_smoke (chain driver, Fig 16 HomeQuery, 40 clients):");
+    println!("alloc_smoke ({label}):");
     println!("  base run:     {events_base} events, {allocs_base} allocations");
     println!("  extended run: {events_long} events, {allocs_long} allocations");
     println!(
@@ -123,10 +147,19 @@ fn main() {
 
     if per_event >= MAX_ALLOCS_PER_EVENT {
         eprintln!(
-            "FAIL: steady-state allocations per event {per_event:.6} >= \
+            "FAIL: {label}: steady-state allocations per event {per_event:.6} >= \
              {MAX_ALLOCS_PER_EVENT} — the zero-allocation event path has regressed"
         );
+        return false;
+    }
+    println!("PASS: {label}: steady-state allocations per event rounds to zero");
+    true
+}
+
+fn main() {
+    let chain_ok = gate("chain driver, Fig 16 HomeQuery, 40 clients", run_chain, 120, 360);
+    let echo_ok = gate("echo driver, Fig 12 two-sided 1KB, 16 connections", run_echo, 60, 180);
+    if !(chain_ok && echo_ok) {
         std::process::exit(1);
     }
-    println!("PASS: steady-state allocations per event rounds to zero");
 }

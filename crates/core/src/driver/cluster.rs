@@ -15,14 +15,12 @@
 //! replenishes its RBR, and every software copy lands on a per-node
 //! [`CopyMeter`] — the zero-copy claims are asserted, not assumed.
 
-use std::collections::VecDeque;
-
 use bytes::Bytes;
 
 use palladium_ipc::{ChannelCosts, ChannelKind, SkMsgCosts};
 use palladium_membuf::{
-    BufDesc, BufToken, CopyMeter, FnId, MmapExporter, MoveKind, NodeId, Owner, PoolId, Region,
-    TenantId, UnifiedPool,
+    BufDesc, BufToken, CopyMeter, FnId, MmapExporter, MoveKind, NodeId, Owner, PayloadCache,
+    PoolId, Region, TenantId, UnifiedPool,
 };
 use palladium_rdma::{
     Cqe, CqeKind, RdmaConfig, RdmaEvent, RdmaNet, RdmaOutput, RemoteAddr, RqEntry, Step,
@@ -46,54 +44,6 @@ const INGRESS_NODE: usize = 2;
 const POOL_BUFS: u32 = 4096;
 const BUF_SIZE: u32 = 8192;
 const INITIAL_RQ: u64 = 512;
-
-/// Recycles the fabricated request payloads (zero bytes with the request
-/// id as an 8-byte prefix, one per hop). A payload's backing allocation
-/// becomes reusable once every traveling handle has dropped — observed
-/// via [`Bytes::unique_mut`] — at which point only the prefix needs
-/// rewriting: no flow mutates payload contents, so the bytes beyond the
-/// prefix are still zero and a recycled payload is bit-identical to a
-/// fresh one. This removes the last per-hop heap allocation from the
-/// chain driver's steady state (the `alloc_smoke` CI gate pins it).
-struct PayloadCache {
-    /// Per-exact-length rings (a chain charges only a handful of sizes).
-    by_len: Vec<(u32, VecDeque<Bytes>)>,
-}
-
-impl PayloadCache {
-    /// Candidates examined per request before giving up and allocating:
-    /// bounds the scan when many payloads of one size are still in
-    /// flight (their handles alive in pool slots or on the wire).
-    const SCAN: usize = 16;
-
-    fn new() -> Self {
-        PayloadCache { by_len: Vec::new() }
-    }
-
-    fn make(&mut self, req: u64, len: u32) -> Bytes {
-        let len = len.max(8);
-        let q = match self.by_len.iter().position(|(l, _)| *l == len) {
-            Some(i) => &mut self.by_len[i].1,
-            None => {
-                self.by_len.push((len, VecDeque::new()));
-                &mut self.by_len.last_mut().expect("just pushed").1
-            }
-        };
-        for _ in 0..q.len().min(Self::SCAN) {
-            let mut b = q.pop_front().expect("scan bounded by len");
-            if let Some(buf) = b.unique_mut() {
-                buf[..8].copy_from_slice(&req.to_le_bytes());
-                let out = b.clone();
-                q.push_back(b);
-                return out;
-            }
-            q.push_back(b); // still in flight; rotate and try the next
-        }
-        let out = Bytes::zeroed_with_prefix(len as usize, &req.to_le_bytes());
-        q.push_back(out.clone());
-        out
-    }
-}
 
 fn req_of(data: &[u8]) -> u64 {
     let mut b = [0u8; 8];
@@ -833,7 +783,7 @@ impl Cluster {
                 fx.at(done, Ev::EngineRelease { n });
                 self.meters[n].record(MoveKind::Software, bytes as u64);
                 fx.at(
-                    done + Nanos::from_micros(5),
+                    done + TcpCosts::INTER_NODE_WIRE,
                     Ev::TcpWire {
                         dst_n: dst_node,
                         req,
@@ -1009,7 +959,7 @@ impl Engine for Cluster {
                     // Deferred conversion: second TCP connection into the
                     // cluster; worker-side termination happens at arrival.
                     fx.after(
-                        Nanos::from_micros(5),
+                        TcpCosts::INTER_NODE_WIRE,
                         Ev::TcpWire {
                             dst_n: entry_node,
                             req,
@@ -1168,7 +1118,7 @@ impl Engine for Cluster {
                 // Response reached the ingress over TCP: outbound leg.
                 let client = self.reqs[req as usize].client;
                 let (w, done) = self.gw.submit(
-                    now + Nanos::from_micros(5),
+                    now + TcpCosts::INTER_NODE_WIRE,
                     client,
                     Leg::Outbound,
                     self.chain.req_bytes as u64,

@@ -14,6 +14,9 @@
 //! * [`chain`] — the full multi-node serverless cluster running function
 //!   chains on any [`crate::system::SystemKind`] (Fig 16, Table 2); its
 //!   event-level machinery lives in [`cluster`].
+//! * [`multinode`] — the cluster traffic pattern scaled to N nodes on the
+//!   conservative sharded runner (`palladium_simnet::shard`): one
+//!   simulation kernel per core, deterministic cross-shard mailboxes.
 //!
 //! The cross-node echo driver for Figs 11–12 (on-path/off-path, RDMA
 //! primitive selection) lives in `palladium-baselines` next to the
@@ -24,6 +27,7 @@ pub mod channel;
 pub mod cluster;
 pub mod fairness;
 pub mod ingress_sweep;
+pub mod multinode;
 
 // The shared report type moved down into the simulation kernel; drivers and
 // downstream crates keep importing it from here.

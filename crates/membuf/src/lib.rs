@@ -25,6 +25,7 @@ pub mod hugepage;
 pub mod ids;
 pub mod meter;
 pub mod mmap;
+pub mod payload;
 pub mod pool;
 pub mod tenant;
 
@@ -33,5 +34,6 @@ pub use hugepage::{Region, HUGEPAGE_2M, PAGE_4K};
 pub use ids::{FnId, NodeId, Owner, PoolId, TenantId};
 pub use meter::{CopyMeter, MoveKind};
 pub use mmap::{create_from_export, Grant, ImportError, MmapExport, MmapExporter};
+pub use payload::PayloadCache;
 pub use pool::{copy_across, BufToken, PoolError, PoolStats, UnifiedPool};
 pub use tenant::{ShmAgent, TenantDirectory, TenantError};

@@ -89,6 +89,19 @@ impl RdmaConfig {
         self.doorbell + self.tx_pipeline + wire + self.propagation + self.rx_pipeline
             + self.per_byte.cost(bytes)
     }
+
+    /// The fabric's conservative **lookahead** bound: the minimum delay
+    /// between posting a work request on one node and the earliest
+    /// instant any other node can observe an effect. This is the
+    /// size-independent part of [`RdmaConfig::one_way`] — doorbell + TX
+    /// pipeline + propagation + RX pipeline; serialization and per-byte
+    /// DMA only add to it. The sharded simulation runner
+    /// (`palladium_simnet::shard`) sizes its window barriers to this
+    /// bound, so it must lower-bound *every* cross-node delay the fabric
+    /// can produce (pinned by `lookahead_lower_bounds_one_way`).
+    pub fn lookahead(&self) -> Nanos {
+        self.doorbell + self.tx_pipeline + self.propagation + self.rx_pipeline
+    }
 }
 
 #[cfg(test)]
@@ -116,6 +129,20 @@ mod tests {
             delta >= Nanos::from_nanos(1_300) && delta <= Nanos::from_nanos(1_900),
             "4K-64B delta = {delta}"
         );
+    }
+
+    #[test]
+    fn lookahead_lower_bounds_one_way() {
+        let c = RdmaConfig::default();
+        assert!(!c.lookahead().is_zero(), "zero lookahead forbids sharding");
+        for bytes in [0u64, 1, 64, 4096, 1 << 20] {
+            assert!(
+                c.lookahead() <= c.one_way(bytes),
+                "lookahead {} must lower-bound one_way({bytes}) = {}",
+                c.lookahead(),
+                c.one_way(bytes)
+            );
+        }
     }
 
     #[test]

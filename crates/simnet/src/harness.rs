@@ -82,6 +82,16 @@ impl RunStats {
         &mut self.latency
     }
 
+    /// Absorb another shard's/node's stats (same warm-up horizon). Used
+    /// by the sharded runner to fold per-node bookkeeping into one report;
+    /// merging in a fixed (node) order keeps the folded report identical
+    /// across shard counts.
+    pub fn merge(&mut self, other: RunStats) {
+        debug_assert_eq!(self.warmup, other.warmup, "merging mismatched warm-ups");
+        self.completed += other.completed;
+        self.latency.merge(other.latency);
+    }
+
     /// Fold into the standard [`LoadReport`] over a measurement `duration`.
     pub fn report(mut self, duration: Nanos) -> LoadReport {
         LoadReport {
@@ -317,6 +327,24 @@ impl<Ev> Harness<Ev> {
         }
         self.sim.run_until(deadline, |_, _| unreachable!("queue drained"));
         processed
+    }
+
+    /// Run `engine` over one conservative time window: every event firing
+    /// **strictly before** `end` is processed; events at or after `end`
+    /// stay queued and the clock parks just short of it. The sharded
+    /// runner ([`crate::shard`]) calls this once per window, so the
+    /// boundary must be exact: an event scheduled *at* `end` belongs to
+    /// the next window (it may be preceded by a cross-shard arrival at
+    /// `end` merged at the barrier). Built on the inclusive
+    /// [`crate::queue::EventQueue::pop_until`] boundary contract —
+    /// `end - 1` is the last instant inside the window.
+    pub fn run_window<E: Engine<Ev = Ev>>(&mut self, engine: &mut E, end: Nanos) -> u64 {
+        // Nothing fires strictly before time zero: an empty window, not a
+        // wrap to `u64::MAX`.
+        let Some(last) = end.0.checked_sub(1) else {
+            return 0;
+        };
+        self.run(engine, Nanos(last))
     }
 }
 

@@ -28,6 +28,7 @@ pub mod queue;
 pub mod rate;
 pub mod rng;
 pub mod server;
+pub mod shard;
 pub mod sim;
 pub mod stats;
 pub mod table;
@@ -39,6 +40,9 @@ pub use harness::{Effects, Engine, Harness, LoadReport, RunStats};
 pub use queue::{
     adaptive_threshold, queue_kind, set_adaptive_threshold, set_queue_kind, EventId, EventQueue,
     QueueKind, ADAPTIVE_THRESHOLD,
+};
+pub use shard::{
+    run_sharded, Envelope, Execution, Outbox, Partition, ShardConfig, ShardEngine, ShardRun,
 };
 pub use table::{IdTable, PageTable, Slab};
 pub use rate::TokenBucket;

@@ -743,6 +743,17 @@ impl<M> EventQueue<M> {
     /// for the peek-compare-pop sequence the driver loop otherwise spells
     /// out as `peek_time()` + `pop()` — which is two dispatches per event
     /// on the hottest loop in the workspace.
+    ///
+    /// # Boundary contract
+    ///
+    /// The deadline is **inclusive** on every backend: an event scheduled
+    /// exactly at `deadline` is popped, one at `deadline + 1` is not.
+    /// The sharded runner's window barriers depend on this being exact —
+    /// a window covering `[start, end)` drains via
+    /// `pop_until(end - 1)`, and an off-by-one here would fire an event
+    /// before the cross-shard arrivals that must precede it. Pinned by
+    /// the `pop_until_boundary_is_exact_on_every_backend` property test
+    /// across all backends (`tests/prop_queue.rs`).
     pub fn pop_until(&mut self, deadline: Nanos) -> Option<(Nanos, M)> {
         if self.cancelled.is_empty() {
             let e = by_backend!(&mut self.backend,

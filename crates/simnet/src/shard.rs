@@ -1,0 +1,936 @@
+//! Conservative time-windowed **parallel** DES: shard the simulated nodes
+//! across cores without giving up a single bit of determinism.
+//!
+//! The serial kernel ([`Sim`]/[`Harness`]) is one clock and one event
+//! queue; after the hot-path flattening PRs it runs as fast as one core
+//! allows. The next order of magnitude comes from the axis this module
+//! owns: partition the simulated *nodes* over N worker shards, each with
+//! its own full simulation kernel (timer wheel, payload arena, RNG
+//! streams), and let the shards run concurrently inside **conservative
+//! time windows**.
+//!
+//! # The lookahead contract
+//!
+//! Conservative parallel DES is safe exactly when no shard can affect
+//! another "faster than light": every cross-shard interaction must take at
+//! least some minimum delay `L` — the **lookahead** — between the instant
+//! a source shard decides to send and the earliest instant the destination
+//! can observe the effect. The substrates expose that bound
+//! (`RdmaConfig::lookahead()` = doorbell + TX pipeline + propagation + RX
+//! pipeline; `TcpCosts::lookahead()` = the intra-cluster wire floor), and
+//! the runner sizes its windows to it: during window `k` covering
+//! `[k·L, (k+1)·L)` every shard processes only local events, and any
+//! cross-shard message sent inside the window arrives at
+//! `t + d ≥ k·L + L = (k+1)·L` — i.e. never earlier than the *next*
+//! window. Draining the mailboxes at each window barrier therefore
+//! delivers every message before the window that could fire it.
+//! [`Outbox::send`] debug-asserts the contract on every send.
+//!
+//! # Determinism
+//!
+//! Cross-shard messages travel through fixed-capacity SPSC mailboxes (one
+//! ring per shard pair). At each barrier the destination shard drains its
+//! inbound rings and merges the batch in **`(time, src, seq)` order**
+//! before scheduling, where `src` is a caller-chosen source key and `seq`
+//! is the per-channel send counter. Transport order — which thread pushed
+//! first, ring vs. overflow spill — is erased by the sort, so reports are
+//! bit-reproducible regardless of thread scheduling. If the engine uses a
+//! partition-independent `src` key (e.g. the global simulated-node id, as
+//! [`palladium_core`'s multi-node driver] does) and routes **all**
+//! inter-node traffic through the outbox (same-shard destinations
+//! included), the merged schedule is also independent of the shard
+//! *count*: the same workload at 1, 2 and 4 shards produces byte-identical
+//! reports (`tests/prop_shard.rs` pins this).
+//!
+//! # Execution modes
+//!
+//! [`Execution::Threads`] runs one OS thread per shard with two
+//! [`SpinBarrier`] waits per window (mailboxes quiesce between the drain
+//! and run phases). [`Execution::Sequential`] interleaves the shards on
+//! the calling thread — same windows, same merges, same results — which
+//! both serves as the reference in the determinism tests and yields exact
+//! per-window busy times for the critical-path speedup model reported by
+//! `simcore_throughput --shards-sweep`.
+//!
+//! [`Sim`]: crate::sim::Sim
+//! [`palladium_core`'s multi-node driver]: self
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::harness::{Effects, Engine, Harness};
+use crate::time::Nanos;
+
+/// A cross-shard message in flight: the absolute arrival time, the
+/// sender's ordering key, the per-channel sequence number and the payload.
+/// Merged at window barriers in `(at, src, seq)` order (see module docs).
+#[derive(Clone, Debug)]
+pub struct Envelope<M> {
+    /// Absolute virtual arrival time.
+    pub at: Nanos,
+    /// Source ordering key. Use a partition-independent key (the global
+    /// node id) for shard-count-invariant determinism; distinct sources
+    /// sharing one instant merge in key order.
+    pub src: u32,
+    /// Per-`(source shard, destination shard)` send counter: preserves one
+    /// source's emission order among same-instant, same-key messages.
+    pub seq: u64,
+    /// The message.
+    pub msg: M,
+}
+
+// ---------------------------------------------------------------------------
+// SPSC mailbox
+
+/// Cache-line padding so the producer and consumer cursors of a mailbox
+/// never false-share.
+#[repr(align(64))]
+struct Pad<T>(T);
+
+/// The shared state of one fixed-capacity SPSC mailbox. The ring holds
+/// `cap` slots; when a window bursts past it the producer spills to the
+/// mutex-guarded overflow vector (counted, never dropped) — the barrier
+/// merge sorts everything anyway, so the spill is a throughput detail,
+/// not a correctness event.
+struct Channel<M> {
+    buf: Box<[UnsafeCell<MaybeUninit<Envelope<M>>>]>,
+    /// Consumer cursor (next slot to pop).
+    head: Pad<AtomicUsize>,
+    /// Producer cursor (next slot to fill).
+    tail: Pad<AtomicUsize>,
+    overflow: Mutex<Vec<Envelope<M>>>,
+    spilled: AtomicU64,
+}
+
+// SAFETY: the ring is a classic single-producer/single-consumer queue —
+// the producer only writes slots in `[tail, head + cap)` and publishes
+// them with a release store of `tail`; the consumer only reads slots in
+// `[head, tail)` after an acquire load of `tail`. `Producer`/`Consumer`
+// are constructed exactly once per channel, which enforces the SPSC roles.
+unsafe impl<M: Send> Send for Channel<M> {}
+unsafe impl<M: Send> Sync for Channel<M> {}
+
+impl<M> Channel<M> {
+    /// Build one mailbox, returning its two halves.
+    fn pair(cap: usize) -> (Producer<M>, Consumer<M>) {
+        assert!(cap > 0, "mailbox capacity must be positive");
+        let ch = Arc::new(Channel {
+            buf: (0..cap).map(|_| UnsafeCell::new(MaybeUninit::uninit())).collect(),
+            head: Pad(AtomicUsize::new(0)),
+            tail: Pad(AtomicUsize::new(0)),
+            overflow: Mutex::new(Vec::new()),
+            spilled: AtomicU64::new(0),
+        });
+        (Producer(Arc::clone(&ch)), Consumer(ch))
+    }
+}
+
+impl<M> Drop for Channel<M> {
+    fn drop(&mut self) {
+        // Drop any envelopes still parked in the ring (messages sent in
+        // the final window, arriving past the deadline).
+        let tail = *self.tail.0.get_mut();
+        let mut head = *self.head.0.get_mut();
+        while head != tail {
+            // SAFETY: slots in [head, tail) were written and not yet read.
+            unsafe { (*self.buf[head % self.buf.len()].get()).assume_init_drop() };
+            head = head.wrapping_add(1);
+        }
+    }
+}
+
+/// Producing half of one SPSC mailbox (held by the source shard's
+/// [`Outbox`]).
+struct Producer<M>(Arc<Channel<M>>);
+
+/// Consuming half of one SPSC mailbox (held by the destination shard).
+struct Consumer<M>(Arc<Channel<M>>);
+
+impl<M> Producer<M> {
+    fn push(&mut self, env: Envelope<M>) {
+        let ch = &*self.0;
+        let tail = ch.tail.0.load(Ordering::Relaxed);
+        let head = ch.head.0.load(Ordering::Acquire);
+        if tail.wrapping_sub(head) == ch.buf.len() {
+            ch.spilled.fetch_add(1, Ordering::Relaxed);
+            ch.overflow.lock().expect("mailbox overflow lock").push(env);
+            return;
+        }
+        // SAFETY: SPSC — this thread is the only producer, and the slot at
+        // `tail` is outside the consumer's visible `[head, tail)` range.
+        unsafe { (*ch.buf[tail % ch.buf.len()].get()).write(env) };
+        ch.tail.0.store(tail.wrapping_add(1), Ordering::Release);
+    }
+}
+
+impl<M> Consumer<M> {
+    /// Pop everything currently visible into `out` (ring first, then any
+    /// overflow spill). Transport order is irrelevant — the caller sorts.
+    fn drain_into(&mut self, out: &mut Vec<Envelope<M>>) {
+        let ch = &*self.0;
+        let tail = ch.tail.0.load(Ordering::Acquire);
+        let mut head = ch.head.0.load(Ordering::Relaxed);
+        while head != tail {
+            // SAFETY: SPSC — slots in `[head, tail)` are initialized and
+            // owned by the consumer until `head` advances past them.
+            out.push(unsafe { (*ch.buf[head % ch.buf.len()].get()).assume_init_read() });
+            head = head.wrapping_add(1);
+        }
+        ch.head.0.store(head, Ordering::Release);
+        // The overflow mutex is only worth touching once a spill has ever
+        // happened (the barrier protocol makes the relaxed load race-free:
+        // producers are quiesced during drains).
+        if ch.spilled.load(Ordering::Relaxed) > 0 {
+            let mut of = ch.overflow.lock().expect("mailbox overflow lock");
+            out.append(&mut of);
+        }
+    }
+
+    fn spilled(&self) -> u64 {
+        self.0.spilled.load(Ordering::Relaxed)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Spin barrier
+
+/// A sense-free spinning barrier: window widths are microseconds of
+/// virtual time, so real-time barrier latency is the dominant
+/// parallelization overhead — a futex sleep/wake per window would dwarf
+/// the per-window work. Spins briefly, then yields (so oversubscribed
+/// machines still make progress).
+///
+/// The barrier **poisons** when a shard panics (via [`PoisonOnUnwind`]):
+/// without that, the surviving shards would spin forever on an arrival
+/// count that can never complete and the process would hang instead of
+/// failing — every waiter instead re-raises, so the original panic
+/// surfaces through the thread scope.
+struct SpinBarrier {
+    n: usize,
+    arrived: AtomicUsize,
+    generation: AtomicUsize,
+    poisoned: AtomicBool,
+}
+
+impl SpinBarrier {
+    fn new(n: usize) -> Self {
+        SpinBarrier {
+            n,
+            arrived: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+            poisoned: AtomicBool::new(false),
+        }
+    }
+
+    fn poison(&self) {
+        self.poisoned.store(true, Ordering::Release);
+    }
+
+    fn check_poison(&self) {
+        assert!(
+            !self.poisoned.load(Ordering::Acquire),
+            "a sibling shard panicked; abandoning the window barrier"
+        );
+    }
+
+    fn wait(&self) {
+        self.check_poison();
+        let generation = self.generation.load(Ordering::Acquire);
+        if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
+            // Reset before releasing the cohort: waiters cannot touch
+            // `arrived` until they observe the generation bump below.
+            self.arrived.store(0, Ordering::Relaxed);
+            self.generation.fetch_add(1, Ordering::Release);
+        } else {
+            let mut spins = 0u32;
+            while self.generation.load(Ordering::Acquire) == generation {
+                self.check_poison();
+                spins += 1;
+                if spins < 128 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+/// Poisons the barrier if the owning shard unwinds, so sibling shards
+/// fail fast instead of spinning forever (see [`SpinBarrier`]).
+struct PoisonOnUnwind<'a>(&'a SpinBarrier);
+
+impl Drop for PoisonOnUnwind<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.poison();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Partition
+
+/// A block partition of `nodes` simulated nodes over `shards` shards:
+/// shard `s` owns a contiguous index range, earlier shards take the
+/// remainder. Block (rather than round-robin) assignment keeps
+/// neighbor-heavy traffic intra-shard and makes the shard→node-range map
+/// O(1) both ways.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Partition {
+    nodes: usize,
+    shards: usize,
+    /// `nodes / shards`, precomputed — [`Partition::shard_of`] sits on
+    /// per-message hot paths.
+    base: usize,
+    /// `nodes % shards` (shards owning `base + 1` nodes).
+    rem: usize,
+    /// First node index owned by a `base`-sized shard (`rem * (base+1)`).
+    fat: usize,
+}
+
+impl Partition {
+    /// Partition `nodes` over `shards`. Every shard owns at least one
+    /// node, so `shards` must not exceed `nodes`.
+    pub fn new(nodes: usize, shards: usize) -> Self {
+        assert!(shards > 0, "at least one shard");
+        assert!(nodes >= shards, "every shard must own at least one node");
+        let base = nodes / shards;
+        let rem = nodes % shards;
+        Partition { nodes, shards, base, rem, fat: rem * (base + 1) }
+    }
+
+    /// Total simulated nodes.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning `node`. One variable division; engines routing at
+    /// full rate can go divide-free with [`Partition::shard_lookup`].
+    #[inline]
+    pub fn shard_of(&self, node: usize) -> usize {
+        debug_assert!(node < self.nodes);
+        if node < self.fat {
+            node / (self.base + 1)
+        } else {
+            self.rem + (node - self.fat) / self.base
+        }
+    }
+
+    /// A dense node → shard table for divide-free hot-path routing (one
+    /// L1 load per send instead of a variable division).
+    pub fn shard_lookup(&self) -> Vec<u32> {
+        (0..self.nodes).map(|n| self.shard_of(n) as u32).collect()
+    }
+
+    /// The contiguous node range shard `s` owns.
+    pub fn range(&self, s: usize) -> std::ops::Range<usize> {
+        debug_assert!(s < self.shards);
+        let lo = s * self.base + s.min(self.rem);
+        let hi = lo + self.base + usize::from(s < self.rem);
+        lo..hi
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine-facing API
+
+/// The source shard's handle for emitting cross-shard messages. One
+/// producer per destination shard (self-sends included — routing
+/// *everything* inter-node through the outbox is what makes reports
+/// independent of the shard count; see the module docs).
+pub struct Outbox<M> {
+    to: Vec<Producer<M>>,
+    seq: Vec<u64>,
+    /// Start of the next window: every send must arrive at or after it
+    /// (the lookahead contract).
+    window_end: Nanos,
+    sent: u64,
+}
+
+impl<M> Outbox<M> {
+    /// Send `msg` to `dst_shard`, arriving at absolute time `at`. `src` is
+    /// the deterministic merge key (see [`Envelope::src`]). `at` must
+    /// honor the lookahead contract: at least one full window after the
+    /// current one (debug-asserted).
+    #[inline]
+    pub fn send(&mut self, dst_shard: usize, at: Nanos, src: u32, msg: M) {
+        debug_assert!(
+            at >= self.window_end,
+            "cross-shard send at {at} violates the lookahead contract \
+             (window ends at {})",
+            self.window_end
+        );
+        let seq = self.seq[dst_shard];
+        self.seq[dst_shard] = seq + 1;
+        self.to[dst_shard].push(Envelope { at, src, seq, msg });
+        self.sent += 1;
+    }
+
+    /// Messages sent so far through this outbox.
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+}
+
+/// A sharded driver: the per-shard state machine plus the message lift.
+///
+/// Like [`Engine`], but `on_event` additionally receives the [`Outbox`]
+/// for cross-shard sends, and `lift` converts an arriving envelope into a
+/// local event (scheduled at the envelope's arrival time). For
+/// shard-count-invariant determinism, route **all** inter-node
+/// interaction through the outbox and keep local events node-local.
+pub trait ShardEngine: Send {
+    /// The shard-local event alphabet.
+    type Ev: Send;
+    /// The cross-shard message payload.
+    type Msg: Send;
+
+    /// Consume one local event; push follow-up local effects into `fx`
+    /// and cross-shard messages into `out`.
+    fn on_event(
+        &mut self,
+        now: Nanos,
+        ev: Self::Ev,
+        fx: &mut Effects<'_, Self::Ev>,
+        out: &mut Outbox<Self::Msg>,
+    );
+
+    /// Lift an arriving cross-shard message into a local event. The
+    /// runner schedules the result at the envelope's arrival time.
+    fn lift(&mut self, at: Nanos, src: u32, msg: Self::Msg) -> Self::Ev;
+}
+
+/// How the shards execute.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Execution {
+    /// One OS thread per shard, spin barriers between window phases. The
+    /// production mode: wall-clock scales with cores.
+    Threads,
+    /// All shards interleaved on the calling thread — identical results
+    /// (the determinism tests pin this), exact per-window busy times for
+    /// the critical-path model, no thread spawn.
+    Sequential,
+}
+
+/// Configuration of one sharded run.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardConfig {
+    /// Number of shards (threads in [`Execution::Threads`] mode).
+    pub shards: usize,
+    /// Window width — at most the workload's cross-shard lookahead.
+    pub window: Nanos,
+    /// SPSC ring capacity per shard pair; bursts past it spill to the
+    /// (counted) overflow vector.
+    pub mailbox_capacity: usize,
+    /// Execution mode.
+    pub execution: Execution,
+}
+
+impl ShardConfig {
+    /// A threaded run of `shards` shards with `window`-wide barriers.
+    pub fn new(shards: usize, window: Nanos) -> Self {
+        assert!(shards > 0, "at least one shard");
+        assert!(!window.is_zero(), "lookahead window must be positive");
+        ShardConfig {
+            shards,
+            window,
+            mailbox_capacity: 4096,
+            execution: Execution::Threads,
+        }
+    }
+
+    /// Select the execution mode.
+    pub fn execution(mut self, execution: Execution) -> Self {
+        self.execution = execution;
+        self
+    }
+}
+
+/// The outcome of a sharded run: the engines (for report merging) plus
+/// aggregate counters and the wall-clock material for the critical-path
+/// model.
+pub struct ShardRun<E> {
+    /// The shard engines, in shard order.
+    pub engines: Vec<E>,
+    /// Total simulation events processed across all shards.
+    pub events: u64,
+    /// Cross-shard messages delivered.
+    pub messages: u64,
+    /// Messages that overflowed an SPSC ring into the spill vector.
+    pub spilled: u64,
+    /// Window barriers executed.
+    pub windows: u64,
+    /// Per-shard busy wall time, nanoseconds (merge + run phases; barrier
+    /// waits excluded).
+    pub busy_ns: Vec<u64>,
+    /// `Σ_k max_s busy[s][k]` — the busy wall time of a machine with one
+    /// core per shard and free barriers. Exact in
+    /// [`Execution::Sequential`] mode; inflated by preemption noise under
+    /// [`Execution::Threads`].
+    pub critical_path_ns: u64,
+}
+
+/// Wraps a [`ShardEngine`] (plus its outbox) as a plain [`Engine`] so the
+/// batched [`Harness`] trampoline drives the shard's local loop.
+struct Runner<E: ShardEngine> {
+    engine: E,
+    outbox: Outbox<E::Msg>,
+}
+
+impl<E: ShardEngine> Engine for Runner<E> {
+    type Ev = E::Ev;
+
+    #[inline]
+    fn on_event(&mut self, now: Nanos, ev: Self::Ev, fx: &mut Effects<'_, Self::Ev>) {
+        self.engine.on_event(now, ev, fx, &mut self.outbox);
+    }
+}
+
+/// One shard's full context: kernel, engine+outbox, inbound mailboxes and
+/// counters.
+struct ShardCtx<E: ShardEngine> {
+    idx: usize,
+    harness: Harness<E::Ev>,
+    runner: Runner<E>,
+    inbox: Vec<Consumer<E::Msg>>,
+    /// Reused merge buffer.
+    inbound: Vec<Envelope<E::Msg>>,
+    events: u64,
+    delivered: u64,
+    /// Per-window busy wall nanoseconds (merge + run phases; barrier
+    /// waits excluded) — the critical-path model's raw material.
+    busy: Vec<u64>,
+    /// Merge-phase nanoseconds of the window in progress.
+    merge_ns: u64,
+}
+
+impl<E: ShardEngine> ShardCtx<E> {
+    /// Window phase 1: drain + deterministically merge last window's
+    /// cross-shard arrivals into the local queue.
+    fn merge_inbound(&mut self) {
+        let t0 = Instant::now();
+        for c in &mut self.inbox {
+            c.drain_into(&mut self.inbound);
+        }
+        if !self.inbound.is_empty() {
+            self.inbound.sort_unstable_by_key(|e| (e.at, e.src, e.seq));
+            self.delivered += self.inbound.len() as u64;
+            for env in self.inbound.drain(..) {
+                let ev = self.runner.engine.lift(env.at, env.src, env.msg);
+                self.harness.schedule_at(env.at, ev);
+            }
+        }
+        self.merge_ns = t0.elapsed().as_nanos() as u64;
+    }
+
+    /// Window phase 2: run local events strictly before `end`.
+    fn run_window(&mut self, end: Nanos) {
+        self.runner.outbox.window_end = end;
+        let t0 = Instant::now();
+        self.events += self.harness.run_window(&mut self.runner, end);
+        self.busy.push(self.merge_ns + t0.elapsed().as_nanos() as u64);
+    }
+}
+
+/// Window `k`'s exclusive end for a run bounded by `deadline` (the final
+/// window truncates to `deadline + 1` so events *at* the deadline still
+/// fire, matching the serial harness's inclusive deadline).
+#[inline]
+fn window_end(k: u64, window: u64, deadline: Nanos) -> Nanos {
+    Nanos(((k + 1).saturating_mul(window)).min(deadline.0.saturating_add(1)))
+}
+
+/// Run `engines` (one per shard) to `deadline` under conservative
+/// `cfg.window`-wide barriers. `init` seeds each shard's initial events
+/// (called on the caller thread, in shard order, before anything runs).
+///
+/// Returns the engines for report merging plus the run counters. Results
+/// are bit-identical across execution modes and thread schedules; see the
+/// module docs for when they are also shard-count-invariant.
+pub fn run_sharded<E: ShardEngine>(
+    cfg: &ShardConfig,
+    engines: Vec<E>,
+    mut init: impl FnMut(usize, &mut Harness<E::Ev>),
+    deadline: Nanos,
+) -> ShardRun<E> {
+    assert_eq!(engines.len(), cfg.shards, "one engine per shard");
+    assert!(!cfg.window.is_zero(), "lookahead window must be positive");
+    let n = cfg.shards;
+    let w = cfg.window.as_nanos();
+    let n_windows = deadline.as_nanos() / w + 1;
+
+    // Mailboxes: producers[src][dst] / consumers filed per destination.
+    let mut producers: Vec<Vec<Producer<E::Msg>>> = (0..n).map(|_| Vec::new()).collect();
+    let mut consumers: Vec<Vec<Consumer<E::Msg>>> = (0..n).map(|_| Vec::new()).collect();
+    for producers_of_src in producers.iter_mut() {
+        for consumers_of_dst in consumers.iter_mut() {
+            let (p, c) = Channel::pair(cfg.mailbox_capacity);
+            producers_of_src.push(p);
+            consumers_of_dst.push(c);
+        }
+    }
+
+    // Build every context on the caller thread: `Harness::new` reads the
+    // thread-local queue-kind/threshold selection, which must apply to all
+    // shards regardless of execution mode.
+    let mut ctxs: Vec<ShardCtx<E>> = Vec::with_capacity(n);
+    for (idx, engine) in engines.into_iter().enumerate() {
+        let mut harness = Harness::new();
+        init(idx, &mut harness);
+        ctxs.push(ShardCtx {
+            idx,
+            harness,
+            runner: Runner {
+                engine,
+                outbox: Outbox {
+                    to: std::mem::take(&mut producers[idx]),
+                    seq: vec![0; n],
+                    window_end: Nanos::ZERO,
+                    sent: 0,
+                },
+            },
+            inbox: std::mem::take(&mut consumers[idx]),
+            inbound: Vec::new(),
+            events: 0,
+            delivered: 0,
+            busy: Vec::with_capacity(n_windows as usize),
+            merge_ns: 0,
+        });
+    }
+
+    match cfg.execution {
+        Execution::Sequential => {
+            for k in 0..n_windows {
+                let end = window_end(k, w, deadline);
+                for ctx in &mut ctxs {
+                    ctx.merge_inbound();
+                }
+                for ctx in &mut ctxs {
+                    ctx.run_window(end);
+                }
+            }
+        }
+        Execution::Threads => {
+            let barrier = SpinBarrier::new(n);
+            let run_shard = |ctx: &mut ShardCtx<E>| {
+                let _poison = PoisonOnUnwind(&barrier);
+                for k in 0..n_windows {
+                    ctx.merge_inbound();
+                    // All mailboxes quiesce before anyone refills them:
+                    // a shard ahead in window k+1 must not race a shard
+                    // still draining window k's batch.
+                    barrier.wait();
+                    ctx.run_window(window_end(k, w, deadline));
+                    // All of window k's sends are mailboxed before any
+                    // shard starts the next drain.
+                    barrier.wait();
+                }
+            };
+            let mut rest = ctxs.split_off(1);
+            let first = &mut ctxs[0];
+            std::thread::scope(|s| {
+                let handles: Vec<_> = rest
+                    .iter_mut()
+                    .map(|ctx| s.spawn(|| run_shard(ctx)))
+                    .collect();
+                run_shard(first);
+                for h in handles {
+                    h.join().expect("shard thread panicked");
+                }
+            });
+            ctxs.append(&mut rest);
+        }
+    }
+
+    // Fold the run: shard order is construction order in both modes.
+    debug_assert!(ctxs.windows(2).all(|p| p[0].idx < p[1].idx));
+    let spilled = ctxs
+        .iter()
+        .flat_map(|c| c.inbox.iter())
+        .map(Consumer::spilled)
+        .sum();
+    let critical_path_ns = (0..n_windows as usize)
+        .map(|k| ctxs.iter().map(|c| c.busy[k]).max().unwrap_or(0))
+        .sum();
+    let mut run = ShardRun {
+        engines: Vec::with_capacity(n),
+        events: 0,
+        messages: 0,
+        spilled,
+        windows: n_windows,
+        busy_ns: Vec::with_capacity(n),
+        critical_path_ns,
+    };
+    for ctx in ctxs {
+        run.events += ctx.events;
+        run.messages += ctx.delivered;
+        run.busy_ns.push(ctx.busy.iter().sum());
+        run.engines.push(ctx.runner.engine);
+    }
+    run
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_blocks_cover_all_nodes() {
+        for (nodes, shards) in [(8, 1), (8, 3), (17, 4), (4, 4), (100, 7)] {
+            let p = Partition::new(nodes, shards);
+            let mut seen = 0;
+            for s in 0..shards {
+                let r = p.range(s);
+                assert!(!r.is_empty(), "{nodes}/{shards} shard {s} empty");
+                for node in r.clone() {
+                    assert_eq!(p.shard_of(node), s, "{nodes}/{shards} node {node}");
+                    seen += 1;
+                }
+                if s + 1 < shards {
+                    assert_eq!(r.end, p.range(s + 1).start, "contiguous blocks");
+                }
+            }
+            assert_eq!(seen, nodes);
+        }
+    }
+
+    #[test]
+    fn spsc_ring_roundtrips_and_spills() {
+        let (mut p, mut c) = Channel::<u64>::pair(4);
+        for i in 0..7u64 {
+            p.push(Envelope { at: Nanos(i), src: 0, seq: i, msg: i });
+        }
+        assert_eq!(c.spilled(), 3, "capacity 4: three spills");
+        let mut out = Vec::new();
+        c.drain_into(&mut out);
+        let mut got: Vec<u64> = out.iter().map(|e| e.msg).collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..7).collect::<Vec<_>>());
+        // Ring reusable after drain.
+        p.push(Envelope { at: Nanos(9), src: 0, seq: 9, msg: 9 });
+        out.clear();
+        c.drain_into(&mut out);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn spsc_drop_releases_undrained_entries() {
+        // Leak check is structural: Arc payloads would abort under Miri /
+        // assert here if double-dropped; we at least exercise the path.
+        let (mut p, c) = Channel::<std::sync::Arc<u8>>::pair(8);
+        let payload = std::sync::Arc::new(7u8);
+        for i in 0..5 {
+            p.push(Envelope { at: Nanos(i), src: 0, seq: i, msg: std::sync::Arc::clone(&payload) });
+        }
+        drop(p);
+        drop(c); // drops the channel with 5 parked envelopes
+        assert_eq!(std::sync::Arc::strong_count(&payload), 1, "parked envelopes dropped");
+    }
+
+    /// A deterministic ping workload: every shard owns one node; node `i`
+    /// forwards a counter to `(i + 1) % n` with exactly one window of
+    /// delay, logging every event.
+    struct Ring {
+        node: u32,
+        n: u32,
+        window: Nanos,
+        log: Vec<(u64, u64)>,
+    }
+
+    #[derive(Debug)]
+    struct Token(u64);
+
+    impl ShardEngine for Ring {
+        type Ev = Token;
+        type Msg = u64;
+
+        fn on_event(
+            &mut self,
+            now: Nanos,
+            ev: Token,
+            _fx: &mut Effects<'_, Token>,
+            out: &mut Outbox<u64>,
+        ) {
+            self.log.push((now.0, ev.0));
+            if ev.0 < 40 {
+                let dst = (self.node + 1) % self.n;
+                out.send(dst as usize, now + self.window, self.node, ev.0 + 1);
+            }
+        }
+
+        fn lift(&mut self, _at: Nanos, _src: u32, msg: u64) -> Token {
+            Token(msg)
+        }
+    }
+
+    fn run_ring(n: u32, execution: Execution) -> Vec<Vec<(u64, u64)>> {
+        let window = Nanos(1_000);
+        let engines: Vec<Ring> = (0..n)
+            .map(|node| Ring { node, n, window, log: Vec::new() })
+            .collect();
+        let cfg = ShardConfig::new(n as usize, window).execution(execution);
+        let run = run_sharded(
+            &cfg,
+            engines,
+            |s, h| {
+                if s == 0 {
+                    h.schedule_at(Nanos(0), Token(0));
+                }
+            },
+            Nanos(60_000),
+        );
+        assert!(run.events > 0);
+        run.engines.into_iter().map(|e| e.log).collect()
+    }
+
+    #[test]
+    fn ring_token_crosses_shards_on_window_boundaries() {
+        let logs = run_ring(3, Execution::Sequential);
+        // Token v fires at time v * window on node v % 3.
+        for (node, log) in logs.iter().enumerate() {
+            for &(t, v) in log {
+                assert_eq!(v % 3, node as u64);
+                assert_eq!(t, v * 1_000);
+            }
+        }
+        let total: usize = logs.iter().map(Vec::len).sum();
+        assert_eq!(total, 41);
+    }
+
+    #[test]
+    fn threads_and_sequential_agree() {
+        for n in [1, 2, 4] {
+            assert_eq!(
+                run_ring(n, Execution::Threads),
+                run_ring(n, Execution::Sequential),
+                "{n} shards"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_orders_by_time_then_src_then_seq() {
+        /// Two source shards fire same-instant messages at a sink; the
+        /// sink must observe them in (src, seq) order however the threads
+        /// interleave.
+        struct Src {
+            shard: u32,
+            window: Nanos,
+        }
+        struct Sink {
+            log: Vec<(u32, u64)>,
+        }
+        enum Node {
+            Src(Src),
+            Sink(Sink),
+        }
+        impl ShardEngine for Node {
+            type Ev = (u32, u64);
+            type Msg = (u32, u64);
+            fn on_event(
+                &mut self,
+                now: Nanos,
+                ev: (u32, u64),
+                _fx: &mut Effects<'_, (u32, u64)>,
+                out: &mut Outbox<(u32, u64)>,
+            ) {
+                match self {
+                    Node::Src(s) => {
+                        // Both sources target the same arrival instant.
+                        for k in 0..3 {
+                            out.send(2, now + s.window, s.shard, (s.shard, k));
+                        }
+                    }
+                    Node::Sink(s) => {
+                        let _ = now;
+                        s.log.push(ev);
+                    }
+                }
+            }
+            fn lift(&mut self, _at: Nanos, _src: u32, msg: (u32, u64)) -> (u32, u64) {
+                msg
+            }
+        }
+        let window = Nanos(500);
+        let engines = vec![
+            Node::Src(Src { shard: 0, window }),
+            Node::Src(Src { shard: 1, window }),
+            Node::Sink(Sink { log: Vec::new() }),
+        ];
+        let run = run_sharded(
+            &ShardConfig::new(3, window),
+            engines,
+            |s, h| {
+                if s < 2 {
+                    h.schedule_at(Nanos(0), (s as u32, 0));
+                }
+            },
+            Nanos(2_000),
+        );
+        let Node::Sink(sink) = &run.engines[2] else {
+            panic!("sink is shard 2")
+        };
+        assert_eq!(
+            sink.log,
+            vec![(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)],
+            "same-instant merge must order by (src, seq)"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "every shard must own at least one node")]
+    fn partition_rejects_more_shards_than_nodes() {
+        let _ = Partition::new(2, 3);
+    }
+
+    #[test]
+    fn shard_panic_poisons_the_barrier_instead_of_hanging() {
+        /// Shard 1 panics on its first event; shard 0 keeps forwarding
+        /// tokens and would otherwise spin at the window barrier forever.
+        struct Bomb {
+            shard: u32,
+            window: Nanos,
+        }
+        impl ShardEngine for Bomb {
+            type Ev = u64;
+            type Msg = u64;
+            fn on_event(
+                &mut self,
+                now: Nanos,
+                ev: u64,
+                _fx: &mut Effects<'_, u64>,
+                out: &mut Outbox<u64>,
+            ) {
+                assert!(self.shard != 1, "bomb shard detonated");
+                out.send(1, now + self.window, self.shard, ev + 1);
+            }
+            fn lift(&mut self, _at: Nanos, _src: u32, msg: u64) -> u64 {
+                msg
+            }
+        }
+        let window = Nanos(1_000);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let engines = vec![Bomb { shard: 0, window }, Bomb { shard: 1, window }];
+            run_sharded(
+                &ShardConfig::new(2, window),
+                engines,
+                |s, h| {
+                    if s == 0 {
+                        h.schedule_at(Nanos(0), 0u64);
+                    }
+                },
+                Nanos(1_000_000), // 1000 windows: a hang here would time out
+            )
+        }));
+        assert!(result.is_err(), "the shard panic must propagate, not hang");
+    }
+}

@@ -131,6 +131,11 @@ impl<M> Sim<M> {
     /// before `deadline` (later events stay queued and the clock does not
     /// move). One queue access instead of the `peek_time()` + `next()`
     /// pair on the driver loop.
+    ///
+    /// The deadline is **inclusive**, exactly as
+    /// [`EventQueue::pop_until`]'s boundary contract specifies — window-
+    /// based callers wanting "strictly before `end`" pass `end - 1` (see
+    /// [`crate::harness::Harness::run_window`]).
     pub fn next_until(&mut self, deadline: Nanos) -> Option<(Nanos, M)> {
         let (at, msg) = self.queue.pop_until(deadline)?;
         debug_assert!(at >= self.now, "event queue went backwards");

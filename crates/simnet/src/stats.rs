@@ -77,6 +77,15 @@ impl Samples {
         Nanos(self.values.iter().copied().min().unwrap_or(0))
     }
 
+    /// Absorb another sample set. Percentiles re-sort on the next query
+    /// and the mean is an integer fold, so the merged statistics are
+    /// independent of merge order — the sharded runner relies on this to
+    /// produce identical reports for every shard count.
+    pub fn merge(&mut self, mut other: Samples) {
+        self.values.append(&mut other.values);
+        self.sorted = false;
+    }
+
     /// Discard all samples (end of warm-up).
     pub fn clear(&mut self) {
         self.values.clear();

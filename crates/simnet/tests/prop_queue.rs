@@ -152,3 +152,76 @@ proptest! {
         prop_assert_eq!(heap.pop(), None);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    // Pins the `pop_until` boundary contract the sharded runner's window
+    // barriers depend on (see the method docs): the deadline is
+    // **inclusive** on every backend — `pop_until(t_min - 1)` returns
+    // nothing and moves nothing, `pop_until(t_min)` returns exactly the
+    // earliest event — and draining through a ladder of window deadlines
+    // yields the same stream as an unbounded drain.
+    #[test]
+    fn pop_until_boundary_is_exact_on_every_backend(
+        times in proptest::collection::vec(0u64..(HORIZON * 2), 1..120),
+        window in 1u64..100_000,
+    ) {
+        for kind in [
+            QueueKind::TimerWheel,
+            QueueKind::TimerWheelWide,
+            QueueKind::Adaptive,
+            QueueKind::BinaryHeap,
+        ] {
+            let mut q: EventQueue<u64> = EventQueue::with_kind(kind);
+            for (i, &t) in times.iter().enumerate() {
+                q.schedule_at(Nanos(t), i as u64);
+            }
+            let t_min = *times.iter().min().expect("non-empty");
+
+            // Exclusive side: one short of the earliest event pops nothing
+            // (and leaves the queue intact).
+            if t_min > 0 {
+                prop_assert_eq!(q.pop_until(Nanos(t_min - 1)), None, "{:?}", kind);
+                prop_assert_eq!(q.len(), times.len(), "{:?} must not consume", kind);
+            }
+            // Inclusive side: the exact boundary pops the earliest event.
+            let popped = q.pop_until(Nanos(t_min));
+            prop_assert!(popped.is_some(), "{:?} inclusive boundary", kind);
+            let (at, _) = popped.expect("checked");
+            prop_assert_eq!(at, Nanos(t_min), "{:?}", kind);
+
+            // Window ladder: draining through successive `pop_until(end-1)`
+            // windows (the sharded runner's exact call pattern) must equal
+            // the reference unbounded drain, with every event inside its
+            // window.
+            let mut reference: EventQueue<u64> = EventQueue::with_kind(kind);
+            for (i, &t) in times.iter().enumerate() {
+                reference.schedule_at(Nanos(t), i as u64);
+            }
+            let mut expect = Vec::new();
+            while let Some(e) = reference.pop() {
+                expect.push(e);
+            }
+            let mut got = vec![(at, popped.expect("checked").1)];
+            let mut k = 0u64;
+            loop {
+                let end = (k + 1) * window;
+                while let Some(e) = q.pop_until(Nanos(end - 1)) {
+                    prop_assert!(e.0 .0 >= k * window && e.0 .0 < end, "{:?} window", kind);
+                    got.push(e);
+                }
+                // Jump straight to the window holding the next pending
+                // event — iterating empty windows one by one is O(t_max /
+                // window), unbounded when `window` shrinks toward 1.
+                match q.peek_time() {
+                    None => break,
+                    Some(t) => k = (t.0 / window).max(k + 1),
+                }
+            }
+            // The boundary probe consumed one event out of order relative
+            // to nothing — it was the global minimum — so streams match.
+            prop_assert_eq!(&got, &expect, "{:?} windowed drain diverged", kind);
+        }
+    }
+}

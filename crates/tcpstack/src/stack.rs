@@ -42,6 +42,23 @@ pub struct TcpCosts {
 }
 
 impl TcpCosts {
+    /// One-way wire/switching delay of an intra-cluster TCP hop — the
+    /// interval between a node engine finishing its transmit processing
+    /// and the destination stack first seeing bytes. The cluster drivers
+    /// charge exactly this constant on every inter-node TCP leg.
+    pub const INTER_NODE_WIRE: Nanos = Nanos::from_micros(5);
+
+    /// The TCP path's conservative **lookahead** bound: the minimum delay
+    /// between a transmit decision on one node and the earliest instant
+    /// any other node can observe it — the RTT floor the sharded
+    /// simulation runner (`palladium_simnet::shard`) may use as its
+    /// window width when TCP is the fastest inter-node path. Per-message
+    /// rx/tx processing and per-byte copies only add on top of the wire
+    /// delay, so [`TcpCosts::INTER_NODE_WIRE`] is the floor.
+    pub fn lookahead(&self) -> Nanos {
+        Self::INTER_NODE_WIRE
+    }
+
     /// The calibrated cost table for a stack flavour.
     pub fn for_kind(kind: StackKind) -> TcpCosts {
         match kind {
@@ -256,6 +273,15 @@ mod tests {
             (9.0..13.0).contains(&ratio),
             "Palladium vs K-Ingress RPS ratio {ratio:.2} (paper: 11.4x)"
         );
+    }
+
+    #[test]
+    fn lookahead_is_the_wire_floor_for_both_stacks() {
+        for kind in [StackKind::Kernel, StackKind::FStack] {
+            let c = TcpCosts::for_kind(kind);
+            assert_eq!(c.lookahead(), TcpCosts::INTER_NODE_WIRE, "{kind:?}");
+            assert!(!c.lookahead().is_zero(), "zero lookahead forbids sharding");
+        }
     }
 
     #[test]

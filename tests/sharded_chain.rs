@@ -1,0 +1,79 @@
+//! Golden-trace pin for the sharded multi-node chain workload.
+//!
+//! Counterpart of `golden_traces.rs` (which pins the serial drivers —
+//! untouched by the sharding work): the multi-node driver's report is
+//! compared byte-for-byte against a checked-in snapshot at **every** shard
+//! count and execution mode. One snapshot serves all of them because the
+//! sharded runner is deterministic in the strong sense (see
+//! `palladium_simnet::shard`): `--shards 1` and every parallel run must
+//! reproduce the identical bytes, so a future change that breaks either
+//! the kernel's ordering contract or the shard merge shows up here as a
+//! diff.
+//!
+//! To regenerate after an *intentional* workload change:
+//! `GOLDEN_REGEN=1 cargo test -q --test sharded_chain` and commit the
+//! updated snapshot together with the change that explains it.
+
+use palladium_core::driver::multinode::{MultiNodeConfig, MultiNodeReport, MultiNodeSim};
+use palladium_simnet::{Execution, Nanos};
+
+fn golden_cfg() -> MultiNodeConfig {
+    let mut cfg = MultiNodeConfig::scaled(16);
+    cfg.clients_per_node = 4;
+    cfg.warmup = Nanos::from_millis(2);
+    cfg.duration = Nanos::from_millis(8);
+    cfg
+}
+
+/// Hex-exact rendering (no shortest-repr float ambiguity), mirroring
+/// `golden_traces.rs`.
+fn trace(r: &MultiNodeReport) -> String {
+    format!(
+        "multinode/16n4c: rps={:016x} mean={} p99={} completed={} events={} messages={}\n",
+        r.load.rps.to_bits(),
+        r.load.mean_latency.as_nanos(),
+        r.load.p99_latency.as_nanos(),
+        r.load.completed,
+        r.events,
+        r.messages
+    )
+}
+
+#[test]
+fn every_shard_count_reproduces_the_snapshot() {
+    let sim = MultiNodeSim::new(golden_cfg());
+    let serial = trace(&sim.run(1, Execution::Sequential));
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/multinode_golden.txt");
+    if std::env::var("GOLDEN_REGEN").is_ok() {
+        std::fs::create_dir_all(std::path::Path::new(path).parent().unwrap()).unwrap();
+        std::fs::write(path, &serial).unwrap();
+    } else {
+        let want = std::fs::read_to_string(path)
+            .expect("golden snapshot missing — run with GOLDEN_REGEN=1 to create it");
+        assert_eq!(serial, want, "--shards 1 diverged from the golden snapshot");
+    }
+
+    for shards in [2usize, 4] {
+        for execution in [Execution::Sequential, Execution::Threads] {
+            let got = trace(&sim.run(shards, execution));
+            assert_eq!(
+                got, serial,
+                "{shards} shards / {execution:?} diverged from the serial bytes"
+            );
+        }
+    }
+}
+
+#[test]
+fn heap_backend_reproduces_the_same_sharded_bytes() {
+    // Like the serial golden suite: the queue backend is an optimization,
+    // never a semantics change — also under the sharded runner, which
+    // constructs every shard's queue from the caller thread's selection.
+    let sim = MultiNodeSim::new(golden_cfg());
+    palladium_simnet::set_queue_kind(palladium_simnet::QueueKind::BinaryHeap);
+    let heap = trace(&sim.run(2, Execution::Sequential));
+    palladium_simnet::set_queue_kind(palladium_simnet::QueueKind::Adaptive);
+    let adaptive = trace(&sim.run(2, Execution::Sequential));
+    assert_eq!(heap, adaptive, "backends diverged under sharding");
+}

@@ -31,8 +31,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use palladium_baselines::echo::{EchoConfig, EchoSim, Primitive};
 use palladium_core::driver::chain::ChainSim;
+use palladium_core::driver::cluster_sharded::ClusterShardedSim;
 use palladium_core::system::SystemKind;
-use palladium_simnet::Nanos;
+use palladium_simnet::{Execution, Nanos};
 use palladium_workloads::boutique::{self, ChainKind};
 
 /// Pass threshold: steady-state allocations per simulated event. The
@@ -98,6 +99,24 @@ fn run_chain(duration_ms: u64) -> (u64, u64) {
     (events, ALLOCS.load(Ordering::Relaxed) - before)
 }
 
+/// Run the sharded Fig 16 cluster (2 worker pairs over 2 shards, striding
+/// enabled so the batched-barrier path is covered) for `duration_ms`,
+/// returning `(events, allocations)`. The sharded runner's window loop —
+/// mailbox drain, merge sort, window execution — must be as allocation-free
+/// in steady state as the serial harness; ring auto-sizing and arena growth
+/// are warmup phenomena shared by both runs, so they cancel in the
+/// difference.
+fn run_cluster_sharded(duration_ms: u64) -> (u64, u64) {
+    let cfg = boutique::sharded_config(SystemKind::PalladiumDne, ChainKind::HomeQuery, 2)
+        .clients(32)
+        .warmup_ms(10)
+        .duration_ms(duration_ms)
+        .stride(2);
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let report = ClusterShardedSim::new(cfg).run(2, Execution::Sequential);
+    (report.events, ALLOCS.load(Ordering::Relaxed) - before)
+}
+
 /// Run the Fig 12 two-sided echo (the driver the shared `PayloadCache`
 /// newly covers) for `duration_ms`, returning `(events, allocations)`.
 fn run_echo(duration_ms: u64) -> (u64, u64) {
@@ -159,7 +178,13 @@ fn gate(
 fn main() {
     let chain_ok = gate("chain driver, Fig 16 HomeQuery, 40 clients", run_chain, 120, 360);
     let echo_ok = gate("echo driver, Fig 12 two-sided 1KB, 16 connections", run_echo, 60, 180);
-    if !(chain_ok && echo_ok) {
+    let sharded_ok = gate(
+        "sharded cluster, Fig 16 HomeQuery ×2 pairs, 2 shards, stride 2",
+        run_cluster_sharded,
+        40,
+        120,
+    );
+    if !(chain_ok && echo_ok && sharded_ok) {
         std::process::exit(1);
     }
 }

@@ -52,6 +52,7 @@
 use std::time::Instant;
 
 use palladium_core::driver::chain::ChainSim;
+use palladium_core::driver::cluster_sharded::{ClusterShardedConfig, ClusterShardedSim};
 use palladium_core::driver::ingress_sweep::{IngressSim, IngressSimConfig};
 use palladium_core::driver::multinode::{MultiNodeConfig, MultiNodeSim};
 use palladium_core::system::{IngressKind, SystemKind};
@@ -96,7 +97,7 @@ struct RunOut {
     completed: u64,
 }
 
-/// One sharded multi-node measurement.
+/// One sharded-runner measurement (multi-node or sharded cluster).
 struct MnOut {
     events: u64,
     wall_s: f64,
@@ -104,6 +105,9 @@ struct MnOut {
     /// Critical-path model: run-phase wall seconds on one core per shard
     /// (exact under `Execution::Sequential`).
     crit_s: f64,
+    /// Window barriers executed (striding batches several windows into
+    /// one).
+    windows: u64,
 }
 
 /// The `multinode_sharded` bench workload: the 32-node scaled chain at
@@ -119,6 +123,29 @@ fn run_multinode(scale: f64, shards: usize, execution: Execution) -> MnOut {
         wall_s: start.elapsed().as_secs_f64(),
         completed: r.load.completed,
         crit_s: r.critical_path_ns as f64 / 1e9,
+        windows: r.windows,
+    }
+}
+
+/// The `cluster_sharded` bench workload: the full Fig 16 data plane —
+/// boutique HomeQuery replicated over 4 worker pairs (9 nodes) — on the
+/// sharded runner (see `palladium_core::driver::cluster_sharded`).
+fn cluster_cfg(scale: f64) -> ClusterShardedConfig {
+    boutique::sharded_config(SystemKind::PalladiumDne, ChainKind::HomeQuery, 4)
+        .clients(32)
+        .warmup_ms((10.0 * scale) as u64)
+        .duration_ms((40.0 * scale) as u64)
+}
+
+fn run_cluster(cfg: &ClusterShardedConfig, shards: usize, execution: Execution) -> MnOut {
+    let start = std::time::Instant::now();
+    let r = ClusterShardedSim::new(cfg.clone()).run(shards, execution);
+    MnOut {
+        events: r.events,
+        wall_s: start.elapsed().as_secs_f64(),
+        completed: r.chain.load.completed,
+        crit_s: r.critical_path_ns as f64 / 1e9,
+        windows: r.windows,
     }
 }
 
@@ -149,6 +176,35 @@ fn multinode_points(scale: f64, reps: usize, counts: &[usize]) -> Vec<(usize, Mn
         let model = best_of_mn(
             reps.min(2),
             || run_multinode(scale, shards, Execution::Sequential),
+            |m| m.crit_s,
+        );
+        assert_eq!(measured.events, model.events, "threads vs sequential diverged");
+        assert_eq!(measured.completed, model.completed);
+        if let Some((_, first, _)) = points.first() {
+            let first: &MnOut = first;
+            assert_eq!(
+                first.events, measured.events,
+                "shard counts must process identical event streams"
+            );
+            assert_eq!(first.completed, measured.completed);
+        }
+        points.push((shards, measured, model));
+    }
+    points
+}
+
+/// Measure the sharded cluster at each of `counts` shards, asserting the
+/// determinism contract — identical events *and* completed requests across
+/// every shard count and both execution modes.
+fn cluster_points(scale: f64, reps: usize, counts: &[usize]) -> Vec<(usize, MnOut, MnOut)> {
+    let cfg = cluster_cfg(scale);
+    let mut points = Vec::new();
+    for &shards in counts {
+        let measured =
+            best_of_mn(reps, || run_cluster(&cfg, shards, Execution::Threads), |m| m.wall_s);
+        let model = best_of_mn(
+            reps.min(2),
+            || run_cluster(&cfg, shards, Execution::Sequential),
             |m| m.crit_s,
         );
         assert_eq!(measured.events, model.events, "threads vs sequential diverged");
@@ -472,12 +528,108 @@ fn main() {
     mn_json.push_str(&sweep_rows.join(", "));
     mn_json.push_str("]}");
 
+    // The sharded cluster record: the full Fig 16 data plane on the same
+    // runner, plus the window-striding demonstration (barriers per
+    // simulated second at fixed width, stride 1 vs 2).
+    let cs_points = cluster_points(scale, mn_reps, counts);
+    let cs_serial = &cs_points[0].1;
+    let cs_serial_model = &cs_points[0].2;
+    let (cs_after_shards, cs_after, cs_after_model) = {
+        let p = cs_points
+            .iter()
+            .find(|(sh, ..)| *sh == 4)
+            .unwrap_or(cs_points.last().expect("nonempty"));
+        (p.0, &p.1, &p.2)
+    };
+    let base = cluster_cfg(scale);
+    let sim_ms = (base.warmup + base.duration).as_nanos() as f64 / 1e6;
+    let narrow_w = base.window().as_nanos() / 2;
+    let narrow = run_cluster(&base.clone().window_ns(narrow_w), 4, Execution::Sequential);
+    let strided =
+        run_cluster(&base.clone().window_ns(narrow_w).stride(2), 4, Execution::Sequential);
+    assert_eq!(
+        narrow.completed, cs_serial.completed,
+        "striding grids must complete identical request streams"
+    );
+    assert_eq!(strided.completed, cs_serial.completed);
+    assert!(
+        strided.windows * 3 < narrow.windows * 2,
+        "stride 2 must reduce barriers ({} vs {})",
+        strided.windows,
+        narrow.windows
+    );
+    let barriers_per_ms = |m: &MnOut| m.windows as f64 / sim_ms;
+    let mut cs_json = format!(
+        "    {{\"driver\": \"cluster_sharded\", \"events\": {}, \"completed\": {}, \
+         \"threads_available\": {threads_available}, \"nodes\": {}, \"pairs\": 4, ",
+        cs_serial.events,
+        cs_serial.completed,
+        ClusterShardedSim::new(base.clone()).nodes(),
+    );
+    // Like multinode: full runs record a quick-scale reference so the CI
+    // smoke job diffs a same-shape workload.
+    let cs_quick_ref = (!quick).then(|| {
+        let qcfg = cluster_cfg(0.25);
+        let r = best_of_mn(
+            2,
+            || run_cluster(&qcfg, cs_after_shards, Execution::Threads),
+            |m| m.wall_s,
+        );
+        r.events as f64 / r.wall_s
+    });
+    if let Some(q) = cs_quick_ref {
+        cs_json.push_str(&format!("\"quick_reference\": {{\"events_per_sec\": {q:.0}}}, "));
+    }
+    cs_json.push_str(&format!(
+        "\"serial\": {{\"events_per_sec\": {:.0}, \"wall_s\": {:.3}}}, \
+         \"after\": {{\"events_per_sec\": {:.0}, \"wall_s\": {:.3}, \"shards\": {cs_after_shards}}}, \
+         \"speedup_vs_serial\": {:.2}, \
+         \"critical_path_model\": {{\"serial_events_per_sec\": {:.0}, \"shards{cs_after_shards}_events_per_sec\": {:.0}, \"speedup\": {:.2}}}, \
+         \"striding\": {{\"window_ns\": {narrow_w}, \"stride1_barriers\": {}, \"stride2_barriers\": {}, \
+         \"stride1_barriers_per_sim_ms\": {:.0}, \"stride2_barriers_per_sim_ms\": {:.0}, \"barrier_reduction\": {:.2}}}, \
+         \"shards_sweep\": [",
+        eps_mn(cs_serial),
+        cs_serial.wall_s,
+        eps_mn(cs_after),
+        cs_after.wall_s,
+        eps_mn(cs_after) / eps_mn(cs_serial),
+        ceps_mn(cs_serial_model),
+        ceps_mn(cs_after_model),
+        ceps_mn(cs_after_model) / ceps_mn(cs_serial_model),
+        narrow.windows,
+        strided.windows,
+        barriers_per_ms(&narrow),
+        barriers_per_ms(&strided),
+        narrow.windows as f64 / strided.windows as f64,
+    ));
+    let cs_rows: Vec<String> = cs_points
+        .iter()
+        .map(|(sh, meas, model)| {
+            format!(
+                "{{\"shards\": {sh}, \"measured_events_per_sec\": {:.0}, \"critical_path_events_per_sec\": {:.0}}}",
+                eps_mn(meas), ceps_mn(model),
+            )
+        })
+        .collect();
+    cs_json.push_str(&cs_rows.join(", "));
+    cs_json.push_str("]}");
+    if shards_sweep {
+        println!("shards sweep (cluster_sharded, boutique HomeQuery x4 pairs, best of {mn_reps}):");
+        for (sh, meas, model) in &cs_points {
+            println!(
+                "  shards {sh}: measured {:>12.0} events/s ({:.3}s wall) | critical-path model {:>12.0} events/s",
+                eps_mn(meas), meas.wall_s, ceps_mn(model),
+            );
+        }
+    }
+
     let mut json = String::from(
         "{\n  \"bench\": \"simcore_throughput\",\n  \"unit\": \"events_per_sec\",\n",
     );
     json.push_str(&format!("  \"quick\": {quick},\n  \"drivers\": [\n"));
     let mut rows: Vec<String> = records.iter().map(DriverRecord::json).collect();
     rows.push(mn_json);
+    rows.push(cs_json);
     json.push_str(&rows.join(",\n"));
     json.push_str("\n  ]\n}\n");
 
@@ -491,6 +643,21 @@ fn main() {
         eps_mn(after) / eps_mn(serial),
         ceps_mn(after_model),
         ceps_mn(after_model) / ceps_mn(serial_model),
+    );
+    println!(
+        "cluster_sharded: {} events, {} completed; serial {:.0} events/s, {cs_after_shards} shards \
+         measured {:.0} ({:.2}x), critical-path model {:.0} ({:.2}x); \
+         striding at {narrow_w} ns: {} -> {} barriers ({:.2}x fewer)",
+        cs_serial.events,
+        cs_serial.completed,
+        eps_mn(cs_serial),
+        eps_mn(cs_after),
+        eps_mn(cs_after) / eps_mn(cs_serial),
+        ceps_mn(cs_after_model),
+        ceps_mn(cs_after_model) / ceps_mn(cs_serial_model),
+        narrow.windows,
+        strided.windows,
+        narrow.windows as f64 / strided.windows as f64,
     );
     for r in &records {
         let eps = r.wheel.events as f64 / r.wheel.wall_s;

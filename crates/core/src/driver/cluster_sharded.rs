@@ -1,0 +1,1057 @@
+//! The sharded Fig 16 / Fig 14 cluster: the Palladium data plane
+//! replicated over `pairs` worker-node pairs plus one ingress node,
+//! running on the conservative sharded kernel ([`palladium_simnet::shard`])
+//! with one [`RdmaNet`] fabric instance **per shard**.
+//!
+//! The serial [`super::cluster::Cluster`] models three nodes in exact
+//! detail on one core. This driver is the same machinery — pools, RC
+//! state machines, DNE scheduling, the ingress gateway — split along
+//! [`Partition`] node-block boundaries so the paper's headline workload
+//! (the boutique application, Fig 16, and the scaling sweep, Fig 14)
+//! parallelizes across cores:
+//!
+//! * **Per-shard `RdmaNet` ownership.** Each shard owns the RNICs, CQs
+//!   and QP state of its contiguous node block
+//!   ([`RdmaNet::with_span`]). QP state machines are per-node, so the
+//!   only shared fabric state — frames in flight — becomes explicit:
+//!   in sharded-egress mode every inter-node frame (data *and*
+//!   ACK/NAK, same-span destinations included) leaves `transmit` as a
+//!   fully-timed [`Packet`] that this driver routes through the
+//!   deterministic SPSC mailboxes.
+//! * **Frame-level lookahead.** Window barriers are sized to
+//!   [`RdmaConfig::frame_lookahead`] — the control-frame floor
+//!   (~652 ns at default calibration), *not* the WR-level
+//!   [`RdmaConfig::lookahead`] (~3.1 µs): ACKs cross shards too, and
+//!   they bypass the doorbell and TX/RX pipelines.
+//! * **Shard-count invariance.** The discipline from
+//!   [`super::multinode`]: all inter-node traffic rides the [`Outbox`]
+//!   keyed by global source node id, local events stay node-local, no
+//!   randomness is drawn on the steady path (faults stay disabled),
+//!   and reports fold in global node order. One shard therefore
+//!   reproduces the exact bytes of every sharded run
+//!   (`tests/cluster_sharded.rs` pins 1/2/4/8 shards × both execution
+//!   modes against a golden trace).
+//!
+//! # Topology and request-state distribution
+//!
+//! `pairs` replicas of the serial cluster's two worker nodes — pair `p`
+//! owns global nodes `2p` (hotspots) and `2p+1` (the rest) — plus one
+//! ingress node at global index `2·pairs`. Function ids are remapped
+//! per pair (`id + 16·p`), so routing tables stay a dense id → node
+//! lookup; request `r` runs pair `r % pairs`'s chain. Clients, the
+//! gateway and the latency statistics live on the shard owning the
+//! ingress node.
+//!
+//! The serial cluster advances a request's hop counter in central
+//! `ReqState` — unavailable here, since consecutive hops of one request
+//! execute on different shards. Instead the hop index travels **in the
+//! payload**: the 8-byte little-endian prefix packs the request id in
+//! the low 48 bits and the next hop index in the high 16
+//! ([`word_of`]/[`unword`]), so each node derives the chain position
+//! from the bytes it received — the same end-to-end-carried prefix the
+//! serial driver already reads the request id from.
+
+use bytes::Bytes;
+
+use palladium_ipc::{ChannelCosts, ChannelKind, SkMsgCosts};
+use palladium_membuf::{
+    BufDesc, BufToken, CopyMeter, FnId, MmapExporter, MoveKind, NodeId, Owner, PayloadCache,
+    PoolId, Region, TenantId, UnifiedPool,
+};
+use palladium_rdma::{
+    Cqe, CqeKind, Packet, RdmaConfig, RdmaEvent, RdmaNet, RdmaOutput, RqEntry, Step, WorkRequest,
+    WrId,
+};
+use palladium_simnet::{
+    run_sharded, ChannelStats, Effects, Execution, IdTable, Nanos, Outbox, Partition, RunStats,
+    ServerBank, ShardConfig, ShardEngine, Slab,
+};
+
+use super::chain::{AppSpec, ChainReport, ChainSpec, INGRESS_FN};
+use super::LoadReport;
+use crate::config::{CostModel, EngineLocation};
+use crate::connpool::{ConnPool, ConnPoolConfig};
+use crate::dne::{pack_imm, Dne, DneEffect};
+use crate::ingress::{IngressConfig, IngressGateway, Leg};
+use crate::routing::{Coordinator, DeployEvent};
+use crate::system::{IngressKind, InterNode, SystemKind};
+
+const TENANT: TenantId = TenantId(1);
+const POOL_BUFS: u32 = 4096;
+const BUF_SIZE: u32 = 8192;
+const INITIAL_RQ: u64 = 512;
+
+/// Request-id bits of the payload word; the high bits carry the hop index
+/// (see the module docs on request-state distribution).
+const REQ_BITS: u32 = 48;
+const REQ_MASK: u64 = (1 << REQ_BITS) - 1;
+
+/// Pack `(req, hop)` into the 8-byte payload prefix word.
+fn word_of(req: u64, hop: usize) -> u64 {
+    debug_assert!(req <= REQ_MASK, "request id overflows the payload word");
+    req | ((hop as u64) << REQ_BITS)
+}
+
+/// Unpack `(req, hop)` from a payload's 8-byte little-endian prefix.
+fn unword(data: &[u8]) -> (u64, usize) {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&data[..8]);
+    let w = u64::from_le_bytes(b);
+    (w & REQ_MASK, (w >> REQ_BITS) as usize)
+}
+
+/// Configuration of one sharded cluster run.
+#[derive(Clone, Debug)]
+pub struct ClusterShardedConfig {
+    /// Data plane under test — must be a Palladium variant
+    /// (two-sided-RDMA inter-node path, early-conversion ingress).
+    pub system: SystemKind,
+    /// The application: `chains[p]` is worker pair `p`'s chain, function
+    /// nodes are **global** node indices (see
+    /// `palladium_workloads::boutique::sharded_app`).
+    pub app: AppSpec,
+    /// Worker-node pairs; the cluster has `2·pairs + 1` nodes.
+    pub pairs: usize,
+    /// Closed-loop clients (all entering at the ingress).
+    pub clients: usize,
+    /// Measurement window.
+    pub duration: Nanos,
+    /// Warm-up excluded from statistics.
+    pub warmup: Nanos,
+    /// Fabric seed (only drawn by fault injection, which this driver
+    /// keeps disabled — see the module docs on invariance).
+    pub seed: u64,
+    /// Windows batched per barrier. The default window is
+    /// `frame_lookahead / stride`, keeping the effective barrier spacing
+    /// `window × stride` at (or under) the frame lookahead — sound at
+    /// any stride.
+    pub stride: u64,
+    /// Explicit window width override in nanoseconds. Must satisfy
+    /// `window × stride ≤ frame_lookahead` (asserted at run); narrower
+    /// windows are always sound, and pinning the window while varying
+    /// the stride is how the striding win is measured (same grid, fewer
+    /// barriers).
+    pub window_ns: Option<u64>,
+}
+
+impl ClusterShardedConfig {
+    /// A run of `system` over `app` with `pairs` worker pairs.
+    pub fn new(system: SystemKind, app: AppSpec, pairs: usize) -> Self {
+        assert!(pairs >= 1, "need at least one worker pair");
+        assert_eq!(app.chains.len(), pairs, "one chain replica per pair");
+        ClusterShardedConfig {
+            system,
+            app,
+            pairs,
+            clients: 16 * pairs,
+            duration: Nanos::from_millis(120),
+            warmup: Nanos::from_millis(30),
+            seed: 42,
+            stride: 1,
+            window_ns: None,
+        }
+    }
+
+    /// Set the client count.
+    pub fn clients(mut self, n: usize) -> Self {
+        self.clients = n;
+        self
+    }
+
+    /// Set the measurement window in milliseconds.
+    pub fn duration_ms(mut self, ms: u64) -> Self {
+        self.duration = Nanos::from_millis(ms);
+        self
+    }
+
+    /// Set the warm-up in milliseconds.
+    pub fn warmup_ms(mut self, ms: u64) -> Self {
+        self.warmup = Nanos::from_millis(ms);
+        self
+    }
+
+    /// Batch `stride` windows per barrier (see [`ClusterShardedConfig::stride`]).
+    pub fn stride(mut self, stride: u64) -> Self {
+        assert!(stride >= 1, "stride must be at least one window");
+        self.stride = stride;
+        self
+    }
+
+    /// Pin the window width (see [`ClusterShardedConfig::window_ns`]).
+    pub fn window_ns(mut self, ns: u64) -> Self {
+        self.window_ns = Some(ns);
+        self
+    }
+
+    /// The window width a run of this configuration uses.
+    pub fn window(&self) -> Nanos {
+        let frame_la = RdmaConfig::default().frame_lookahead();
+        let w = match self.window_ns {
+            Some(ns) => Nanos(ns),
+            None => Nanos(frame_la.as_nanos() / self.stride),
+        };
+        assert!(!w.is_zero(), "stride exceeds the frame lookahead");
+        assert!(
+            w.as_nanos() * self.stride <= frame_la.as_nanos(),
+            "window {w} × stride {} exceeds the frame lookahead {frame_la}",
+            self.stride
+        );
+        w
+    }
+}
+
+/// The report of one sharded cluster run: the serial cluster's
+/// [`ChainReport`] plus the sharding counters.
+#[derive(Clone, Debug)]
+pub struct ClusterShardedReport {
+    /// The Fig 16 quantities (rps, latency, copies, utilization).
+    pub chain: ChainReport,
+    /// Simulation events processed across all shards.
+    pub events: u64,
+    /// Inter-node frames delivered through the mailboxes.
+    pub messages: u64,
+    /// Mailbox ring overflows (spills, not drops).
+    pub spilled: u64,
+    /// Window barriers executed (with striding, one barrier covers
+    /// `stride` windows).
+    pub windows: u64,
+    /// Per-shard run-phase wall nanoseconds.
+    pub busy_ns: Vec<u64>,
+    /// `Σ_k max_s busy[s][k]` — modeled wall time with one core per
+    /// shard; exact under [`Execution::Sequential`].
+    pub critical_path_ns: u64,
+    /// Per-channel mailbox statistics (spills, high-water marks,
+    /// auto-sized capacities).
+    pub channels: Vec<ChannelStats>,
+}
+
+#[derive(Debug)]
+pub(crate) enum Ev {
+    /// A client issues a request (ingress shard only).
+    Issue { client: usize },
+    /// Ingress finished the inbound leg.
+    GwIn { req: u64, worker: usize },
+    /// Ingress finished the outbound leg.
+    GwOut { req: u64, worker: usize },
+    /// RDMA fabric sub-simulator event (this shard's instance).
+    Rdma(RdmaEvent),
+    /// A Palladium engine core freed up on node `n`.
+    EngineSlot { n: usize },
+    /// Engine TX processing done: post the WR.
+    PostSend {
+        n: usize,
+        dst: NodeId,
+        tenant: TenantId,
+        wr: WorkRequest,
+    },
+    /// RNIC DMA application of received bytes.
+    ApplyDma {
+        n: usize,
+        token: BufToken,
+        data: Bytes,
+    },
+    /// Descriptor delivery to a function (after channel transit).
+    Deliver { n: usize, desc: BufDesc },
+    /// A transmitted buffer completed.
+    ReleaseTx { n: usize, token: BufToken },
+    /// Core-thread RQ replenishment.
+    Replenish { n: usize, cnt: u64 },
+    /// A function's hand-off reached the engine.
+    EngineRx { n: usize, desc: BufDesc },
+    /// Function finished executing on input `desc`.
+    FnDone { n: usize, desc: BufDesc },
+}
+
+struct ReqState {
+    client: usize,
+    issued: Nanos,
+    done: bool,
+}
+
+/// State owned by the shard carrying the ingress node.
+struct IngressState {
+    gw: IngressGateway,
+    rbr: crate::rbr::RbrTable,
+    conns: ConnPool,
+    /// TX buffers awaiting send completions (slab-keyed WR ids).
+    tx: Slab<BufToken>,
+    reqs: Vec<ReqState>,
+    stats: RunStats,
+}
+
+/// One shard of the cluster: a contiguous global-node block with its own
+/// fabric instance (see the module docs).
+pub(crate) struct ClusterShard {
+    /// First global node this shard owns.
+    lo: usize,
+    /// Dense global node → shard route table.
+    shard_of: Vec<u32>,
+    ingress_node: usize,
+    pairs: usize,
+    /// Per-pair chains (`chains[p]` for requests `r ≡ p mod pairs`).
+    chains: Vec<ChainSpec>,
+    /// Remapped function id → global node, dense.
+    placement: IdTable<usize>,
+    fn_exec: IdTable<Nanos>,
+    cost: CostModel,
+    engine_loc: EngineLocation,
+    comch: ChannelCosts,
+    skmsg: SkMsgCosts,
+
+    // Per owned node, indexed `node - lo`.
+    pools: Vec<UnifiedPool>,
+    meters: Vec<CopyMeter>,
+    fn_cores: Vec<Option<ServerBank>>,
+    dnes: Vec<Option<Dne>>,
+    inbound_tokens: Vec<IdTable<BufToken>>,
+
+    /// This shard's span of the fabric, in sharded-egress mode.
+    net: RdmaNet,
+    /// Present exactly on the shard owning the ingress node.
+    ingress: Option<IngressState>,
+
+    // Reused scratch so steady-state stepping does not allocate.
+    rdma_step: Step,
+    post_step: Step,
+    cqe_scratch: Vec<Cqe>,
+    dne_fx: crate::dne::DneStep,
+    payloads: PayloadCache,
+}
+
+impl ClusterShard {
+    /// Local index of global node `n`.
+    #[inline]
+    fn li(&self, n: usize) -> usize {
+        n - self.lo
+    }
+
+    fn node_of(&self, f: FnId) -> usize {
+        if f == INGRESS_FN {
+            self.ingress_node
+        } else {
+            *self.placement.get(f.raw() as usize).expect("placed function")
+        }
+    }
+
+    fn fn_exec(&self, f: FnId) -> Nanos {
+        *self.fn_exec.get(f.raw() as usize).expect("deployed function")
+    }
+
+    /// The chain requests `req` runs (pair `req % pairs`).
+    #[inline]
+    fn chain_of(&self, req: u64) -> &ChainSpec {
+        &self.chains[(req % self.pairs as u64) as usize]
+    }
+
+    /// Charge work on a function core of worker node `n`.
+    fn on_fn_core(&mut self, n: usize, now: Nanos, service: Nanos) -> Nanos {
+        let li = self.li(n);
+        let bank = self.fn_cores[li].as_mut().expect("worker node");
+        let (idx, done) = bank.submit(now, service);
+        bank.complete(idx);
+        done
+    }
+
+    /// Channel costs between functions and the engine (see
+    /// [`super::cluster`]).
+    fn fn_channel_costs(&self) -> (Nanos, Nanos) {
+        match self.engine_loc {
+            EngineLocation::Dpu => (self.comch.transit, self.comch.host_send_cpu),
+            EngineLocation::Cpu => (self.skmsg.transit, self.skmsg.send_cpu),
+        }
+    }
+
+    fn fn_recv_cost(&self) -> Nanos {
+        match self.engine_loc {
+            EngineLocation::Dpu => self.comch.host_recv_cpu,
+            EngineLocation::Cpu => self.skmsg.recv_cpu,
+        }
+    }
+
+    /// Replenish `cnt` receive buffers on worker node `n` (node-local,
+    /// identical at every shard count).
+    fn replenish(&mut self, n: usize, cnt: u64) {
+        let li = self.li(n);
+        for _ in 0..cnt {
+            let Ok(token) = self.pools[li].alloc(Owner::Rnic) else {
+                break;
+            };
+            let pool_id = self.pools[li].id();
+            let wr_id = self.dnes[li].as_mut().expect("worker dne").rbr.register(TENANT, token);
+            let _ = self.net.post_recv(
+                NodeId(n as u16),
+                TENANT,
+                RqEntry {
+                    wr_id,
+                    pool: pool_id,
+                    capacity: BUF_SIZE,
+                },
+            );
+        }
+    }
+
+    /// Replenish ingress-side receive buffers.
+    fn replenish_ingress(&mut self, cnt: u64) {
+        let li = self.li(self.ingress_node);
+        for _ in 0..cnt {
+            let Ok(token) = self.pools[li].alloc(Owner::Rnic) else {
+                break;
+            };
+            let pool_id = self.pools[li].id();
+            let wr_id = self.ingress.as_mut().expect("ingress shard").rbr.register(TENANT, token);
+            let _ = self.net.post_recv(
+                NodeId(self.ingress_node as u16),
+                TENANT,
+                RqEntry {
+                    wr_id,
+                    pool: pool_id,
+                    capacity: BUF_SIZE,
+                },
+            );
+        }
+    }
+
+    /// Route every frame the fabric egressed this step: into the mailbox
+    /// of the destination node's shard (self-sends included — that is
+    /// what makes arrival schedules partition-independent), keyed by the
+    /// global source node id.
+    fn route_egress(&mut self, now: Nanos, out: &mut Outbox<Packet>, step: &mut Step) {
+        for t in step.egress.drain(..) {
+            let dst = t.value.dst.raw() as usize;
+            let src = t.value.src.raw() as u32;
+            out.send(self.shard_of[dst] as usize, now + t.after, src, t.value);
+        }
+    }
+
+    /// Schedule the effects of a Palladium engine step.
+    fn apply_dne_step(&mut self, fx: &mut Effects<'_, Ev>, n: usize, step: &mut crate::dne::DneStep) {
+        let (to_fn_transit, _) = self.fn_channel_costs();
+        for t in step.drain(..) {
+            match t.value {
+                DneEffect::PostSend { dst_node, tenant, wr } => {
+                    fx.after(
+                        t.after,
+                        Ev::PostSend {
+                            n,
+                            dst: dst_node,
+                            tenant,
+                            wr,
+                        },
+                    );
+                }
+                DneEffect::DeliverToFn { dst: _, desc } => {
+                    fx.after(t.after + to_fn_transit, Ev::Deliver { n, desc });
+                }
+                DneEffect::ApplyDma { token, data, .. } => {
+                    fx.after(t.after, Ev::ApplyDma { n, token, data });
+                }
+                DneEffect::ReleaseTxBuffer { token } => {
+                    fx.after(t.after, Ev::ReleaseTx { n, token });
+                }
+                DneEffect::Replenish { n: cnt, .. } => {
+                    fx.after(t.after, Ev::Replenish { n, cnt });
+                }
+                DneEffect::EngineSlot => {
+                    fx.after(t.after, Ev::EngineSlot { n });
+                }
+                DneEffect::RouteMiss { .. } => {}
+            }
+        }
+    }
+
+    fn on_rdma_output(&mut self, now: Nanos, fx: &mut Effects<'_, Ev>, out: RdmaOutput) {
+        match out {
+            RdmaOutput::CqReady { node } => {
+                let n = node.raw() as usize;
+                let li = self.li(n);
+                let mut cqes = std::mem::take(&mut self.cqe_scratch);
+                cqes.clear();
+                self.net.drain_cq_into(node, &mut cqes);
+                if n == self.ingress_node {
+                    for cqe in cqes.drain(..) {
+                        self.on_ingress_cqe(now, fx, cqe);
+                    }
+                } else {
+                    let mut step = std::mem::take(&mut self.dne_fx);
+                    self.dnes[li]
+                        .as_mut()
+                        .expect("worker dne")
+                        .drain_cq_into(now, &mut cqes, &mut step);
+                    self.apply_dne_step(fx, n, &mut step);
+                    self.dne_fx = step;
+                }
+                self.cqe_scratch = cqes;
+            }
+            RdmaOutput::RnrSeen { node, .. } => {
+                let n = node.raw() as usize;
+                if n == self.ingress_node {
+                    self.replenish_ingress(32);
+                } else {
+                    self.replenish(n, 32);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_ingress_cqe(&mut self, now: Nanos, fx: &mut Effects<'_, Ev>, cqe: Cqe) {
+        let li = self.li(self.ingress_node);
+        match cqe.kind {
+            CqeKind::Recv => {
+                // A response payload arrived from a worker.
+                let Some((_, token)) = self.ingress.as_mut().expect("ingress shard").rbr.consume(cqe.wr_id)
+                else {
+                    return;
+                };
+                let (req, _) = unword(&cqe.data);
+                self.pools[li]
+                    .dma_write_bytes(&token, cqe.data, MoveKind::RnicDma, &mut self.meters[li])
+                    .expect("dma into ingress buffer");
+                let _ = self.pools[li].free(token);
+                let consumed = self.ingress.as_mut().expect("ingress shard").rbr.take_consumed(TENANT);
+                self.replenish_ingress(consumed);
+                let (req_bytes, resp_bytes) = {
+                    let chain = self.chain_of(req);
+                    (chain.req_bytes as u64, chain.resp_bytes as u64)
+                };
+                let ing = self.ingress.as_mut().expect("ingress shard");
+                let client = ing.reqs[req as usize].client;
+                let (w, done) = ing.gw.submit(now, client, Leg::Outbound, req_bytes, resp_bytes);
+                fx.at(done, Ev::GwOut { req, worker: w });
+            }
+            CqeKind::SendDone(_) => {
+                if let Some(token) = self.ingress.as_mut().expect("ingress shard").tx.remove(cqe.wr_id.0) {
+                    let _ = self.pools[li].free(token);
+                }
+            }
+            CqeKind::ReadData => {}
+        }
+    }
+
+    fn on_fn_done(&mut self, now: Nanos, fx: &mut Effects<'_, Ev>, n: usize, desc: BufDesc) {
+        let li = self.li(n);
+        // Consume the input buffer; the payload prefix carries the chain
+        // position (see the module docs).
+        let token = self.inbound_tokens[li]
+            .remove(desc.buf_idx as usize)
+            .expect("inbound token tracked");
+        let (req, hop_idx) = {
+            let data = self.pools[li].read(&token);
+            unword(data.expect("owned"))
+        };
+        let _ = self.pools[li].free(token);
+
+        let f = desc.dst_fn;
+        let (to, bytes) = {
+            let chain = self.chain_of(req);
+            if hop_idx < chain.hops.len() {
+                let h = chain.hops[hop_idx];
+                debug_assert_eq!(h.from, f, "chain hop source mismatch");
+                (h.to, h.bytes)
+            } else {
+                (INGRESS_FN, chain.resp_bytes)
+            }
+        };
+
+        let dst_node = self.node_of(to);
+        let word = if to == INGRESS_FN {
+            word_of(req, 0)
+        } else {
+            word_of(req, hop_idx + 1)
+        };
+        let data = self.payloads.make(word, bytes);
+
+        if dst_node == n && to != INGRESS_FN {
+            // Local hop over SK_MSG: produce into a fresh buffer, pass the
+            // descriptor — zero copies.
+            let Ok(out) = self.pools[li].alloc(Owner::Function(f)) else {
+                return;
+            };
+            self.pools[li].produce_bytes(&out, data).expect("sized buffer");
+            let out_desc = self.pools[li].into_transit(out, f, to).expect("owned");
+            let tok2 = self.pools[li]
+                .redeem(&out_desc, Owner::Function(to))
+                .expect("redeem local");
+            self.inbound_tokens[li].insert(out_desc.buf_idx as usize, tok2);
+            let send_cpu = self.skmsg.send_cpu;
+            let transit = self.skmsg.transit;
+            let send_done = self.on_fn_core(n, now, send_cpu);
+            fx.at(send_done + transit, Ev::Deliver { n, desc: out_desc });
+            return;
+        }
+
+        // Remote hop (or response to the ingress) over two-sided RDMA.
+        let Ok(out) = self.pools[li].alloc(Owner::Function(f)) else {
+            return;
+        };
+        self.pools[li].produce_bytes(&out, data).expect("sized buffer");
+        let out_desc = self.pools[li].into_transit(out, f, to).expect("owned");
+        let (transit, send_cpu) = self.fn_channel_costs();
+        let send_done = self.on_fn_core(n, now, send_cpu);
+        fx.at(send_done + transit, Ev::EngineRx { n, desc: out_desc });
+    }
+}
+
+impl ShardEngine for ClusterShard {
+    type Ev = Ev;
+    type Msg = Packet;
+
+    fn on_event(&mut self, now: Nanos, ev: Ev, fx: &mut Effects<'_, Ev>, out: &mut Outbox<Packet>) {
+        match ev {
+            Ev::Issue { client } => {
+                let client_wire = self.cost.client_wire;
+                let ing = self.ingress.as_mut().expect("issue on ingress shard");
+                let req = ing.reqs.len() as u64;
+                ing.reqs.push(ReqState {
+                    client,
+                    issued: now,
+                    done: false,
+                });
+                let (req_bytes, resp_bytes) = {
+                    let chain = self.chain_of(req);
+                    (chain.req_bytes as u64, chain.resp_bytes as u64)
+                };
+                let ing = self.ingress.as_mut().expect("issue on ingress shard");
+                let arrive = now + client_wire;
+                let (w, done) = ing.gw.submit(arrive, client, Leg::Inbound, req_bytes, resp_bytes);
+                fx.at(done, Ev::GwIn { req, worker: w });
+            }
+            Ev::GwIn { req, worker } => {
+                self.ingress.as_mut().expect("ingress shard").gw.leg_done(worker);
+                let (entry, bytes) = {
+                    let chain = self.chain_of(req);
+                    (chain.entry, chain.req_bytes)
+                };
+                let entry_node = self.node_of(entry);
+                let li = self.li(self.ingress_node);
+                // Early conversion: payload into a registered buffer, over
+                // RDMA to the entry node's DNE. The word encodes hop 0.
+                let data = self.payloads.make(word_of(req, 0), bytes);
+                let Ok(token) = self.pools[li].alloc(Owner::Ingress) else {
+                    return; // pool exhausted: shed the request
+                };
+                self.pools[li]
+                    .write_bytes(&token, data.clone(), &mut self.meters[li])
+                    .expect("sized buffer");
+                let wr_id = WrId(self.ingress.as_mut().expect("ingress shard").tx.insert(token));
+                let mut step = std::mem::take(&mut self.post_step);
+                step.clear();
+                let qpn = self
+                    .ingress
+                    .as_mut()
+                    .expect("ingress shard")
+                    .conns
+                    .select(&self.net, NodeId(entry_node as u16), TENANT)
+                    .expect("warm ingress connection");
+                self.meters[li].record(MoveKind::RnicDma, data.len() as u64);
+                let imm = pack_imm(INGRESS_FN, entry, TENANT);
+                self.net
+                    .post_send_into(
+                        now,
+                        NodeId(self.ingress_node as u16),
+                        qpn,
+                        WorkRequest::send(wr_id, data, imm),
+                        &mut step,
+                    )
+                    .expect("post ingress send");
+                fx.extend_drain(&mut step.events, Ev::Rdma);
+                self.route_egress(now, out, &mut step);
+                self.post_step = step;
+            }
+            Ev::Rdma(rdma_ev) => {
+                let mut step = std::mem::take(&mut self.rdma_step);
+                step.clear();
+                self.net.handle_into(now, rdma_ev, &mut step);
+                fx.extend_drain(&mut step.events, Ev::Rdma);
+                self.route_egress(now, out, &mut step);
+                for o in step.outputs.drain(..) {
+                    self.on_rdma_output(now, fx, o);
+                }
+                self.rdma_step = step;
+            }
+            Ev::EngineSlot { n } => {
+                let li = self.li(n);
+                let mut step = std::mem::take(&mut self.dne_fx);
+                self.dnes[li].as_mut().expect("worker dne").on_engine_slot_into(now, &mut step);
+                self.apply_dne_step(fx, n, &mut step);
+                self.dne_fx = step;
+            }
+            Ev::PostSend { n, dst, tenant, wr } => {
+                let li = self.li(n);
+                self.meters[li].record(MoveKind::RnicDma, wr.payload.len() as u64);
+                let mut step = std::mem::take(&mut self.post_step);
+                step.clear();
+                let Some(qpn) = self.dnes[li]
+                    .as_mut()
+                    .expect("worker dne")
+                    .select_conn(&self.net, dst, tenant)
+                else {
+                    self.post_step = step;
+                    return;
+                };
+                self.net
+                    .post_send_into(now, NodeId(n as u16), qpn, wr, &mut step)
+                    .expect("post dne send");
+                fx.extend_drain(&mut step.events, Ev::Rdma);
+                self.route_egress(now, out, &mut step);
+                self.post_step = step;
+            }
+            Ev::ApplyDma { n, token, data } => {
+                let li = self.li(n);
+                self.pools[li]
+                    .dma_write_bytes(&token, data, MoveKind::RnicDma, &mut self.meters[li])
+                    .expect("dma into posted buffer");
+                self.pools[li]
+                    .transfer(&token, Owner::Rnic, Owner::Engine)
+                    .expect("rnic to engine");
+                self.inbound_tokens[li].insert(token.idx() as usize, token);
+            }
+            Ev::Deliver { n, desc } => {
+                let recv = self.fn_recv_cost();
+                let exec = self.fn_exec(desc.dst_fn);
+                let done = self.on_fn_core(n, now, recv + exec);
+                fx.at(done, Ev::FnDone { n, desc });
+            }
+            Ev::ReleaseTx { n, token } => {
+                let li = self.li(n);
+                let _ = self.pools[li].free(token);
+            }
+            Ev::Replenish { n, cnt } => {
+                self.replenish(n, cnt);
+            }
+            Ev::EngineRx { n, desc } => {
+                let li = self.li(n);
+                let token = self.pools[li]
+                    .redeem(&desc, Owner::Engine)
+                    .expect("fn handed off buffer");
+                let data = self.pools[li].read_bytes(&token).expect("owned");
+                let mut step = std::mem::take(&mut self.dne_fx);
+                self.dnes[li]
+                    .as_mut()
+                    .expect("worker dne")
+                    .submit_tx_into(now, desc, data, Some(token), &mut step);
+                self.apply_dne_step(fx, n, &mut step);
+                self.dne_fx = step;
+            }
+            Ev::FnDone { n, desc } => {
+                self.on_fn_done(now, fx, n, desc);
+            }
+            Ev::GwOut { req, worker } => {
+                let client_wire = self.cost.client_wire;
+                let ing = self.ingress.as_mut().expect("ingress shard");
+                ing.gw.leg_done(worker);
+                let finish = now + client_wire;
+                let st = &mut ing.reqs[req as usize];
+                if !st.done {
+                    st.done = true;
+                    let issued = st.issued;
+                    let client = st.client;
+                    ing.stats.complete(finish, issued);
+                    fx.at(finish, Ev::Issue { client });
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn lift(&mut self, _at: Nanos, _src: u32, msg: Packet) -> Ev {
+        Ev::Rdma(RdmaEvent::Arrive { pkt: msg })
+    }
+}
+
+/// Establish `count` RC connections from global node `a` to `b` — within
+/// one fabric instance when both live on the same shard, across two
+/// instances otherwise — adopting the local endpoints into `pool`. Every
+/// wiring call site runs in one canonical global order, so each RNIC's
+/// QP-creation sequence (and therefore every QPN) is identical at every
+/// shard count.
+fn warm_conns(
+    pool: &mut ConnPool,
+    nets: &mut [RdmaNet],
+    part: &Partition,
+    a: usize,
+    b: usize,
+    count: usize,
+) {
+    let (na, nb) = (NodeId(a as u16), NodeId(b as u16));
+    let (sa, sb) = (part.shard_of(a), part.shard_of(b));
+    for _ in 0..count {
+        let (qa, _qb) = if sa == sb {
+            nets[sa].connect_immediate(na, nb, TENANT)
+        } else if sa < sb {
+            let (left, right) = nets.split_at_mut(sb);
+            RdmaNet::connect_pair_immediate(&mut left[sa], na, &mut right[0], nb, TENANT)
+        } else {
+            let (left, right) = nets.split_at_mut(sa);
+            RdmaNet::connect_pair_immediate(&mut right[0], na, &mut left[sb], nb, TENANT)
+        };
+        pool.adopt(nb, TENANT, qa);
+    }
+}
+
+/// The sharded Fig 16 / Fig 14 cluster simulation.
+pub struct ClusterShardedSim {
+    cfg: ClusterShardedConfig,
+}
+
+impl ClusterShardedSim {
+    /// Build a run. Panics unless `cfg.system` is a Palladium variant
+    /// (the sharded cluster models the paper's data plane only; the
+    /// baselines keep the serial three-node driver).
+    pub fn new(cfg: ClusterShardedConfig) -> Self {
+        let spec = cfg.system.spec();
+        assert_eq!(
+            spec.inter_node,
+            InterNode::TwoSidedRdma,
+            "sharded cluster is Palladium-only (two-sided RDMA inter-node path)"
+        );
+        assert_eq!(
+            spec.ingress,
+            IngressKind::Palladium,
+            "sharded cluster is Palladium-only (early-conversion ingress)"
+        );
+        assert!(cfg.clients >= 1, "need at least one client");
+        let _ = cfg.window(); // validate window × stride ≤ frame lookahead
+        ClusterShardedSim { cfg }
+    }
+
+    /// Total nodes: `2·pairs` workers plus the ingress.
+    pub fn nodes(&self) -> usize {
+        2 * self.cfg.pairs + 1
+    }
+
+    /// Run partitioned over `shards` shards in the given execution mode.
+    /// Reports are bit-identical across shard counts and execution modes
+    /// (see the module docs; `tests/cluster_sharded.rs` pins it).
+    pub fn run(&self, shards: usize, execution: Execution) -> ClusterShardedReport {
+        let cfg = &self.cfg;
+        let n_nodes = self.nodes();
+        let ingress_node = 2 * cfg.pairs;
+        assert!(shards >= 1 && shards <= n_nodes, "1..=nodes shards");
+        let part = Partition::new(n_nodes, shards);
+        let spec = cfg.system.spec();
+        let cost = CostModel::default();
+        let rdma_cfg = RdmaConfig::default();
+
+        // Per-shard fabric spans in sharded-egress mode. The per-instance
+        // RNG is only drawn by fault injection, which stays disabled —
+        // seeds cannot skew results across shard counts.
+        let mut nets: Vec<RdmaNet> = (0..shards)
+            .map(|s| {
+                let mut net = RdmaNet::with_span(rdma_cfg, part.range(s), cfg.seed ^ s as u64);
+                net.set_sharded_egress(true);
+                net
+            })
+            .collect();
+
+        // Pools + MR registration on the owning shard, global node order.
+        let mut pools = Vec::with_capacity(n_nodes);
+        for n in 0..n_nodes {
+            let pool = UnifiedPool::new(PoolId(n as u16), TENANT, POOL_BUFS, BUF_SIZE);
+            let mut exporter =
+                MmapExporter::new(PoolId(n as u16), TENANT, Region::hugepages(pool.backing_len()));
+            nets[part.shard_of(n)]
+                .register_mr(NodeId(n as u16), &exporter.export_rdma())
+                .expect("register pool MR");
+            pools.push(pool);
+        }
+
+        // Placement and routing over the remapped function ids.
+        let mut placement = IdTable::new();
+        let mut fn_exec = IdTable::new();
+        let mut coord = Coordinator::new();
+        for f in &cfg.app.functions {
+            placement.insert(f.id.raw() as usize, f.node);
+            fn_exec.insert(f.id.raw() as usize, f.exec);
+            coord.apply(DeployEvent::Created {
+                f: f.id,
+                tenant: TENANT,
+                node: NodeId(f.node as u16),
+            });
+        }
+        coord.apply(DeployEvent::Created {
+            f: INGRESS_FN,
+            tenant: TENANT,
+            node: NodeId(ingress_node as u16),
+        });
+
+        // DNEs per worker node, in global node order.
+        let mut dnes: Vec<Dne> = (0..2 * cfg.pairs)
+            .map(|n| {
+                let mut dne = Dne::new(
+                    NodeId(n as u16),
+                    spec.engine_loc,
+                    cost,
+                    spec.sched,
+                    ConnPool::new(NodeId(n as u16), ConnPoolConfig::default()),
+                );
+                dne.routes = coord.tables_for(NodeId(n as u16));
+                dne.register_tenant(TENANT, 1);
+                dne
+            })
+            .collect();
+        let mut ingress_conns = ConnPool::new(NodeId(ingress_node as u16), ConnPoolConfig::default());
+
+        // Warm RC connections in one canonical global order (see
+        // `warm_conns` on QPN invariance): per pair worker↔worker and
+        // worker→ingress, then ingress→workers — the serial cluster's
+        // sequence generalized over pairs.
+        let cpp = ConnPoolConfig::default().conns_per_peer;
+        for p in 0..cfg.pairs {
+            let (w0, w1) = (2 * p, 2 * p + 1);
+            warm_conns(&mut dnes[w0].pool, &mut nets, &part, w0, w1, cpp);
+            warm_conns(&mut dnes[w1].pool, &mut nets, &part, w1, w0, cpp);
+            warm_conns(&mut dnes[w0].pool, &mut nets, &part, w0, ingress_node, cpp);
+            warm_conns(&mut dnes[w1].pool, &mut nets, &part, w1, ingress_node, cpp);
+        }
+        for p in 0..cfg.pairs {
+            warm_conns(&mut ingress_conns, &mut nets, &part, ingress_node, 2 * p, cpp);
+            warm_conns(&mut ingress_conns, &mut nets, &part, ingress_node, 2 * p + 1, cpp);
+        }
+
+        // Assemble the shard engines: distribute the per-node state along
+        // the partition (shards and node blocks are both ascending, so
+        // draining in order preserves global node order).
+        let mut pool_it = pools.into_iter();
+        let mut dne_it = dnes.into_iter();
+        let mut ingress_state = Some(IngressState {
+            gw: IngressGateway::new(IngressConfig::new(spec.ingress).with_fixed_workers(8), cost),
+            rbr: crate::rbr::RbrTable::new(),
+            conns: ingress_conns,
+            tx: Slab::new(),
+            reqs: Vec::new(),
+            stats: RunStats::new(cfg.warmup),
+        });
+        let mut engines: Vec<ClusterShard> = Vec::with_capacity(shards);
+        for (s, net) in nets.into_iter().enumerate() {
+            let range = part.range(s);
+            let mut shard = ClusterShard {
+                lo: range.start,
+                shard_of: part.shard_lookup(),
+                ingress_node,
+                pairs: cfg.pairs,
+                chains: cfg.app.chains.clone(),
+                placement: {
+                    let mut t = IdTable::new();
+                    for f in &cfg.app.functions {
+                        t.insert(f.id.raw() as usize, f.node);
+                    }
+                    t
+                },
+                fn_exec: {
+                    let mut t = IdTable::new();
+                    for f in &cfg.app.functions {
+                        t.insert(f.id.raw() as usize, f.exec);
+                    }
+                    t
+                },
+                cost,
+                engine_loc: spec.engine_loc,
+                comch: ChannelCosts::for_kind(ChannelKind::ComchE),
+                skmsg: SkMsgCosts::default(),
+                pools: Vec::new(),
+                meters: Vec::new(),
+                fn_cores: Vec::new(),
+                dnes: Vec::new(),
+                inbound_tokens: Vec::new(),
+                net,
+                ingress: None,
+                rdma_step: Step::default(),
+                post_step: Step::default(),
+                cqe_scratch: Vec::new(),
+                dne_fx: Vec::new(),
+                payloads: PayloadCache::new(),
+            };
+            for n in range.clone() {
+                shard.pools.push(pool_it.next().expect("pool per node"));
+                shard.meters.push(CopyMeter::new());
+                shard.inbound_tokens.push(IdTable::new());
+                if n == ingress_node {
+                    shard.fn_cores.push(None);
+                    shard.dnes.push(None);
+                    shard.ingress = ingress_state.take();
+                } else {
+                    shard.fn_cores.push(Some(ServerBank::new(&format!("w{n}-host"), 38)));
+                    shard.dnes.push(Some(dne_it.next().expect("dne per worker")));
+                }
+            }
+            // Prime receive queues (node-local work, shard-count-invariant).
+            for n in range {
+                if n == ingress_node {
+                    shard.replenish_ingress(INITIAL_RQ);
+                } else {
+                    shard.replenish(n, INITIAL_RQ);
+                }
+            }
+            engines.push(shard);
+        }
+
+        let scfg = ShardConfig::new(shards, cfg.window())
+            .stride(cfg.stride)
+            .execution(execution);
+        let deadline = cfg.warmup + cfg.duration;
+        let clients = cfg.clients;
+        let ingress_shard = part.shard_of(ingress_node);
+        let run = run_sharded(
+            &scfg,
+            engines,
+            |s, h| {
+                if s == ingress_shard {
+                    for client in 0..clients {
+                        h.schedule_at(Nanos::ZERO, Ev::Issue { client });
+                    }
+                }
+            },
+            deadline,
+        );
+
+        // Fold the report in global node order (identical floats at every
+        // shard count).
+        let mut engines = run.engines;
+        let mut worker_meter = CopyMeter::new();
+        let mut cpu_pct = 0.0;
+        let mut dpu_pct = 0.0;
+        let horizon = deadline;
+        for n in 0..n_nodes {
+            if n == ingress_node {
+                continue;
+            }
+            let e = &engines[part.shard_of(n)];
+            let li = n - e.lo;
+            worker_meter.merge(&e.meters[li]);
+            let dne = e.dnes[li].as_ref().expect("worker dne");
+            if spec.engine_loc == EngineLocation::Dpu {
+                // Busy-polling DNE worker cores: 100% each (§4.3.1), plus
+                // the core thread's useful time.
+                dpu_pct += 100.0;
+                dpu_pct += 100.0 * dne.core_thread.utilization(horizon);
+            } else {
+                cpu_pct += 100.0 * dne.worker_core.utilization(horizon);
+                cpu_pct += 100.0 * dne.core_thread.utilization(horizon);
+            }
+        }
+        let mut ing = engines[ingress_shard].ingress.take().expect("ingress state");
+        let mean_latency = ing.stats.latency().mean();
+        let load: LoadReport = ing.stats.report(cfg.duration);
+        let chain = ChainReport {
+            rps: load.rps,
+            mean_latency,
+            software_copy_bytes: worker_meter.sw_bytes,
+            software_copy_ops: worker_meter.sw_ops,
+            rnic_dma_bytes: worker_meter.rnic_dma_bytes,
+            cpu_util_pct: cpu_pct,
+            dpu_util_pct: dpu_pct,
+            load,
+        };
+        ClusterShardedReport {
+            chain,
+            events: run.events,
+            messages: run.messages,
+            spilled: run.spilled,
+            windows: run.windows,
+            busy_ns: run.busy_ns,
+            critical_path_ns: run.critical_path_ns,
+            channels: run.channels,
+        }
+    }
+}

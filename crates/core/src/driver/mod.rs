@@ -17,6 +17,10 @@
 //! * [`multinode`] — the cluster traffic pattern scaled to N nodes on the
 //!   conservative sharded runner (`palladium_simnet::shard`): one
 //!   simulation kernel per core, deterministic cross-shard mailboxes.
+//! * [`cluster_sharded`] — the full Fig 16 data plane (pools, RC state
+//!   machines, DNEs, ingress gateway) replicated over worker-node pairs
+//!   and partitioned across shards with one `RdmaNet` instance each;
+//!   reports are bit-identical at every shard count.
 //!
 //! The cross-node echo driver for Figs 11–12 (on-path/off-path, RDMA
 //! primitive selection) lives in `palladium-baselines` next to the
@@ -25,6 +29,7 @@
 pub mod chain;
 pub mod channel;
 pub mod cluster;
+pub mod cluster_sharded;
 pub mod fairness;
 pub mod ingress_sweep;
 pub mod multinode;

@@ -102,6 +102,23 @@ impl RdmaConfig {
     pub fn lookahead(&self) -> Nanos {
         self.doorbell + self.tx_pipeline + self.propagation + self.rx_pipeline
     }
+
+    /// The *frame-level* conservative lookahead: the minimum delay between
+    /// a frame entering the fabric on one node ([`RdmaNet::transmit`]) and
+    /// its arrival at any other node. Tighter than [`RdmaConfig::lookahead`]
+    /// because control frames (ACK/NAK) bypass the doorbell and TX/RX
+    /// pipelines: their egress service floor is the 150 ns control cost
+    /// plus ACK-frame serialization, followed by propagation. A sharded
+    /// run that ships raw fabric frames between shards (the sharded
+    /// cluster driver) must size its windows to *this* bound, not the
+    /// WR-level one (pinned by `frame_lookahead_lower_bounds_transmit`).
+    ///
+    /// [`RdmaNet::transmit`]: crate::net::RdmaNet
+    pub fn frame_lookahead(&self) -> Nanos {
+        Nanos::from_nanos(150)
+            + palladium_simnet::wire_time(self.ack_bytes, self.link_gbps)
+            + self.propagation
+    }
 }
 
 #[cfg(test)]
@@ -143,6 +160,24 @@ mod tests {
                 c.one_way(bytes)
             );
         }
+    }
+
+    #[test]
+    fn frame_lookahead_lower_bounds_transmit() {
+        // `RdmaNet::transmit` charges, per frame, at least:
+        //   control: 150 ns + wire(ack_bytes)            + propagation
+        //   data:    tx_pipeline + wire(header_bytes+)   + propagation
+        // The frame lookahead is the control floor and must lower-bound
+        // both (data frames: tx_pipeline(800) alone exceeds the ~652 ns
+        // control floor at the default calibration).
+        let c = RdmaConfig::default();
+        let wire = |b| palladium_simnet::wire_time(b, c.link_gbps);
+        let control_floor = Nanos::from_nanos(150) + wire(c.ack_bytes) + c.propagation;
+        let data_floor = c.tx_pipeline + wire(c.header_bytes) + c.propagation;
+        assert_eq!(c.frame_lookahead(), control_floor);
+        assert!(c.frame_lookahead() <= data_floor, "data frames are never faster");
+        assert!(c.frame_lookahead() <= c.lookahead(), "frame bound is the tighter one");
+        assert!(!c.frame_lookahead().is_zero(), "zero lookahead forbids sharding");
     }
 
     #[test]

@@ -155,6 +155,14 @@ pub struct Step {
     pub events: Vec<Timed<RdmaEvent>>,
     /// Externally visible effects.
     pub outputs: Vec<RdmaOutput>,
+    /// Frames leaving this fabric instance, populated only in sharded
+    /// egress mode ([`RdmaNet::set_sharded_egress`]): each entry is a
+    /// fully timed in-flight frame (`after` = egress service +
+    /// propagation) that the driver must route to the destination node's
+    /// fabric — across shards via the mailbox, or locally by lifting it
+    /// back into [`RdmaEvent::Arrive`]. Every delay is ≥
+    /// [`RdmaConfig::frame_lookahead`].
+    pub egress: Vec<Timed<Packet>>,
 }
 
 impl Step {
@@ -166,14 +174,16 @@ impl Step {
     pub fn merge(&mut self, other: Step) {
         self.events.extend(other.events);
         self.outputs.extend(other.outputs);
+        self.egress.extend(other.egress);
     }
 
-    /// Empty both lists, keeping their capacity — drivers reuse one `Step`
+    /// Empty the lists, keeping their capacity — drivers reuse one `Step`
     /// across [`RdmaNet::handle_into`] calls so steady-state stepping
     /// allocates nothing.
     pub fn clear(&mut self) {
         self.events.clear();
         self.outputs.clear();
+        self.egress.clear();
     }
 }
 
@@ -187,9 +197,26 @@ struct ReadCtx {
 }
 
 /// The simulated multi-node RDMA fabric.
+///
+/// Usually one instance spans every node (`new`). A sharded driver
+/// instead builds one instance per shard over that shard's node block
+/// (`with_span`) with sharded egress mode on: frames then leave through
+/// [`Step::egress`] instead of being scheduled as local [`RdmaEvent::Arrive`]
+/// events, and the driver routes them — through the deterministic
+/// mailboxes for remote shards, or straight back into the local instance.
+/// All QP/CQ/RTO machinery is per-node already, so a span instance is a
+/// full fabric for its nodes; the *only* cross-instance coupling is the
+/// frame stream.
 pub struct RdmaNet {
     cfg: RdmaConfig,
+    /// First global node id this instance owns (`rnics[i]` serves node
+    /// `base + i`). 0 for a whole-fabric instance.
+    base: usize,
     rnics: Vec<Rnic>,
+    /// Sharded egress mode: `transmit` emits *every* inter-node frame via
+    /// [`Step::egress`] (same-span destinations included — routing all
+    /// frames uniformly is what makes sharded runs shard-count-invariant).
+    sharded_egress: bool,
     fault: FaultPlan,
     rng: SimRng,
     /// Fabric-wide protocol counters: `drop`, `corrupt`, `crc_drop`,
@@ -209,9 +236,18 @@ pub struct RdmaNet {
 impl RdmaNet {
     /// A fabric of `n_nodes` RNICs with the given config and RNG seed.
     pub fn new(cfg: RdmaConfig, n_nodes: usize, seed: u64) -> Self {
+        Self::with_span(cfg, 0..n_nodes, seed)
+    }
+
+    /// A fabric instance owning only the nodes in `span` (a shard's node
+    /// block). Node ids stay *global*: `rnic(NodeId(n))` expects
+    /// `span.start <= n < span.end`. `new` is `with_span(cfg, 0..n, seed)`.
+    pub fn with_span(cfg: RdmaConfig, span: std::ops::Range<usize>, seed: u64) -> Self {
         RdmaNet {
             cfg,
-            rnics: (0..n_nodes).map(|i| Rnic::new(NodeId(i as u16))).collect(),
+            base: span.start,
+            rnics: span.map(|i| Rnic::new(NodeId(i as u16))).collect(),
+            sharded_egress: false,
             fault: FaultPlan::NONE,
             rng: SimRng::seed_from(seed),
             counters: Counters::new(),
@@ -219,6 +255,13 @@ impl RdmaNet {
             ack_scratch: Vec::new(),
             frame_scratch: Vec::new(),
         }
+    }
+
+    /// Toggle sharded egress mode (see [`Step::egress`]). Off, frames are
+    /// self-scheduled as [`RdmaEvent::Arrive`]; on, the driver owns frame
+    /// routing for *all* destinations.
+    pub fn set_sharded_egress(&mut self, on: bool) {
+        self.sharded_egress = on;
     }
 
     /// Install a fault plan on the fabric.
@@ -231,14 +274,15 @@ impl RdmaNet {
         &self.cfg
     }
 
-    /// Borrow a node's RNIC.
+    /// Borrow a node's RNIC (`node` is global; it must lie in this
+    /// instance's span).
     pub fn rnic(&self, node: NodeId) -> &Rnic {
-        &self.rnics[node.raw() as usize]
+        &self.rnics[node.raw() as usize - self.base]
     }
 
     /// Mutably borrow a node's RNIC.
     pub fn rnic_mut(&mut self, node: NodeId) -> &mut Rnic {
-        &mut self.rnics[node.raw() as usize]
+        &mut self.rnics[node.raw() as usize - self.base]
     }
 
     /// Register a memory region on `node` from a DOCA mmap export.
@@ -269,6 +313,28 @@ impl RdmaNet {
         let qa = self.rnic_mut(a).create_qp(tenant, b, Qpn(0));
         let qb = self.rnic_mut(b).create_qp(tenant, a, qa);
         self.rnic_mut(a).set_peer(qa, qb);
+        (qa, qb)
+    }
+
+    /// [`RdmaNet::connect_immediate`] for endpoints living in two
+    /// *different* per-shard fabric instances (sharded cluster wiring):
+    /// identical create/peer/ready sequence, so the per-RNIC QPN
+    /// allocation — and with it every report byte — matches what a single
+    /// whole-fabric instance would have produced, as long as the caller
+    /// wires connections in one canonical global order at every shard
+    /// count.
+    pub fn connect_pair_immediate(
+        net_a: &mut RdmaNet,
+        a: NodeId,
+        net_b: &mut RdmaNet,
+        b: NodeId,
+        tenant: TenantId,
+    ) -> (Qpn, Qpn) {
+        let qa = net_a.rnic_mut(a).create_qp(tenant, b, Qpn(0));
+        let qb = net_b.rnic_mut(b).create_qp(tenant, a, qa);
+        net_a.rnic_mut(a).set_peer(qa, qb);
+        net_a.rnic_mut(a).qp_mut(qa).expect("fresh qp").set_ready();
+        net_b.rnic_mut(b).qp_mut(qb).expect("fresh qp").set_ready();
         (qa, qb)
     }
 
@@ -366,7 +432,20 @@ impl RdmaNet {
         let done = egress.submit(now, service);
         egress.complete();
         let prop = self.cfg.propagation;
-        step.push_event(done - now + prop, RdmaEvent::Arrive { pkt });
+        let after = done - now + prop;
+        debug_assert!(
+            after >= self.cfg.frame_lookahead(),
+            "frame delay {after} under the frame lookahead {}",
+            self.cfg.frame_lookahead()
+        );
+        if self.sharded_egress {
+            // The driver routes the frame (mailbox or local re-injection);
+            // handing over same-span frames too keeps the event schedule
+            // identical at every shard count.
+            step.egress.push(Timed::new(after, pkt));
+        } else {
+            step.push_event(after, RdmaEvent::Arrive { pkt });
+        }
     }
 
     /// Emit a control frame from `from` back to `to`.
@@ -1270,6 +1349,90 @@ mod tests {
             .collect();
         assert_eq!(recvs, vec![1, 2], "tail loss must be recovered by RTO");
         assert!(net.counters.get("rto") >= 1, "recovery must come from the RTO path");
+    }
+
+    #[test]
+    fn sharded_egress_reproduces_the_serial_timeline() {
+        // Reference: whole-fabric instance, one 64 B SEND, record when the
+        // receiver's CQ goes ready.
+        let (mut net, qa, _) = two_node_net();
+        post_rq(&mut net, NodeId(1), 1);
+        let mut sim = Sim::new();
+        let wr = WorkRequest::send(WrId(1), Bytes::from(vec![5u8; 64]), 77);
+        let step = net.post_send(sim.now(), NodeId(0), qa, wr).unwrap();
+        let mut serial_at = None;
+        for t in step.events {
+            sim.schedule(t.after, t.value);
+        }
+        while let Some((now, ev)) = sim.next() {
+            let s = net.handle(now, ev);
+            for t in s.events {
+                sim.schedule(t.after, t.value);
+            }
+            assert!(s.egress.is_empty(), "egress list stays empty off-mode");
+            if s.outputs.iter().any(|o| matches!(o, RdmaOutput::CqReady { node } if *node == NodeId(1))) {
+                serial_at.get_or_insert(now);
+            }
+        }
+        let serial_at = serial_at.expect("delivered");
+
+        // Split fabric: one single-node span instance per node, sharded
+        // egress on, frames routed by the test. Same wiring order ⇒ same
+        // QPNs; same config + fault-free ⇒ the identical timeline.
+        let cfg = RdmaConfig::default();
+        let mut nets = [
+            RdmaNet::with_span(cfg, 0..1, 42),
+            RdmaNet::with_span(cfg, 1..2, 43),
+        ];
+        for (i, net) in nets.iter_mut().enumerate() {
+            net.set_sharded_egress(true);
+            let mut e =
+                MmapExporter::new(PoolId(i as u16), TenantId(1), Region::hugepages(4 << 20));
+            net.register_mr(NodeId(i as u16), &e.export_rdma()).unwrap();
+        }
+        let (a_half, b_half) = nets.split_at_mut(1);
+        let (sqa, _sqb) = RdmaNet::connect_pair_immediate(
+            &mut a_half[0],
+            NodeId(0),
+            &mut b_half[0],
+            NodeId(1),
+            TenantId(1),
+        );
+        assert_eq!(sqa, qa, "split wiring must reproduce the QPN sequence");
+        nets[1]
+            .post_recv(
+                NodeId(1),
+                TenantId(1),
+                RqEntry { wr_id: WrId(1000), pool: PoolId(1), capacity: 8192 },
+            )
+            .unwrap();
+        let mut sim: Sim<(usize, RdmaEvent)> = Sim::new();
+        let wr = WorkRequest::send(WrId(1), Bytes::from(vec![5u8; 64]), 77);
+        let step = nets[0].post_send(sim.now(), NodeId(0), sqa, wr).unwrap();
+        for t in step.events {
+            sim.schedule(t.after, (0, t.value));
+        }
+        let mut split_at = None;
+        while let Some((now, (owner, ev))) = sim.next() {
+            let s = nets[owner].handle(now, ev);
+            for t in s.events {
+                sim.schedule(t.after, (owner, t.value));
+            }
+            for t in s.egress {
+                // The driver owns routing: every frame, local or not,
+                // arrives at the destination node's instance.
+                assert!(t.after >= cfg.frame_lookahead(), "frame under lookahead");
+                let dst = t.value.dst.raw() as usize;
+                sim.schedule(t.after, (dst, RdmaEvent::Arrive { pkt: t.value }));
+            }
+            if s.outputs.iter().any(|o| matches!(o, RdmaOutput::CqReady { node } if *node == NodeId(1))) {
+                split_at.get_or_insert(now);
+            }
+        }
+        assert_eq!(split_at, Some(serial_at), "split fabric changed the timeline");
+        let cqes = nets[1].poll_cq(NodeId(1), 4);
+        assert_eq!(cqes.len(), 1);
+        assert_eq!(cqes[0].imm, 77);
     }
 
     #[test]

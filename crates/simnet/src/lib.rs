@@ -42,7 +42,8 @@ pub use queue::{
     QueueKind, ADAPTIVE_THRESHOLD,
 };
 pub use shard::{
-    run_sharded, Envelope, Execution, Outbox, Partition, ShardConfig, ShardEngine, ShardRun,
+    run_sharded, ChannelStats, Envelope, Execution, Outbox, Partition, ShardConfig, ShardEngine,
+    ShardRun,
 };
 pub use table::{IdTable, PageTable, Slab};
 pub use rate::TokenBucket;

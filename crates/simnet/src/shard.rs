@@ -42,6 +42,35 @@
 //! *count*: the same workload at 1, 2 and 4 shards produces byte-identical
 //! reports (`tests/prop_shard.rs` pins this).
 //!
+//! # Multi-window striding
+//!
+//! When the *typical* cross-shard delay exceeds the lookahead `L` (e.g.
+//! a full RDMA hop is ~3.5 µs against a 3.1 µs lookahead), many barriers
+//! deliver nothing: the barrier frequency is set by the worst-case bound,
+//! not the common case. [`ShardConfig::stride`] batches `k` consecutive
+//! windows per barrier. Because nothing happens at an undrained window
+//! boundary — merges are the only barrier-side effect — running `k`
+//! windows back-to-back is *identical* to running one `k·L`-wide window,
+//! so the runner implements striding as an effective window width of
+//! `window × stride` and [`Outbox::send`] keeps asserting the contract
+//! against the widened window. Safety therefore requires
+//! `window × stride ≤` the true minimum cross-shard delay: the caller
+//! picks `window` = lookahead and `stride = ⌊min_delay / L⌋`. The payoff
+//! is directly visible as a smaller [`ShardRun::windows`] (barriers per
+//! simulated second).
+//!
+//! # Mailbox auto-sizing
+//!
+//! Mailboxes start at [`ShardConfig::mailbox_capacity`] and grow: when a
+//! window bursts past the ring into the (counted, mutex-guarded) overflow
+//! vector, the consumer — during the quiesced drain phase, when the ring
+//! is empty and no producer can race — swaps in a ring sized to twice
+//! that window's delivery high-water mark. Steady state therefore never
+//! touches the overflow mutex: only the first window of a new burst
+//! regime spills, and per-channel spill counts plus window high-water
+//! marks are reported in [`ShardRun::channels`] so the policy is
+//! observable.
+//!
 //! # Execution modes
 //!
 //! [`Execution::Threads`] runs one OS thread per shard with two
@@ -90,13 +119,21 @@ pub struct Envelope<M> {
 #[repr(align(64))]
 struct Pad<T>(T);
 
-/// The shared state of one fixed-capacity SPSC mailbox. The ring holds
-/// `cap` slots; when a window bursts past it the producer spills to the
-/// mutex-guarded overflow vector (counted, never dropped) — the barrier
-/// merge sorts everything anyway, so the spill is a throughput detail,
-/// not a correctness event.
+/// The shared state of one auto-sizing SPSC mailbox. The ring starts at
+/// the configured capacity; when a window bursts past it the producer
+/// spills to the mutex-guarded overflow vector (counted, never dropped) —
+/// the barrier merge sorts everything anyway, so the spill is a
+/// throughput detail, not a correctness event. The consumer reacts to a
+/// spill by swapping in a larger ring during the quiesced drain phase
+/// (see [`Consumer::drain_into`]), so a sustained burst regime spills at
+/// most once.
 struct Channel<M> {
-    buf: Box<[UnsafeCell<MaybeUninit<Envelope<M>>>]>,
+    /// The ring storage. Behind an `UnsafeCell` because the *consumer*
+    /// replaces it when auto-sizing; the swap only happens while the ring
+    /// is empty and producers are quiesced at the window barrier, whose
+    /// AcqRel arrival chain + Release/Acquire generation hand-off
+    /// publishes the new buffer to the producer before its next push.
+    buf: UnsafeCell<Box<[RingSlot<M>]>>,
     /// Consumer cursor (next slot to pop).
     head: Pad<AtomicUsize>,
     /// Producer cursor (next slot to fill).
@@ -109,22 +146,36 @@ struct Channel<M> {
 // the producer only writes slots in `[tail, head + cap)` and publishes
 // them with a release store of `tail`; the consumer only reads slots in
 // `[head, tail)` after an acquire load of `tail`. `Producer`/`Consumer`
-// are constructed exactly once per channel, which enforces the SPSC roles.
+// are constructed exactly once per channel, which enforces the SPSC
+// roles. The buffer swap (consumer-only) is confined to the barrier
+// phase where the producer provably does not touch the channel.
 unsafe impl<M: Send> Send for Channel<M> {}
 unsafe impl<M: Send> Sync for Channel<M> {}
+
+/// One ring slot: interior-mutable so the producer can fill it through a
+/// shared reference, uninitialized until the producer's release-store of
+/// `tail` covers it.
+type RingSlot<M> = UnsafeCell<MaybeUninit<Envelope<M>>>;
+
+fn ring_buf<M>(cap: usize) -> Box<[RingSlot<M>]> {
+    (0..cap).map(|_| UnsafeCell::new(MaybeUninit::uninit())).collect()
+}
 
 impl<M> Channel<M> {
     /// Build one mailbox, returning its two halves.
     fn pair(cap: usize) -> (Producer<M>, Consumer<M>) {
         assert!(cap > 0, "mailbox capacity must be positive");
         let ch = Arc::new(Channel {
-            buf: (0..cap).map(|_| UnsafeCell::new(MaybeUninit::uninit())).collect(),
+            buf: UnsafeCell::new(ring_buf(cap)),
             head: Pad(AtomicUsize::new(0)),
             tail: Pad(AtomicUsize::new(0)),
             overflow: Mutex::new(Vec::new()),
             spilled: AtomicU64::new(0),
         });
-        (Producer(Arc::clone(&ch)), Consumer(ch))
+        (
+            Producer(Arc::clone(&ch)),
+            Consumer { ch, seen_spilled: 0, high_water: 0 },
+        )
     }
 }
 
@@ -132,11 +183,12 @@ impl<M> Drop for Channel<M> {
     fn drop(&mut self) {
         // Drop any envelopes still parked in the ring (messages sent in
         // the final window, arriving past the deadline).
+        let buf = self.buf.get_mut();
         let tail = *self.tail.0.get_mut();
         let mut head = *self.head.0.get_mut();
         while head != tail {
             // SAFETY: slots in [head, tail) were written and not yet read.
-            unsafe { (*self.buf[head % self.buf.len()].get()).assume_init_drop() };
+            unsafe { (*buf[head % buf.len()].get()).assume_init_drop() };
             head = head.wrapping_add(1);
         }
     }
@@ -147,50 +199,96 @@ impl<M> Drop for Channel<M> {
 struct Producer<M>(Arc<Channel<M>>);
 
 /// Consuming half of one SPSC mailbox (held by the destination shard).
-struct Consumer<M>(Arc<Channel<M>>);
+struct Consumer<M> {
+    ch: Arc<Channel<M>>,
+    /// Cumulative spill count at the last drain — a drain only touches
+    /// the overflow mutex when the counter moved *since then*, so one
+    /// historic spill does not tax every subsequent window.
+    seen_spilled: u64,
+    /// Largest single-window delivery this channel has seen (the
+    /// auto-sizing signal, reported per channel in [`ShardRun`]).
+    high_water: u64,
+}
 
 impl<M> Producer<M> {
     fn push(&mut self, env: Envelope<M>) {
         let ch = &*self.0;
+        // SAFETY: the consumer only replaces the buffer while this
+        // producer is quiesced at the window barrier (which also
+        // publishes the swap); between barriers the pointer is stable.
+        let buf = unsafe { &*ch.buf.get() };
         let tail = ch.tail.0.load(Ordering::Relaxed);
         let head = ch.head.0.load(Ordering::Acquire);
-        if tail.wrapping_sub(head) == ch.buf.len() {
+        if tail.wrapping_sub(head) == buf.len() {
             ch.spilled.fetch_add(1, Ordering::Relaxed);
             ch.overflow.lock().expect("mailbox overflow lock").push(env);
             return;
         }
         // SAFETY: SPSC — this thread is the only producer, and the slot at
         // `tail` is outside the consumer's visible `[head, tail)` range.
-        unsafe { (*ch.buf[tail % ch.buf.len()].get()).write(env) };
+        unsafe { (*buf[tail % buf.len()].get()).write(env) };
         ch.tail.0.store(tail.wrapping_add(1), Ordering::Release);
     }
 }
 
 impl<M> Consumer<M> {
     /// Pop everything currently visible into `out` (ring first, then any
-    /// overflow spill). Transport order is irrelevant — the caller sorts.
+    /// overflow spill), then auto-size: if this window spilled, swap in a
+    /// ring holding twice the window's total delivery, so the next window
+    /// of the same burst regime stays on the lock-free path. Transport
+    /// order is irrelevant — the caller sorts.
+    ///
+    /// Only called from the barrier's drain phase: the producer is
+    /// provably quiescent, which is what makes both the relaxed spill
+    /// check and the buffer swap race-free.
     fn drain_into(&mut self, out: &mut Vec<Envelope<M>>) {
-        let ch = &*self.0;
+        let before = out.len();
+        let ch = &*self.ch;
+        // SAFETY: only this consumer ever replaces the buffer, and the
+        // producer is quiesced for the duration of the drain phase.
+        let buf = unsafe { &*ch.buf.get() };
         let tail = ch.tail.0.load(Ordering::Acquire);
         let mut head = ch.head.0.load(Ordering::Relaxed);
         while head != tail {
             // SAFETY: SPSC — slots in `[head, tail)` are initialized and
             // owned by the consumer until `head` advances past them.
-            out.push(unsafe { (*ch.buf[head % ch.buf.len()].get()).assume_init_read() });
+            out.push(unsafe { (*buf[head % buf.len()].get()).assume_init_read() });
             head = head.wrapping_add(1);
         }
         ch.head.0.store(head, Ordering::Release);
-        // The overflow mutex is only worth touching once a spill has ever
-        // happened (the barrier protocol makes the relaxed load race-free:
-        // producers are quiesced during drains).
-        if ch.spilled.load(Ordering::Relaxed) > 0 {
-            let mut of = ch.overflow.lock().expect("mailbox overflow lock");
-            out.append(&mut of);
+        let spilled = ch.spilled.load(Ordering::Relaxed);
+        if spilled != self.seen_spilled {
+            self.seen_spilled = spilled;
+            {
+                let mut of = ch.overflow.lock().expect("mailbox overflow lock");
+                out.append(&mut of);
+            }
+            // Auto-size. The ring is empty (fully drained above, producer
+            // quiesced), so replacing the storage cannot lose entries or
+            // remap live slots; `head == tail` makes the `% len` change
+            // harmless.
+            let drained = out.len() - before;
+            let new_cap = (drained * 2).next_power_of_two();
+            if new_cap > buf.len() {
+                // SAFETY: consumer-exclusive swap of an empty ring during
+                // the quiesced phase (see above); the barrier publishes
+                // it to the producer.
+                unsafe { *ch.buf.get() = ring_buf(new_cap) };
+            }
         }
+        self.high_water = self.high_water.max((out.len() - before) as u64);
     }
 
     fn spilled(&self) -> u64 {
-        self.0.spilled.load(Ordering::Relaxed)
+        self.ch.spilled.load(Ordering::Relaxed)
+    }
+
+    /// Current ring capacity. Only meaningful once the run has quiesced
+    /// (fold phase) — which is the only caller.
+    fn capacity(&self) -> usize {
+        // SAFETY: called after the run, when no producer is live and this
+        // consumer performs no concurrent swap.
+        unsafe { (&*self.ch.buf.get()).len() }
     }
 }
 
@@ -428,8 +526,14 @@ pub struct ShardConfig {
     pub shards: usize,
     /// Window width — at most the workload's cross-shard lookahead.
     pub window: Nanos,
-    /// SPSC ring capacity per shard pair; bursts past it spill to the
-    /// (counted) overflow vector.
+    /// Windows batched per barrier (see the module docs on striding).
+    /// The effective barrier spacing is `window × stride`, which must
+    /// still bound the minimum cross-shard delay from below; `Outbox`
+    /// asserts the contract against the widened window. Default 1.
+    pub stride: u64,
+    /// Initial SPSC ring capacity per shard pair; a burst past it spills
+    /// to the (counted) overflow vector and grows the ring (see the
+    /// module docs on auto-sizing).
     pub mailbox_capacity: usize,
     /// Execution mode.
     pub execution: Execution,
@@ -443,6 +547,7 @@ impl ShardConfig {
         ShardConfig {
             shards,
             window,
+            stride: 1,
             mailbox_capacity: 4096,
             execution: Execution::Threads,
         }
@@ -453,6 +558,34 @@ impl ShardConfig {
         self.execution = execution;
         self
     }
+
+    /// Batch `stride` windows per barrier. Sound only while
+    /// `window × stride` still lower-bounds every cross-shard delay —
+    /// the caller owns that proof; the per-send debug assertion enforces
+    /// it at run time.
+    pub fn stride(mut self, stride: u64) -> Self {
+        assert!(stride >= 1, "stride must be at least one window");
+        self.stride = stride;
+        self
+    }
+}
+
+/// Per-`(src shard → dst shard)` mailbox statistics, reported so the
+/// auto-sizing policy is observable and spill regressions are
+/// attributable to a channel rather than an aggregate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChannelStats {
+    /// Source shard of this channel.
+    pub src_shard: usize,
+    /// Destination shard of this channel.
+    pub dst_shard: usize,
+    /// Envelopes that overflowed the ring into the spill vector (over the
+    /// whole run; steady state after auto-sizing adds zero).
+    pub spilled: u64,
+    /// Largest single-window delivery (ring + overflow).
+    pub high_water: u64,
+    /// Final ring capacity after auto-sizing.
+    pub capacity: usize,
 }
 
 /// The outcome of a sharded run: the engines (for report merging) plus
@@ -467,7 +600,11 @@ pub struct ShardRun<E> {
     pub messages: u64,
     /// Messages that overflowed an SPSC ring into the spill vector.
     pub spilled: u64,
-    /// Window barriers executed.
+    /// Per-channel mailbox statistics (spills, window high-water marks,
+    /// final auto-sized capacities), in `(dst shard, src shard)` order.
+    pub channels: Vec<ChannelStats>,
+    /// Window barriers executed (with striding, one barrier covers
+    /// `stride` lookahead windows — this counts barriers).
     pub windows: u64,
     /// Per-shard busy wall time, nanoseconds (merge + run phases; barrier
     /// waits excluded).
@@ -564,8 +701,16 @@ pub fn run_sharded<E: ShardEngine>(
 ) -> ShardRun<E> {
     assert_eq!(engines.len(), cfg.shards, "one engine per shard");
     assert!(!cfg.window.is_zero(), "lookahead window must be positive");
+    assert!(cfg.stride >= 1, "stride must be at least one window");
     let n = cfg.shards;
-    let w = cfg.window.as_nanos();
+    // Striding = a wider effective window: nothing but the drain happens
+    // at a barrier, so batching `stride` windows per barrier is exactly
+    // running `window × stride`-wide windows (see the module docs).
+    let w = cfg
+        .window
+        .as_nanos()
+        .checked_mul(cfg.stride)
+        .expect("window × stride overflows");
     let n_windows = deadline.as_nanos() / w + 1;
 
     // Mailboxes: producers[src][dst] / consumers filed per destination.
@@ -658,6 +803,18 @@ pub fn run_sharded<E: ShardEngine>(
         .flat_map(|c| c.inbox.iter())
         .map(Consumer::spilled)
         .sum();
+    let channels = ctxs
+        .iter()
+        .flat_map(|c| {
+            c.inbox.iter().enumerate().map(|(src, consumer)| ChannelStats {
+                src_shard: src,
+                dst_shard: c.idx,
+                spilled: consumer.spilled(),
+                high_water: consumer.high_water,
+                capacity: consumer.capacity(),
+            })
+        })
+        .collect();
     let critical_path_ns = (0..n_windows as usize)
         .map(|k| ctxs.iter().map(|c| c.busy[k]).max().unwrap_or(0))
         .sum();
@@ -666,6 +823,7 @@ pub fn run_sharded<E: ShardEngine>(
         events: 0,
         messages: 0,
         spilled,
+        channels,
         windows: n_windows,
         busy_ns: Vec::with_capacity(n),
         critical_path_ns,
@@ -720,6 +878,30 @@ mod tests {
         out.clear();
         c.drain_into(&mut out);
         assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn mailbox_auto_sizes_after_a_spill() {
+        let (mut p, mut c) = Channel::<u64>::pair(4);
+        for i in 0..20u64 {
+            p.push(Envelope { at: Nanos(i), src: 0, seq: i, msg: i });
+        }
+        let mut out = Vec::new();
+        c.drain_into(&mut out);
+        assert_eq!(out.len(), 20);
+        assert_eq!(c.spilled(), 16);
+        assert_eq!(c.high_water, 20);
+        // Grown to twice the window's delivery, rounded up to a power of
+        // two: (20 * 2) → 64.
+        assert_eq!(c.capacity(), 64);
+        // The same burst regime now stays on the lock-free ring.
+        for i in 0..20u64 {
+            p.push(Envelope { at: Nanos(i), src: 0, seq: i, msg: i });
+        }
+        out.clear();
+        c.drain_into(&mut out);
+        assert_eq!(out.len(), 20);
+        assert_eq!(c.spilled(), 16, "no new spills after auto-sizing");
     }
 
     #[test]
@@ -815,6 +997,70 @@ mod tests {
                 "{n} shards"
             );
         }
+    }
+
+    #[test]
+    fn striding_halves_barriers_without_changing_results() {
+        // Forward delay 2 windows: both stride 1 and stride 2 honor the
+        // lookahead contract, and the results must be identical — a
+        // strided run IS a run at the effective window width.
+        let window = Nanos(1_000);
+        let delay = Nanos(2_000);
+        let engines = |n: u32| -> Vec<Ring> {
+            (0..n).map(|node| Ring { node, n, window: delay, log: Vec::new() }).collect()
+        };
+        let init = |s: usize, h: &mut Harness<Token>| {
+            if s == 0 {
+                h.schedule_at(Nanos(0), Token(0));
+            }
+        };
+        let deadline = Nanos(100_000);
+        let base = ShardConfig::new(3, window).execution(Execution::Sequential);
+        let plain = run_sharded(&base, engines(3), init, deadline);
+        let strided = run_sharded(&base.stride(2), engines(3), init, deadline);
+        let logs = |r: &ShardRun<Ring>| -> Vec<Vec<(u64, u64)>> {
+            r.engines.iter().map(|e| e.log.clone()).collect()
+        };
+        assert_eq!(logs(&plain), logs(&strided), "striding changed results");
+        assert_eq!(plain.windows, 101);
+        assert_eq!(strided.windows, 51, "stride 2 halves the barrier count");
+        // Identical to natively running at the doubled window width.
+        let wide = run_sharded(
+            &ShardConfig::new(3, Nanos(2_000)).execution(Execution::Sequential),
+            engines(3),
+            init,
+            deadline,
+        );
+        assert_eq!(logs(&wide), logs(&strided));
+        assert_eq!(wide.windows, strided.windows);
+    }
+
+    #[test]
+    fn per_channel_stats_attribute_traffic() {
+        // The 3-shard ring forwards node s → s+1 only: every (s, s+1)
+        // channel sees traffic, every other channel stays silent.
+        let window = Nanos(1_000);
+        let engines: Vec<Ring> =
+            (0..3).map(|node| Ring { node, n: 3, window, log: Vec::new() }).collect();
+        let run = run_sharded(
+            &ShardConfig::new(3, window).execution(Execution::Sequential),
+            engines,
+            |s, h| {
+                if s == 0 {
+                    h.schedule_at(Nanos(0), Token(0));
+                }
+            },
+            Nanos(60_000),
+        );
+        assert_eq!(run.channels.len(), 9, "one stats row per shard pair");
+        for st in &run.channels {
+            let active = st.dst_shard == (st.src_shard + 1) % 3;
+            assert_eq!(st.high_water > 0, active, "{st:?}");
+            assert_eq!(st.spilled, 0, "{st:?}");
+            assert!(st.capacity >= 4096);
+        }
+        let delivered: u64 = run.channels.iter().map(|c| c.high_water).sum();
+        assert!(delivered > 0);
     }
 
     #[test]

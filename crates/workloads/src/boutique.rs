@@ -14,7 +14,9 @@
 //! are KB-scale, currency/ad/cart lookups are hundreds of bytes.
 
 use palladium_core::driver::chain::{AppSpec, ChainSimConfig, ChainSpec, FnSpec, HopSpec};
+use palladium_core::driver::cluster_sharded::ClusterShardedConfig;
 use palladium_core::system::SystemKind;
+use palladium_membuf::FnId;
 use palladium_simnet::Nanos;
 
 /// Function ids, stable across the workspace.
@@ -208,6 +210,58 @@ pub fn checkout_chain() -> ChainSpec {
 /// A ready-to-run cluster configuration for `system` exercising `chain`.
 pub fn config(system: SystemKind, chain: ChainKind) -> ChainSimConfig {
     ChainSimConfig::new(system, app(), chain.index())
+}
+
+/// Function-id spacing between worker-pair replicas in the sharded
+/// cluster: ids 1–10 fit comfortably below it, and remapped ids stay
+/// 16-bit for any realistic pair count.
+pub const FN_ID_STRIDE: u16 = 16;
+
+/// The boutique replicated over `pairs` worker-node pairs for the sharded
+/// Fig 16 cluster ([`palladium_core::driver::cluster_sharded`]): pair `p`
+/// runs its own copy of the ten functions — ids remapped to
+/// `id + 16·p`, hotspots on global node `2p`, the rest on `2p + 1` — and
+/// `chains[p]` is pair `p`'s remapped copy of `chain`. Node `2·pairs` is
+/// left to the ingress.
+pub fn sharded_app(chain: ChainKind, pairs: usize) -> AppSpec {
+    assert!(pairs >= 1, "need at least one worker pair");
+    let base = app();
+    let remap = |f: FnId, p: usize| FnId(f.0 + FN_ID_STRIDE * p as u16);
+    let mut functions = Vec::with_capacity(base.functions.len() * pairs);
+    let mut chains = Vec::with_capacity(pairs);
+    for p in 0..pairs {
+        for f in &base.functions {
+            functions.push(FnSpec {
+                id: remap(f.id, p),
+                name: f.name,
+                node: 2 * p + f.node,
+                exec: f.exec,
+            });
+        }
+        let c = &base.chains[chain.index()];
+        chains.push(ChainSpec {
+            name: c.name,
+            entry: remap(c.entry, p),
+            hops: c
+                .hops
+                .iter()
+                .map(|h| HopSpec {
+                    from: remap(h.from, p),
+                    to: remap(h.to, p),
+                    bytes: h.bytes,
+                })
+                .collect(),
+            req_bytes: c.req_bytes,
+            resp_bytes: c.resp_bytes,
+        });
+    }
+    AppSpec { functions, chains }
+}
+
+/// A ready-to-run sharded cluster configuration: `system` exercising
+/// `chain` replicated over `pairs` worker pairs.
+pub fn sharded_config(system: SystemKind, chain: ChainKind, pairs: usize) -> ClusterShardedConfig {
+    ClusterShardedConfig::new(system, sharded_app(chain, pairs), pairs)
 }
 
 /// Count the data exchanges of a chain including the request-in and

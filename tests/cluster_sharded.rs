@@ -1,0 +1,137 @@
+//! Golden-trace pin for the sharded Fig 16 cluster.
+//!
+//! Counterpart of `sharded_chain.rs`, one level up the fidelity ladder:
+//! not the synthetic multi-node traffic pattern but the full Palladium
+//! data plane — pools, RC state machines, DNE scheduling, the ingress
+//! gateway — replicated over four worker pairs and partitioned across
+//! shards with one `RdmaNet` instance each. One snapshot serves every
+//! shard count and execution mode because the sharded cluster driver is
+//! deterministic in the strong sense (see
+//! `palladium_core::driver::cluster_sharded`): a diff here means either
+//! the kernel's ordering contract, the per-shard fabric egress, or the
+//! canonical wiring order broke.
+//!
+//! To regenerate after an *intentional* change:
+//! `GOLDEN_REGEN=1 cargo test -q --test cluster_sharded` and commit the
+//! updated snapshot together with the change that explains it.
+
+use palladium_core::driver::cluster_sharded::{ClusterShardedReport, ClusterShardedSim};
+use palladium_core::system::SystemKind;
+use palladium_simnet::Execution;
+use palladium_workloads::boutique::{sharded_config, ChainKind};
+
+const PAIRS: usize = 4;
+
+fn golden_cfg() -> palladium_core::driver::cluster_sharded::ClusterShardedConfig {
+    sharded_config(SystemKind::PalladiumDne, ChainKind::HomeQuery, PAIRS)
+        .clients(8 * PAIRS)
+        .warmup_ms(1)
+        .duration_ms(4)
+}
+
+/// Hex-exact rendering (no shortest-repr float ambiguity), mirroring
+/// `golden_traces.rs`.
+fn trace(r: &ClusterShardedReport) -> String {
+    format!(
+        "cluster_sharded/4p: rps={:016x} mean={} p99={} completed={} \
+         sw_bytes={} dma_bytes={} dpu={:016x} events={} messages={}\n",
+        r.chain.load.rps.to_bits(),
+        r.chain.load.mean_latency.as_nanos(),
+        r.chain.load.p99_latency.as_nanos(),
+        r.chain.load.completed,
+        r.chain.software_copy_bytes,
+        r.chain.rnic_dma_bytes,
+        r.chain.dpu_util_pct.to_bits(),
+        r.events,
+        r.messages
+    )
+}
+
+#[test]
+fn every_shard_count_reproduces_the_snapshot() {
+    let sim = ClusterShardedSim::new(golden_cfg());
+    let serial_report = sim.run(1, Execution::Sequential);
+    assert!(
+        serial_report.chain.load.completed > 0,
+        "the golden configuration must complete requests"
+    );
+    let serial = trace(&serial_report);
+
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/cluster_sharded_golden.txt"
+    );
+    if std::env::var("GOLDEN_REGEN").is_ok() {
+        std::fs::create_dir_all(std::path::Path::new(path).parent().unwrap()).unwrap();
+        std::fs::write(path, &serial).unwrap();
+    } else {
+        let want = std::fs::read_to_string(path)
+            .expect("golden snapshot missing — run with GOLDEN_REGEN=1 to create it");
+        assert_eq!(serial, want, "--shards 1 diverged from the golden snapshot");
+    }
+
+    for shards in [2usize, 4, 8] {
+        for execution in [Execution::Sequential, Execution::Threads] {
+            let got = trace(&sim.run(shards, execution));
+            assert_eq!(
+                got, serial,
+                "{shards} shards / {execution:?} diverged from the serial bytes"
+            );
+        }
+    }
+}
+
+#[test]
+fn striding_rides_the_same_grid() {
+    // Batching k windows per barrier is exactly running one k·L-wide
+    // window (the kernel's grid-equivalence contract), so a run on the
+    // default width at stride 1 and a run on half the width at stride 2
+    // share the same effective barrier spacing — and must produce the
+    // same bytes with the same barrier count. Halving the width *without*
+    // striding doubles the barriers but still cannot change results.
+    let base = golden_cfg();
+    // 326 × 2 = 652: both configurations run the *same* effective grid
+    // (and both stay at or under the ~653 ns frame lookahead).
+    let plain = ClusterShardedSim::new(base.clone().window_ns(652)).run(4, Execution::Sequential);
+    let strided =
+        ClusterShardedSim::new(base.clone().window_ns(326).stride(2)).run(4, Execution::Sequential);
+    assert_eq!(trace(&strided), trace(&plain), "striding changed results");
+    assert_eq!(
+        strided.windows, plain.windows,
+        "equal effective widths must run equal barrier counts"
+    );
+
+    // `windows` counts barriers: at fixed width, stride 2 halves them —
+    // this is the knob's entire point. The narrow grid merges on
+    // different boundaries, so only the physical results (not the
+    // frames-in-flight tail counter) are compared.
+    let narrow = ClusterShardedSim::new(base.window_ns(326)).run(4, Execution::Sequential);
+    assert!(
+        narrow.windows > strided.windows + strided.windows / 2,
+        "without striding, half-width runs ~2× the barriers ({} vs {})",
+        narrow.windows,
+        strided.windows
+    );
+    let results = |r: &ClusterShardedReport| {
+        let t = trace(r);
+        t.split(" messages=").next().unwrap().to_string()
+    };
+    assert_eq!(results(&narrow), results(&plain), "narrower windows changed results");
+}
+
+#[test]
+fn mailboxes_report_their_high_water_marks() {
+    // Satellite instrumentation: every cross-shard channel of a parallel
+    // run exposes spill counts and auto-sized high-water marks.
+    let sim = ClusterShardedSim::new(golden_cfg());
+    let r = sim.run(4, Execution::Threads);
+    assert_eq!(r.channels.len(), 4 * 4, "one stats row per shard pair");
+    assert!(r.messages > 0, "the cluster exchanges cross-shard frames");
+    assert!(
+        r.channels.iter().any(|c| c.high_water > 0),
+        "some channel carried traffic"
+    );
+    for c in &r.channels {
+        assert!(c.capacity.is_power_of_two(), "auto-sizing keeps pow2 rings");
+    }
+}

@@ -33,7 +33,7 @@ use palladium_baselines::echo::{EchoConfig, EchoSim, Primitive};
 use palladium_core::driver::chain::ChainSim;
 use palladium_core::driver::cluster_sharded::ClusterShardedSim;
 use palladium_core::system::SystemKind;
-use palladium_simnet::{Execution, Nanos};
+use palladium_simnet::{Execution, FaultPlan, Nanos, ScenarioScript};
 use palladium_workloads::boutique::{self, ChainKind};
 
 /// Pass threshold: steady-state allocations per simulated event. The
@@ -117,6 +117,30 @@ fn run_cluster_sharded(duration_ms: u64) -> (u64, u64) {
     (report.events, ALLOCS.load(Ordering::Relaxed) - before)
 }
 
+/// The same sharded cluster under chaos: a persistent low-rate drop
+/// storm (active through the steady-state tail, so fault verdicts, RTO
+/// retransmissions and the heartbeat/health plane all run hot), plus a
+/// crash and a straggle window inside the base duration. The chaos path
+/// must be as allocation-free as the healthy one — per-node fault RNG
+/// streams are stateless, the suspicion sweep reuses its scratch vector,
+/// heartbeats ride the arena frame path, and the streaming histogram
+/// never grows after construction.
+fn run_cluster_chaos(duration_ms: u64) -> (u64, u64) {
+    let script = ScenarioScript::new()
+        .storm(1, FaultPlan::dropping(0.01))
+        .crash(2, Nanos::from_millis(15), Nanos::from_millis(25))
+        .straggle(0, 4.0, Nanos::from_millis(12), Nanos::from_millis(30));
+    let cfg = boutique::sharded_config(SystemKind::PalladiumDne, ChainKind::HomeQuery, 2)
+        .clients(32)
+        .warmup_ms(10)
+        .duration_ms(duration_ms)
+        .stride(2)
+        .chaos(script);
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let report = ClusterShardedSim::new(cfg).run(2, Execution::Sequential);
+    (report.events, ALLOCS.load(Ordering::Relaxed) - before)
+}
+
 /// Run the Fig 12 two-sided echo (the driver the shared `PayloadCache`
 /// newly covers) for `duration_ms`, returning `(events, allocations)`.
 fn run_echo(duration_ms: u64) -> (u64, u64) {
@@ -184,7 +208,13 @@ fn main() {
         40,
         120,
     );
-    if !(chain_ok && echo_ok && sharded_ok) {
+    let chaos_ok = gate(
+        "sharded cluster under chaos, drop storm + crash + straggler",
+        run_cluster_chaos,
+        40,
+        120,
+    );
+    if !(chain_ok && echo_ok && sharded_ok && chaos_ok) {
         std::process::exit(1);
     }
 }

@@ -1,0 +1,165 @@
+//! `slo_smoke` — tail-latency SLO gates for the chaos scenarios.
+//!
+//! The chaos plane (scripted crashes, link flaps, stragglers on the
+//! sharded Fig 16 cluster — see `palladium_simnet::chaos`) exists to
+//! answer one question: *how much tail latency does each fault class
+//! cost, and does failover keep the cluster serving?* This binary pins
+//! the answer. It runs a fault-free baseline plus the three named
+//! scenarios, reads p50/p99/p99.9 off the streaming latency histogram,
+//! and writes `BENCH_slo.json` — the committed copy is the per-scenario
+//! SLO the CI bench-smoke job diffs against.
+//!
+//! Unlike events/sec these numbers are *simulated* latencies: fully
+//! deterministic, identical on every machine and at every shard count
+//! (the chaos golden pins the bytes). A drift here is a modeling change,
+//! never runner noise — the CI diff only warns (mirroring the
+//! events/sec step) so intentional model changes can land with a
+//! regenerated JSON, but any drift deserves a look.
+//!
+//! Hard in-binary gates (machine-independent, always enforced):
+//! - every scenario keeps completing requests (failover liveness);
+//! - the crash scenario detects, fails over and recovers;
+//! - no scenario sheds requests (the chaos-raised retry budget holds).
+//!
+//! Usage: `cargo run --release -p palladium-bench --bin slo_smoke --
+//! [--out PATH]` (default `BENCH_slo.json`).
+
+use palladium_core::driver::cluster_sharded::{
+    ClusterShardedConfig, ClusterShardedReport, ClusterShardedSim,
+};
+use palladium_core::system::SystemKind;
+use palladium_simnet::{Execution, Nanos, ScenarioScript};
+use palladium_workloads::boutique::{sharded_config, ChainKind};
+
+const PAIRS: usize = 4;
+
+fn base_cfg() -> ClusterShardedConfig {
+    sharded_config(SystemKind::PalladiumDne, ChainKind::HomeQuery, PAIRS)
+        .clients(8 * PAIRS)
+        .warmup_ms(1)
+        .duration_ms(4)
+}
+
+/// The scenario catalogue, mirroring `tests/chaos_cluster.rs` (the
+/// golden pins the bytes; this binary pins the SLO view of them).
+fn scenarios() -> Vec<(&'static str, Option<ScenarioScript>)> {
+    vec![
+        ("fault_free", None),
+        (
+            "crash_failover",
+            Some(ScenarioScript::new().crash(2, Nanos::from_micros(1_500), Nanos::from_millis(3))),
+        ),
+        (
+            "link_flap",
+            Some(
+                ScenarioScript::new()
+                    .flap(5, 0.05, Nanos::from_millis(1), Nanos::from_micros(2_500))
+                    .flap(1, 0.02, Nanos::from_micros(1_800), Nanos::from_micros(3_200)),
+            ),
+        ),
+        (
+            "straggler",
+            Some(ScenarioScript::new().straggle(
+                6,
+                8.0,
+                Nanos::from_millis(1),
+                Nanos::from_millis(3),
+            )),
+        ),
+    ]
+}
+
+fn gate(name: &str, r: &ClusterShardedReport) -> bool {
+    let mut ok = true;
+    if r.chain.load.completed == 0 {
+        eprintln!("FAIL: {name}: cluster completed zero requests — liveness lost");
+        ok = false;
+    }
+    if r.chaos.shed > 0 {
+        eprintln!(
+            "FAIL: {name}: {} requests shed — a QP exhausted the chaos-raised retry budget",
+            r.chaos.shed
+        );
+        ok = false;
+    }
+    if name == "crash_failover" {
+        let c = &r.chaos;
+        if c.suspected == 0 || c.reroutes == 0 || c.recovered == 0 {
+            eprintln!(
+                "FAIL: {name}: detection/failover/recovery incomplete \
+                 (suspected={} reroutes={} recovered={})",
+                c.suspected, c.reroutes, c.recovered
+            );
+            ok = false;
+        }
+    }
+    ok
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_slo.json".to_string());
+
+    let mut rows: Vec<String> = Vec::new();
+    let mut all_ok = true;
+    println!("slo_smoke: chaos tail-latency gates (4-pair sharded cluster, 5 ms horizon)");
+    for (name, script) in scenarios() {
+        let mut cfg = base_cfg();
+        if let Some(s) = script {
+            cfg = cfg.chaos(s);
+        }
+        // 2 shards: covers the mailbox path too; the chaos golden proves
+        // every shard count reports the same bytes, so the SLO numbers
+        // are shard-count-free.
+        let r = ClusterShardedSim::new(cfg).run(2, Execution::Sequential);
+        all_ok &= gate(name, &r);
+        println!(
+            "  {name:>14}: p50={:>7} ns  p99={:>8} ns  p99.9={:>8} ns  completed={:>4}  \
+             drops={} crash={} rto={} suspected={} reroutes={} lost={}",
+            r.p50.as_nanos(),
+            r.p99.as_nanos(),
+            r.p999.as_nanos(),
+            r.chain.load.completed,
+            r.chaos.fault_drops,
+            r.chaos.crash_drops,
+            r.chaos.rto,
+            r.chaos.suspected,
+            r.chaos.reroutes,
+            r.chaos.inflight_lost
+        );
+        rows.push(format!(
+            "    {{\"scenario\": \"{name}\", \"p50_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}, \
+             \"completed\": {}, \"fault_drops\": {}, \"crash_drops\": {}, \"rto\": {}, \
+             \"suspected\": {}, \"recovered\": {}, \"inflight_lost\": {}, \"reroutes\": {}}}",
+            r.p50.as_nanos(),
+            r.p99.as_nanos(),
+            r.p999.as_nanos(),
+            r.chain.load.completed,
+            r.chaos.fault_drops,
+            r.chaos.crash_drops,
+            r.chaos.rto,
+            r.chaos.suspected,
+            r.chaos.recovered,
+            r.chaos.inflight_lost,
+            r.chaos.reroutes
+        ));
+    }
+
+    let mut json = String::from(
+        "{\n  \"comment\": \"chaos-scenario tail-latency SLOs; simulated (deterministic) \
+         nanoseconds, regenerate with slo_smoke on intentional model changes\",\n  \
+         \"scenarios\": [\n",
+    );
+    json.push_str(&rows.join(",\n"));
+    json.push_str("\n  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write slo json");
+    println!("wrote {out_path}");
+
+    if !all_ok {
+        std::process::exit(1);
+    }
+}

@@ -46,10 +46,32 @@
 //! `ReqState` — unavailable here, since consecutive hops of one request
 //! execute on different shards. Instead the hop index travels **in the
 //! payload**: the 8-byte little-endian prefix packs the request id in
-//! the low 48 bits and the next hop index in the high 16
+//! the low 40 bits, the next hop index in the next 8, and the worker
+//! pair running the request in the high 16
 //! ([`word_of`]/[`unword`]), so each node derives the chain position
 //! from the bytes it received — the same end-to-end-carried prefix the
-//! serial driver already reads the request id from.
+//! serial driver already reads the request id from. Carrying the pair
+//! in the word is what lets the ingress *re-route* a request to a
+//! surviving replica under chaos: the chosen pair travels with the
+//! bytes instead of being re-derived as `req % pairs` at every hop.
+//!
+//! # Chaos scenarios, health detection and failover
+//!
+//! With [`ClusterShardedConfig::chaos`] set, the run replays a
+//! [`ScenarioScript`] (node crashes as deterministic partition windows,
+//! link flaps/storms as per-node [`palladium_simnet::FaultTimeline`]s,
+//! stragglers as cost multipliers) and turns on the health plane: every
+//! worker sends [`Packet`] heartbeats to the ingress each
+//! `heartbeat_period`, the ingress suspects a worker after
+//! `heartbeat_k` silent periods, sheds that pair's in-flight requests
+//! (counted honestly as `inflight_lost`) and re-issues their clients
+//! against a surviving pair. Fault verdicts draw from per-node
+//! [`palladium_simnet::SimRng::stream`]s keyed by global node id, and
+//! every shard holds identical scenario tables, so a chaos run is
+//! byte-identical at every shard count and execution mode
+//! (`tests/chaos_cluster.rs` pins it). With `chaos` unset no heartbeat
+//! or health-check events are ever scheduled and the event schedule is
+//! exactly the fault-free one — the pre-chaos golden traces hold.
 
 use bytes::Bytes;
 
@@ -63,8 +85,9 @@ use palladium_rdma::{
     WrId,
 };
 use palladium_simnet::{
-    run_sharded, ChannelStats, Effects, Execution, IdTable, Nanos, Outbox, Partition, RunStats,
-    ServerBank, ShardConfig, ShardEngine, Slab,
+    run_sharded, ChannelStats, CompiledScenario, Effects, Execution, HealthMonitor, IdTable,
+    Nanos, Outbox, Partition, RunStats, ScenarioScript, ServerBank, ShardConfig, ShardEngine,
+    Slab,
 };
 
 use super::chain::{AppSpec, ChainReport, ChainSpec, INGRESS_FN};
@@ -81,23 +104,32 @@ const POOL_BUFS: u32 = 4096;
 const BUF_SIZE: u32 = 8192;
 const INITIAL_RQ: u64 = 512;
 
-/// Request-id bits of the payload word; the high bits carry the hop index
-/// (see the module docs on request-state distribution).
-const REQ_BITS: u32 = 48;
+/// Payload word layout: request id (low 40 bits), hop index (8 bits),
+/// worker pair (high 16 bits) — see the module docs on request-state
+/// distribution and failover.
+const REQ_BITS: u32 = 40;
 const REQ_MASK: u64 = (1 << REQ_BITS) - 1;
+const HOP_BITS: u32 = 8;
+const HOP_MASK: u64 = (1 << HOP_BITS) - 1;
 
-/// Pack `(req, hop)` into the 8-byte payload prefix word.
-fn word_of(req: u64, hop: usize) -> u64 {
+/// Pack `(req, hop, pair)` into the 8-byte payload prefix word.
+fn word_of(req: u64, hop: usize, pair: usize) -> u64 {
     debug_assert!(req <= REQ_MASK, "request id overflows the payload word");
-    req | ((hop as u64) << REQ_BITS)
+    debug_assert!((hop as u64) <= HOP_MASK, "hop index overflows the payload word");
+    debug_assert!(pair < (1 << 16), "pair index overflows the payload word");
+    req | ((hop as u64) << REQ_BITS) | ((pair as u64) << (REQ_BITS + HOP_BITS))
 }
 
-/// Unpack `(req, hop)` from a payload's 8-byte little-endian prefix.
-fn unword(data: &[u8]) -> (u64, usize) {
+/// Unpack `(req, hop, pair)` from a payload's 8-byte little-endian prefix.
+fn unword(data: &[u8]) -> (u64, usize, usize) {
     let mut b = [0u8; 8];
     b.copy_from_slice(&data[..8]);
     let w = u64::from_le_bytes(b);
-    (w & REQ_MASK, (w >> REQ_BITS) as usize)
+    (
+        w & REQ_MASK,
+        ((w >> REQ_BITS) & HOP_MASK) as usize,
+        (w >> (REQ_BITS + HOP_BITS)) as usize,
+    )
 }
 
 /// Configuration of one sharded cluster run.
@@ -132,6 +164,14 @@ pub struct ClusterShardedConfig {
     /// the stride is how the striding win is measured (same grid, fewer
     /// barriers).
     pub window_ns: Option<u64>,
+    /// Chaos scenario replayed by the run (see the module docs). `None`
+    /// keeps the event schedule exactly fault-free: no heartbeats, no
+    /// health checks, no fault tables.
+    pub chaos: Option<ScenarioScript>,
+    /// Worker → ingress heartbeat probe period (chaos runs only).
+    pub heartbeat_period: Nanos,
+    /// Silent heartbeat periods before the ingress suspects a worker.
+    pub heartbeat_k: u64,
 }
 
 impl ClusterShardedConfig {
@@ -149,6 +189,9 @@ impl ClusterShardedConfig {
             seed: 42,
             stride: 1,
             window_ns: None,
+            chaos: None,
+            heartbeat_period: Nanos::from_micros(50),
+            heartbeat_k: 3,
         }
     }
 
@@ -180,6 +223,20 @@ impl ClusterShardedConfig {
     /// Pin the window width (see [`ClusterShardedConfig::window_ns`]).
     pub fn window_ns(mut self, ns: u64) -> Self {
         self.window_ns = Some(ns);
+        self
+    }
+
+    /// Replay `script` during the run (turns on the health plane).
+    pub fn chaos(mut self, script: ScenarioScript) -> Self {
+        self.chaos = Some(script);
+        self
+    }
+
+    /// Tune the health plane: probe period and missed-period threshold.
+    pub fn heartbeat(mut self, period: Nanos, k: u64) -> Self {
+        assert!(!period.is_zero() && k > 0, "degenerate heartbeat config");
+        self.heartbeat_period = period;
+        self.heartbeat_k = k;
         self
     }
 
@@ -223,6 +280,41 @@ pub struct ClusterShardedReport {
     /// Per-channel mailbox statistics (spills, high-water marks,
     /// auto-sized capacities).
     pub channels: Vec<ChannelStats>,
+    /// Median end-to-end latency from the streaming histogram.
+    pub p50: Nanos,
+    /// 99th-percentile latency (within the histogram's 3.125% bound).
+    pub p99: Nanos,
+    /// 99.9th-percentile latency.
+    pub p999: Nanos,
+    /// Chaos accounting — all-zero on fault-free runs.
+    pub chaos: ChaosReport,
+}
+
+/// Fault, detection and failover accounting for one run. Folded
+/// deterministically (net counters in shard order, health counters from
+/// the ingress), so these are byte-identical at every shard count too.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ChaosReport {
+    /// Frames dropped by stochastic fault plans.
+    pub fault_drops: u64,
+    /// Frames dropped by crash/partition windows (deterministic).
+    pub crash_drops: u64,
+    /// Frames corrupted in flight (later dropped by the integrity check).
+    pub corrupt: u64,
+    /// Retransmission-timeout firings across all QPs.
+    pub rto: u64,
+    /// Workers the ingress suspected dead (missed-heartbeat transitions).
+    pub suspected: u64,
+    /// Suspected workers that later recovered (heartbeats resumed).
+    pub recovered: u64,
+    /// In-flight requests abandoned when their pair was suspected.
+    pub inflight_lost: u64,
+    /// Requests issued to a non-preferred pair because the preferred one
+    /// was believed dead.
+    pub reroutes: u64,
+    /// Requests/sends shed because a post failed (errored QP) — zero
+    /// unless a QP exhausts its (chaos-raised) retry budget.
+    pub shed: u64,
 }
 
 #[derive(Debug)]
@@ -260,12 +352,19 @@ pub(crate) enum Ev {
     EngineRx { n: usize, desc: BufDesc },
     /// Function finished executing on input `desc`.
     FnDone { n: usize, desc: BufDesc },
+    /// Worker node `n` emits its next liveness probe (chaos runs only).
+    HeartbeatTick { n: usize, seq: u64 },
+    /// The ingress sweeps for silent workers (chaos runs only).
+    HealthCheck,
 }
 
 struct ReqState {
     client: usize,
     issued: Nanos,
     done: bool,
+    /// Worker pair serving this request (usually `req % pairs`; a
+    /// surviving pair under failover).
+    pair: usize,
 }
 
 /// State owned by the shard carrying the ingress node.
@@ -277,6 +376,16 @@ struct IngressState {
     tx: Slab<BufToken>,
     reqs: Vec<ReqState>,
     stats: RunStats,
+    /// Heartbeat bookkeeping over all worker nodes (chaos runs only).
+    health: Option<HealthMonitor>,
+    /// Workers suspected dead so far.
+    suspected: u64,
+    /// Suspected workers that recovered.
+    recovered: u64,
+    /// In-flight requests abandoned on suspicion.
+    inflight_lost: u64,
+    /// Requests steered away from a suspected preferred pair.
+    reroutes: u64,
 }
 
 /// One shard of the cluster: a contiguous global-node block with its own
@@ -309,6 +418,15 @@ pub(crate) struct ClusterShard {
     net: RdmaNet,
     /// Present exactly on the shard owning the ingress node.
     ingress: Option<IngressState>,
+    /// Compiled chaos tables, identical on every shard (`None` on
+    /// fault-free runs — every chaos branch below is then never taken).
+    chaos: Option<CompiledScenario>,
+    /// Probe period for [`Ev::HeartbeatTick`] / [`Ev::HealthCheck`].
+    heartbeat_period: Nanos,
+    /// Requests/sends shed on post failure (errored QP), this shard.
+    shed: u64,
+    /// Scratch for the health sweep (newly suspected node ids).
+    health_scratch: Vec<usize>,
 
     // Reused scratch so steady-state stepping does not allocate.
     rdma_step: Step,
@@ -337,10 +455,36 @@ impl ClusterShard {
         *self.fn_exec.get(f.raw() as usize).expect("deployed function")
     }
 
-    /// The chain requests `req` runs (pair `req % pairs`).
+    /// The chain worker pair `pair` runs.
     #[inline]
-    fn chain_of(&self, req: u64) -> &ChainSpec {
-        &self.chains[(req % self.pairs as u64) as usize]
+    fn chain(&self, pair: usize) -> &ChainSpec {
+        &self.chains[pair]
+    }
+
+    /// Pick the worker pair serving request `req`: the preferred
+    /// `req % pairs` when healthy, else the first believed-alive pair
+    /// scanning upward from it (failover re-route). Falls back to the
+    /// preferred pair when every pair is suspected — the request then
+    /// rides the transport's retry machinery. Fault-free runs have no
+    /// health monitor and always take the preferred pair.
+    fn choose_pair(&mut self, req: u64) -> usize {
+        let preferred = (req % self.pairs as u64) as usize;
+        let Some(ing) = self.ingress.as_mut() else {
+            return preferred;
+        };
+        let Some(health) = ing.health.as_ref() else {
+            return preferred;
+        };
+        for off in 0..self.pairs {
+            let p = (preferred + off) % self.pairs;
+            if health.is_alive(2 * p) && health.is_alive(2 * p + 1) {
+                if p != preferred {
+                    ing.reroutes += 1;
+                }
+                return p;
+            }
+        }
+        preferred
     }
 
     /// Charge work on a function core of worker node `n`.
@@ -490,6 +634,17 @@ impl ClusterShard {
                     self.replenish(n, 32);
                 }
             }
+            RdmaOutput::HeartbeatSeen { node, from, .. }
+                if node.raw() as usize == self.ingress_node =>
+            {
+                if let Some(ing) = self.ingress.as_mut() {
+                    if let Some(h) = ing.health.as_mut() {
+                        if h.heartbeat(from.raw() as usize, now) {
+                            ing.recovered += 1;
+                        }
+                    }
+                }
+            }
             _ => {}
         }
     }
@@ -503,7 +658,7 @@ impl ClusterShard {
                 else {
                     return;
                 };
-                let (req, _) = unword(&cqe.data);
+                let (req, _, pair) = unword(&cqe.data);
                 self.pools[li]
                     .dma_write_bytes(&token, cqe.data, MoveKind::RnicDma, &mut self.meters[li])
                     .expect("dma into ingress buffer");
@@ -511,7 +666,7 @@ impl ClusterShard {
                 let consumed = self.ingress.as_mut().expect("ingress shard").rbr.take_consumed(TENANT);
                 self.replenish_ingress(consumed);
                 let (req_bytes, resp_bytes) = {
-                    let chain = self.chain_of(req);
+                    let chain = self.chain(pair);
                     (chain.req_bytes as u64, chain.resp_bytes as u64)
                 };
                 let ing = self.ingress.as_mut().expect("ingress shard");
@@ -535,7 +690,7 @@ impl ClusterShard {
         let token = self.inbound_tokens[li]
             .remove(desc.buf_idx as usize)
             .expect("inbound token tracked");
-        let (req, hop_idx) = {
+        let (req, hop_idx, pair) = {
             let data = self.pools[li].read(&token);
             unword(data.expect("owned"))
         };
@@ -543,7 +698,7 @@ impl ClusterShard {
 
         let f = desc.dst_fn;
         let (to, bytes) = {
-            let chain = self.chain_of(req);
+            let chain = self.chain(pair);
             if hop_idx < chain.hops.len() {
                 let h = chain.hops[hop_idx];
                 debug_assert_eq!(h.from, f, "chain hop source mismatch");
@@ -555,9 +710,9 @@ impl ClusterShard {
 
         let dst_node = self.node_of(to);
         let word = if to == INGRESS_FN {
-            word_of(req, 0)
+            word_of(req, 0, pair)
         } else {
-            word_of(req, hop_idx + 1)
+            word_of(req, hop_idx + 1, pair)
         };
         let data = self.payloads.make(word, bytes);
 
@@ -600,15 +755,17 @@ impl ShardEngine for ClusterShard {
         match ev {
             Ev::Issue { client } => {
                 let client_wire = self.cost.client_wire;
+                let req = self.ingress.as_ref().expect("issue on ingress shard").reqs.len() as u64;
+                let pair = self.choose_pair(req);
                 let ing = self.ingress.as_mut().expect("issue on ingress shard");
-                let req = ing.reqs.len() as u64;
                 ing.reqs.push(ReqState {
                     client,
                     issued: now,
                     done: false,
+                    pair,
                 });
                 let (req_bytes, resp_bytes) = {
-                    let chain = self.chain_of(req);
+                    let chain = self.chain(pair);
                     (chain.req_bytes as u64, chain.resp_bytes as u64)
                 };
                 let ing = self.ingress.as_mut().expect("issue on ingress shard");
@@ -617,16 +774,18 @@ impl ShardEngine for ClusterShard {
                 fx.at(done, Ev::GwIn { req, worker: w });
             }
             Ev::GwIn { req, worker } => {
-                self.ingress.as_mut().expect("ingress shard").gw.leg_done(worker);
+                let ing = self.ingress.as_mut().expect("ingress shard");
+                ing.gw.leg_done(worker);
+                let pair = ing.reqs[req as usize].pair;
                 let (entry, bytes) = {
-                    let chain = self.chain_of(req);
+                    let chain = self.chain(pair);
                     (chain.entry, chain.req_bytes)
                 };
                 let entry_node = self.node_of(entry);
                 let li = self.li(self.ingress_node);
                 // Early conversion: payload into a registered buffer, over
                 // RDMA to the entry node's DNE. The word encodes hop 0.
-                let data = self.payloads.make(word_of(req, 0), bytes);
+                let data = self.payloads.make(word_of(req, 0, pair), bytes);
                 let Ok(token) = self.pools[li].alloc(Owner::Ingress) else {
                     return; // pool exhausted: shed the request
                 };
@@ -636,16 +795,28 @@ impl ShardEngine for ClusterShard {
                 let wr_id = WrId(self.ingress.as_mut().expect("ingress shard").tx.insert(token));
                 let mut step = std::mem::take(&mut self.post_step);
                 step.clear();
-                let qpn = self
+                let Some(qpn) = self
                     .ingress
                     .as_mut()
                     .expect("ingress shard")
                     .conns
                     .select(&self.net, NodeId(entry_node as u16), TENANT)
-                    .expect("warm ingress connection");
+                else {
+                    // Every QP to the entry node is errored (retry budget
+                    // exhausted under chaos): shed the request instead of
+                    // panicking; the health plane re-issues its client.
+                    self.shed += 1;
+                    if let Some(tok) = self.ingress.as_mut().expect("ingress shard").tx.remove(wr_id.0)
+                    {
+                        let _ = self.pools[li].free(tok);
+                    }
+                    self.post_step = step;
+                    return;
+                };
                 self.meters[li].record(MoveKind::RnicDma, data.len() as u64);
                 let imm = pack_imm(INGRESS_FN, entry, TENANT);
-                self.net
+                if self
+                    .net
                     .post_send_into(
                         now,
                         NodeId(self.ingress_node as u16),
@@ -653,7 +824,14 @@ impl ShardEngine for ClusterShard {
                         WorkRequest::send(wr_id, data, imm),
                         &mut step,
                     )
-                    .expect("post ingress send");
+                    .is_err()
+                {
+                    self.shed += 1;
+                    if let Some(tok) = self.ingress.as_mut().expect("ingress shard").tx.remove(wr_id.0)
+                    {
+                        let _ = self.pools[li].free(tok);
+                    }
+                }
                 fx.extend_drain(&mut step.events, Ev::Rdma);
                 self.route_egress(now, out, &mut step);
                 self.post_step = step;
@@ -689,9 +867,15 @@ impl ShardEngine for ClusterShard {
                     self.post_step = step;
                     return;
                 };
-                self.net
+                if self
+                    .net
                     .post_send_into(now, NodeId(n as u16), qpn, wr, &mut step)
-                    .expect("post dne send");
+                    .is_err()
+                {
+                    // Errored QP (chaos-exhausted retries): shed the send —
+                    // the ingress abandons and re-issues the request.
+                    self.shed += 1;
+                }
                 fx.extend_drain(&mut step.events, Ev::Rdma);
                 self.route_egress(now, out, &mut step);
                 self.post_step = step;
@@ -709,7 +893,17 @@ impl ShardEngine for ClusterShard {
             Ev::Deliver { n, desc } => {
                 let recv = self.fn_recv_cost();
                 let exec = self.fn_exec(desc.dst_fn);
-                let done = self.on_fn_core(n, now, recv + exec);
+                let mut service = recv + exec;
+                // Straggler windows scale the node's compute service time;
+                // `chaos` is `None` on fault-free runs, leaving the
+                // original path untouched.
+                if let Some(ch) = &self.chaos {
+                    let factor = ch.straggle_factor(n, now);
+                    if factor != 1.0 {
+                        service = service.scale(factor);
+                    }
+                }
+                let done = self.on_fn_core(n, now, service);
                 fx.at(done, Ev::FnDone { n, desc });
             }
             Ev::ReleaseTx { n, token } => {
@@ -749,6 +943,56 @@ impl ShardEngine for ClusterShard {
                     ing.stats.complete(finish, issued);
                     fx.at(finish, Ev::Issue { client });
                 }
+            }
+            Ev::HeartbeatTick { n, seq } => {
+                // Probe the ingress and reschedule. A crashed node keeps
+                // "sending" — its frames die at the destination's
+                // partition check, which is exactly what lets the ingress
+                // miss them. Scheduled only when chaos is on.
+                let mut step = std::mem::take(&mut self.post_step);
+                step.clear();
+                self.net.send_heartbeat_into(
+                    now,
+                    NodeId(n as u16),
+                    NodeId(self.ingress_node as u16),
+                    seq,
+                    &mut step,
+                );
+                fx.extend_drain(&mut step.events, Ev::Rdma);
+                self.route_egress(now, out, &mut step);
+                self.post_step = step;
+                fx.after(self.heartbeat_period, Ev::HeartbeatTick { n, seq: seq + 1 });
+            }
+            Ev::HealthCheck => {
+                let mut newly = std::mem::take(&mut self.health_scratch);
+                newly.clear();
+                {
+                    let ing = self.ingress.as_mut().expect("health check on ingress shard");
+                    ing.health
+                        .as_mut()
+                        .expect("chaos run")
+                        .check_into(now, &mut newly);
+                    ing.suspected += newly.len() as u64;
+                }
+                // Abandon in-flight requests whose pair lost a node and
+                // re-issue their clients against a surviving pair.
+                // Scanning `reqs` in index order keeps the accounting (and
+                // the re-issue schedule) deterministic.
+                for &dead in &newly {
+                    let pair = dead / 2;
+                    let ing = self.ingress.as_mut().expect("ingress shard");
+                    for req in 0..ing.reqs.len() {
+                        let st = &mut ing.reqs[req];
+                        if !st.done && st.pair == pair {
+                            st.done = true;
+                            ing.inflight_lost += 1;
+                            let client = st.client;
+                            fx.at(now, Ev::Issue { client });
+                        }
+                    }
+                }
+                self.health_scratch = newly;
+                fx.after(self.heartbeat_period, Ev::HealthCheck);
             }
         }
     }
@@ -831,15 +1075,38 @@ impl ClusterShardedSim {
         let part = Partition::new(n_nodes, shards);
         let spec = cfg.system.spec();
         let cost = CostModel::default();
-        let rdma_cfg = RdmaConfig::default();
+        let mut rdma_cfg = RdmaConfig::default();
+        let chaos = cfg.chaos.as_ref().map(|script| script.compile(n_nodes));
+        if chaos.is_some() {
+            // Chaos runs must survive multi-millisecond partitions:
+            // at the default rto (500 µs) the stock retry budget (7)
+            // gives up after ~3.5 ms of outage and kills the QP. Raise
+            // it so go-back-N redelivers once the window ends; failover
+            // comes from the health plane, not from QP suicide.
+            rdma_cfg.retry_limit = 100_000;
+            rdma_cfg.rnr_retry_limit = 100_000;
+        }
 
-        // Per-shard fabric spans in sharded-egress mode. The per-instance
-        // RNG is only drawn by fault injection, which stays disabled —
-        // seeds cannot skew results across shard counts.
+        // Per-shard fabric spans in sharded-egress mode. Every instance
+        // gets the *same* seed: fault RNG streams are derived per global
+        // node id inside the fabric ([`palladium_simnet::SimRng::stream`]),
+        // so verdict sequences — and therefore faulty runs — are
+        // identical at every shard count.
         let mut nets: Vec<RdmaNet> = (0..shards)
             .map(|s| {
-                let mut net = RdmaNet::with_span(rdma_cfg, part.range(s), cfg.seed ^ s as u64);
+                let mut net = RdmaNet::with_span(rdma_cfg, part.range(s), cfg.seed);
                 net.set_sharded_egress(true);
+                if let Some(ch) = &chaos {
+                    // Full-fabric partition table on every instance (an
+                    // arriving frame's source may live on any shard);
+                    // per-node fault timelines only where owned.
+                    net.set_down_windows(ch.down.clone());
+                    for n in part.range(s) {
+                        if !ch.faults[n].is_none() {
+                            net.set_node_fault(NodeId(n as u16), ch.faults[n].clone());
+                        }
+                    }
+                }
                 net
             })
             .collect();
@@ -921,6 +1188,13 @@ impl ClusterShardedSim {
             tx: Slab::new(),
             reqs: Vec::new(),
             stats: RunStats::new(cfg.warmup),
+            health: chaos
+                .as_ref()
+                .map(|_| HealthMonitor::new(2 * cfg.pairs, cfg.heartbeat_period, cfg.heartbeat_k)),
+            suspected: 0,
+            recovered: 0,
+            inflight_lost: 0,
+            reroutes: 0,
         });
         let mut engines: Vec<ClusterShard> = Vec::with_capacity(shards);
         for (s, net) in nets.into_iter().enumerate() {
@@ -956,6 +1230,10 @@ impl ClusterShardedSim {
                 inbound_tokens: Vec::new(),
                 net,
                 ingress: None,
+                chaos: chaos.clone(),
+                heartbeat_period: cfg.heartbeat_period,
+                shed: 0,
+                health_scratch: Vec::new(),
                 rdma_step: Step::default(),
                 post_step: Step::default(),
                 cqe_scratch: Vec::new(),
@@ -992,13 +1270,29 @@ impl ClusterShardedSim {
         let deadline = cfg.warmup + cfg.duration;
         let clients = cfg.clients;
         let ingress_shard = part.shard_of(ingress_node);
+        let chaos_on = chaos.is_some();
+        let heartbeat_period = cfg.heartbeat_period;
         let run = run_sharded(
             &scfg,
             engines,
             |s, h| {
+                if chaos_on {
+                    // The health plane: per-worker probes on the owning
+                    // shard, the suspicion sweep on the ingress shard.
+                    // Never scheduled fault-free, so the fault-free event
+                    // schedule (and its goldens) is untouched.
+                    for n in part.range(s) {
+                        if n != ingress_node {
+                            h.schedule_at(Nanos::ZERO, Ev::HeartbeatTick { n, seq: 0 });
+                        }
+                    }
+                }
                 if s == ingress_shard {
                     for client in 0..clients {
                         h.schedule_at(Nanos::ZERO, Ev::Issue { client });
+                    }
+                    if chaos_on {
+                        h.schedule_at(heartbeat_period, Ev::HealthCheck);
                     }
                 }
             },
@@ -1030,7 +1324,26 @@ impl ClusterShardedSim {
                 cpu_pct += 100.0 * dne.core_thread.utilization(horizon);
             }
         }
+        // Fault/protocol counters fold in shard order; health/failover
+        // counters live on the ingress. Both are deterministic per the
+        // invariance discipline.
+        let mut chaos_rep = ChaosReport::default();
+        for e in &engines {
+            chaos_rep.fault_drops += e.net.counters.get("drop");
+            chaos_rep.crash_drops += e.net.counters.get("crash_drop");
+            chaos_rep.corrupt += e.net.counters.get("corrupt");
+            chaos_rep.rto += e.net.counters.get("rto");
+            chaos_rep.shed += e.shed;
+        }
         let mut ing = engines[ingress_shard].ingress.take().expect("ingress state");
+        chaos_rep.suspected = ing.suspected;
+        chaos_rep.recovered = ing.recovered;
+        chaos_rep.inflight_lost = ing.inflight_lost;
+        chaos_rep.reroutes = ing.reroutes;
+        let (p50, p99, p999) = {
+            let h = ing.stats.histogram();
+            (h.p50(), h.p99(), h.p999())
+        };
         let mean_latency = ing.stats.latency().mean();
         let load: LoadReport = ing.stats.report(cfg.duration);
         let chain = ChainReport {
@@ -1052,6 +1365,10 @@ impl ClusterShardedSim {
             busy_ns: run.busy_ns,
             critical_path_ns: run.critical_path_ns,
             channels: run.channels,
+            p50,
+            p99,
+            p999,
+            chaos: chaos_rep,
         }
     }
 }

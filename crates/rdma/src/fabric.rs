@@ -70,6 +70,13 @@ pub enum PacketKind {
         /// PSN of the rejected SEND.
         psn: u64,
     },
+    /// A liveness probe: unreliable, unacknowledged, outside any QP's PSN
+    /// space. Subject to fault injection like any data frame, so link
+    /// flaps produce honest missed-heartbeat false positives.
+    Heartbeat {
+        /// Sender-local monotonically increasing probe number.
+        seq: u64,
+    },
     /// Response to a one-sided READ. Modelled as reliable (no Palladium
     /// experiment exercises READ; see `net` module docs).
     ReadResp {
@@ -94,9 +101,10 @@ impl Packet {
                 };
                 header_bytes + body
             }
-            PacketKind::Ack { .. } | PacketKind::Nak { .. } | PacketKind::RnrNak { .. } => {
-                ack_bytes
-            }
+            PacketKind::Ack { .. }
+            | PacketKind::Nak { .. }
+            | PacketKind::RnrNak { .. }
+            | PacketKind::Heartbeat { .. } => ack_bytes,
             PacketKind::ReadResp { data, .. } => header_bytes + data.len() as u64,
         }
     }
@@ -105,7 +113,10 @@ impl Packet {
     pub fn is_control(&self) -> bool {
         matches!(
             self.kind,
-            PacketKind::Ack { .. } | PacketKind::Nak { .. } | PacketKind::RnrNak { .. }
+            PacketKind::Ack { .. }
+                | PacketKind::Nak { .. }
+                | PacketKind::RnrNak { .. }
+                | PacketKind::Heartbeat { .. }
         )
     }
 }

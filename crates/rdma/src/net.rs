@@ -18,7 +18,9 @@
 use bytes::Bytes;
 
 use palladium_membuf::{MmapExport, NodeId, TenantId};
-use palladium_simnet::{Counters, FaultPlan, Nanos, SimRng, Slab, Timed, Verdict};
+use palladium_simnet::{
+    Counters, FaultPlan, FaultTimeline, Nanos, SimRng, Slab, Timed, Verdict,
+};
 
 use crate::config::RdmaConfig;
 use crate::fabric::{Packet, PacketKind};
@@ -146,6 +148,16 @@ pub enum RdmaOutput {
         /// Tenant whose RQ is empty.
         tenant: TenantId,
     },
+    /// A liveness probe survived the fabric and reached `node` — feed it
+    /// to the driver's health monitor.
+    HeartbeatSeen {
+        /// Node that heard the probe.
+        node: NodeId,
+        /// Node the probe came from.
+        from: NodeId,
+        /// The probe's sequence number.
+        seq: u64,
+    },
 }
 
 /// The result of poking the sub-simulator.
@@ -217,8 +229,23 @@ pub struct RdmaNet {
     /// [`Step::egress`] (same-span destinations included — routing all
     /// frames uniformly is what makes sharded runs shard-count-invariant).
     sharded_egress: bool,
+    /// Fabric-wide fault plan — the fallback when a node has no
+    /// [`FaultTimeline`] of its own (`set_fault` back-compat).
     fault: FaultPlan,
-    rng: SimRng,
+    /// Per-owned-node fault timelines (indexed `node - base`); an empty
+    /// timeline falls back to the net-level `fault` plan.
+    node_faults: Vec<FaultTimeline>,
+    /// Per-owned-node fault RNG streams, keyed by **global** node id via
+    /// [`SimRng::stream`]: the verdict sequence a destination node draws
+    /// is identical no matter how the fabric is sharded, which is what
+    /// makes faulty runs shard-count invariant (a net-level RNG would
+    /// interleave verdicts differently per shard layout).
+    fault_rngs: Vec<SimRng>,
+    /// Network-partition windows per **global** node id (covering the
+    /// whole fabric, not just this span — a frame's *source* may live on
+    /// another shard). Frames whose source or destination is inside a
+    /// window are dropped at the destination port with no RNG draw.
+    down: Vec<Vec<(Nanos, Nanos)>>,
     /// Fabric-wide protocol counters: `drop`, `corrupt`, `crc_drop`,
     /// `nak_rewind`, `rnr_nak`, `rto`, `delivered`, `acks`.
     pub counters: Counters,
@@ -246,10 +273,12 @@ impl RdmaNet {
         RdmaNet {
             cfg,
             base: span.start,
+            fault_rngs: span.clone().map(|i| SimRng::stream(seed, i as u64)).collect(),
+            node_faults: span.clone().map(|_| FaultTimeline::new()).collect(),
             rnics: span.map(|i| Rnic::new(NodeId(i as u16))).collect(),
             sharded_egress: false,
             fault: FaultPlan::NONE,
-            rng: SimRng::seed_from(seed),
+            down: Vec::new(),
             counters: Counters::new(),
             reads: Slab::new(),
             ack_scratch: Vec::new(),
@@ -264,9 +293,35 @@ impl RdmaNet {
         self.sharded_egress = on;
     }
 
-    /// Install a fault plan on the fabric.
+    /// Install a fabric-wide fault plan (fallback for nodes without a
+    /// dedicated timeline — see [`RdmaNet::set_node_fault`]).
     pub fn set_fault(&mut self, plan: FaultPlan) {
         self.fault = plan;
+    }
+
+    /// Install a fault timeline on one node's ingress port (`node` is
+    /// global and must lie in this instance's span). Overrides the
+    /// net-level plan for that node; an empty timeline restores the
+    /// fallback.
+    pub fn set_node_fault(&mut self, node: NodeId, timeline: FaultTimeline) {
+        let idx = node.raw() as usize - self.base;
+        self.node_faults[idx] = timeline;
+    }
+
+    /// Install the fabric-wide network-partition table: per **global**
+    /// node, windows `[from, until)` during which every frame with that
+    /// node as source or destination is dropped at the destination port
+    /// (deterministically — no RNG draw). Every shard instance must hold
+    /// the *full* table, since arriving frames may originate anywhere.
+    pub fn set_down_windows(&mut self, down: Vec<Vec<(Nanos, Nanos)>>) {
+        self.down = down;
+    }
+
+    #[inline]
+    fn node_down(&self, node: NodeId, now: Nanos) -> bool {
+        self.down
+            .get(node.raw() as usize)
+            .is_some_and(|w| w.iter().any(|&(f, u)| now >= f && now < u))
     }
 
     /// Substrate configuration.
@@ -414,6 +469,29 @@ impl RdmaNet {
         };
         self.transmit(now, pkt, &mut step);
         step
+    }
+
+    /// Emit a liveness probe from `from` (which must lie in this
+    /// instance's span) to `to`. Probes ride outside any QP — no PSN, no
+    /// ACK — and are subject to fault injection like data frames, so a
+    /// flapping link produces honest missed-heartbeat false positives.
+    pub fn send_heartbeat_into(
+        &mut self,
+        now: Nanos,
+        from: NodeId,
+        to: NodeId,
+        seq: u64,
+        step: &mut Step,
+    ) {
+        let pkt = Packet {
+            src: from,
+            dst: to,
+            src_qpn: Qpn(0),
+            dst_qpn: Qpn(0),
+            kind: PacketKind::Heartbeat { seq },
+            corrupted: false,
+        };
+        self.transmit(now, pkt, step);
     }
 
     /// Queue a frame on the source node's egress port and schedule its
@@ -620,8 +698,26 @@ impl RdmaNet {
                 // Fault injection at the destination port. READ responses
                 // are exempt (modelled reliable; see module docs).
                 let exempt = matches!(pkt.kind, PacketKind::ReadResp { .. });
+                // Partition windows first: a crashed endpoint drops the
+                // frame deterministically, without touching any RNG
+                // stream (so a crash scenario perturbs no other node's
+                // verdict sequence).
+                if !exempt && (self.node_down(pkt.src, now) || self.node_down(pkt.dst, now)) {
+                    self.counters.inc("crash_drop");
+                    return;
+                }
+                // Stochastic faults draw from the *destination node's*
+                // stream, keyed by global node id — never from a
+                // net-level RNG — so verdicts are identical at every
+                // shard count.
+                let idx = pkt.dst.raw() as usize - self.base;
+                let plan = if self.node_faults[idx].is_none() {
+                    self.fault
+                } else {
+                    self.node_faults[idx].plan_at(now)
+                };
                 if !exempt {
-                    match self.fault.judge(now, &mut self.rng) {
+                    match plan.judge(now, &mut self.fault_rngs[idx]) {
                         Verdict::Drop => {
                             self.counters.inc("drop");
                             return;
@@ -633,7 +729,7 @@ impl RdmaNet {
                         Verdict::Pass => {}
                     }
                 }
-                let extra = self.fault.extra_delay(now, &mut self.rng);
+                let extra = plan.extra_delay(now, &mut self.fault_rngs[idx]);
                 let service = if pkt.is_control() {
                     Nanos::from_nanos(150)
                 } else {
@@ -868,6 +964,11 @@ impl RdmaNet {
                         );
                     }
                 }
+            }
+            PacketKind::Heartbeat { seq } => {
+                // No QP involved: surface the probe to the driver's
+                // health monitor and stop.
+                step.outputs.push(RdmaOutput::HeartbeatSeen { node: dst, from: src, seq });
             }
             PacketKind::Ack { upto } => {
                 let node = dst;

@@ -1,0 +1,347 @@
+//! Scripted chaos scenarios: declarative, time-ordered fault scripts any
+//! driver can replay deterministically, plus the health-detection
+//! machinery (heartbeat bookkeeping) failover re-routing builds on.
+//!
+//! A [`ScenarioScript`] is a list of [`ScenarioOp`]s anchored to virtual
+//! time — node crashes with later recovery, link flaps as bounded
+//! [`FaultPlan`] windows, straggler slow-down factors on per-node cost
+//! models, and burst-loss storms that force RTO/retry churn. The script
+//! is data, not behavior: [`ScenarioScript::compile`] lowers it into
+//! per-node tables (down windows, [`FaultTimeline`]s, straggler windows)
+//! that the fabric and driver consult at event time with no randomness of
+//! their own, so a scenario replays byte-identically at every shard count
+//! and in every execution mode.
+//!
+//! Fault *verdicts* still draw randomness — but from per-node streams
+//! keyed by global node id ([`crate::rng::SimRng::stream`]), never from a
+//! shard-level RNG, which is what keeps a faulty run shard-count
+//! invariant.
+
+use crate::fault::{FaultPlan, FaultTimeline};
+use crate::time::Nanos;
+
+/// One scripted fault operation, anchored to virtual time. All node ids
+/// are *global* fabric node ids.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ScenarioOp {
+    /// `node` loses network connectivity over `[from, until)`: every
+    /// frame with it as source *or* destination is dropped at the
+    /// destination port (no RNG draw — a partition is deterministic).
+    /// Recovery at `until` is implicit; in-flight state survives, so
+    /// go-back-N redelivers once retries outlast the outage. A crash
+    /// models the NIC/link going dark — local compute continues.
+    Crash {
+        /// Global node id.
+        node: usize,
+        /// Partition start (inclusive).
+        from: Nanos,
+        /// Partition end (exclusive) — the recovery instant.
+        until: Nanos,
+    },
+    /// Link flap at `node`'s port: frames to `node` are dropped with
+    /// probability `drop` over `[from, until)`.
+    Flap {
+        /// Global node id.
+        node: usize,
+        /// Per-frame drop probability while the flap is active.
+        drop: f64,
+        /// Flap start (inclusive).
+        from: Nanos,
+        /// Flap end (exclusive).
+        until: Nanos,
+    },
+    /// An arbitrary bounded fault window at `node`'s port — the general
+    /// form ([`ScenarioOp::Flap`] is the common case). The plan carries
+    /// its own `active_after`/`active_until` window; near-certain drop
+    /// over a short window is an RTO/retry storm.
+    Storm {
+        /// Global node id.
+        node: usize,
+        /// The fault window, including its own activity bounds.
+        plan: FaultPlan,
+    },
+    /// Straggler: scale `node`'s service/compute costs by `factor`
+    /// (e.g. `4.0` = 4× slower) over `[from, until)`. The driver owning
+    /// the node's cost model applies the factor.
+    Straggle {
+        /// Global node id.
+        node: usize,
+        /// Cost multiplier while active (> 1.0 slows the node down).
+        factor: f64,
+        /// Window start (inclusive).
+        from: Nanos,
+        /// Window end (exclusive).
+        until: Nanos,
+    },
+}
+
+/// A straggler slow-down window on one node's cost model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StragglerWindow {
+    /// Window start (inclusive).
+    pub from: Nanos,
+    /// Window end (exclusive).
+    pub until: Nanos,
+    /// Cost multiplier while active.
+    pub factor: f64,
+}
+
+impl StragglerWindow {
+    /// True when the window covers `now`.
+    #[inline]
+    pub fn active_at(&self, now: Nanos) -> bool {
+        now >= self.from && now < self.until
+    }
+}
+
+/// A declarative, replayable chaos scenario: an ordered list of
+/// [`ScenarioOp`]s. Build with the fluent ctors, then
+/// [`compile`](ScenarioScript::compile) once per run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ScenarioScript {
+    ops: Vec<ScenarioOp>,
+}
+
+impl ScenarioScript {
+    /// An empty scenario (compiles to all-quiet tables).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append any op.
+    pub fn op(mut self, op: ScenarioOp) -> Self {
+        self.ops.push(op);
+        self
+    }
+
+    /// Append a crash + implicit recovery window.
+    pub fn crash(self, node: usize, from: Nanos, until: Nanos) -> Self {
+        self.op(ScenarioOp::Crash { node, from, until })
+    }
+
+    /// Append a link flap.
+    pub fn flap(self, node: usize, drop: f64, from: Nanos, until: Nanos) -> Self {
+        self.op(ScenarioOp::Flap { node, drop, from, until })
+    }
+
+    /// Append a burst fault window (the plan carries its own bounds).
+    pub fn storm(self, node: usize, plan: FaultPlan) -> Self {
+        self.op(ScenarioOp::Storm { node, plan })
+    }
+
+    /// Append a straggler slow-down.
+    pub fn straggle(self, node: usize, factor: f64, from: Nanos, until: Nanos) -> Self {
+        self.op(ScenarioOp::Straggle { node, factor, from, until })
+    }
+
+    /// The raw ops, in script order.
+    pub fn ops(&self) -> &[ScenarioOp] {
+        &self.ops
+    }
+
+    /// True when the script contains no ops.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Lower the script into per-node lookup tables over `n_nodes` global
+    /// nodes. Ops naming nodes `>= n_nodes` panic — a script/topology
+    /// mismatch is a configuration bug, not a runtime condition.
+    ///
+    /// Overlapping fault windows on one node resolve in script order
+    /// (earlier ops win — [`FaultTimeline`] semantics); overlapping
+    /// straggler windows likewise (first covering window's factor
+    /// applies).
+    pub fn compile(&self, n_nodes: usize) -> CompiledScenario {
+        let mut down = vec![Vec::new(); n_nodes];
+        let mut faults = vec![FaultTimeline::new(); n_nodes];
+        let mut straggle = vec![Vec::new(); n_nodes];
+        for op in &self.ops {
+            match *op {
+                ScenarioOp::Crash { node, from, until } => {
+                    assert!(node < n_nodes, "crash names node {node} of {n_nodes}");
+                    down[node].push((from, until));
+                }
+                ScenarioOp::Flap { node, drop, from, until } => {
+                    assert!(node < n_nodes, "flap names node {node} of {n_nodes}");
+                    faults[node].push(FaultPlan::dropping(drop).window(from, until));
+                }
+                ScenarioOp::Storm { node, plan } => {
+                    assert!(node < n_nodes, "storm names node {node} of {n_nodes}");
+                    faults[node].push(plan);
+                }
+                ScenarioOp::Straggle { node, factor, from, until } => {
+                    assert!(node < n_nodes, "straggle names node {node} of {n_nodes}");
+                    straggle[node].push(StragglerWindow { from, until, factor });
+                }
+            }
+        }
+        CompiledScenario { down, faults, straggle }
+    }
+}
+
+/// A [`ScenarioScript`] lowered to per-node lookup tables (all indexed by
+/// *global* node id). Purely data: consulting it draws no randomness, so
+/// every simulation shard can hold an identical copy.
+#[derive(Debug, Clone, Default)]
+pub struct CompiledScenario {
+    /// Per node: network-partition windows `[from, until)`.
+    pub down: Vec<Vec<(Nanos, Nanos)>>,
+    /// Per node: fault timeline applied to frames arriving at the node.
+    pub faults: Vec<FaultTimeline>,
+    /// Per node: straggler slow-down windows on the node's cost model.
+    pub straggle: Vec<Vec<StragglerWindow>>,
+}
+
+impl CompiledScenario {
+    /// True when `node` is partitioned from the network at `now`.
+    #[inline]
+    pub fn is_down(&self, node: usize, now: Nanos) -> bool {
+        self.down
+            .get(node)
+            .is_some_and(|w| w.iter().any(|&(f, u)| now >= f && now < u))
+    }
+
+    /// The cost multiplier in force on `node` at `now` (`1.0` when no
+    /// window covers it).
+    #[inline]
+    pub fn straggle_factor(&self, node: usize, now: Nanos) -> f64 {
+        self.straggle
+            .get(node)
+            .and_then(|ws| ws.iter().find(|w| w.active_at(now)))
+            .map_or(1.0, |w| w.factor)
+    }
+
+    /// True when no table contains anything (fault-free).
+    pub fn is_quiet(&self) -> bool {
+        self.down.iter().all(Vec::is_empty)
+            && self.faults.iter().all(FaultTimeline::is_none)
+            && self.straggle.iter().all(Vec::is_empty)
+    }
+}
+
+/// Heartbeat-driven liveness bookkeeping: a node is *suspected* once
+/// `k` heartbeat periods elapse with no probe heard from it, and
+/// recovers on the next probe. Deterministic — state changes only on
+/// [`heartbeat`](HealthMonitor::heartbeat) and
+/// [`check_into`](HealthMonitor::check_into) calls driven by simulation
+/// events.
+#[derive(Debug, Clone)]
+pub struct HealthMonitor {
+    period: Nanos,
+    k: u64,
+    /// Last heartbeat heard per node; nodes start "seen at zero" so a
+    /// fresh monitor grants every node `k` periods of grace.
+    last_seen: Vec<Nanos>,
+    alive: Vec<bool>,
+}
+
+impl HealthMonitor {
+    /// Monitor `n_nodes` with the given probe period, suspecting after
+    /// `k` silent periods. `k >= 2` is sensible (1 risks false positives
+    /// from a single unlucky probe drop).
+    pub fn new(n_nodes: usize, period: Nanos, k: u64) -> Self {
+        assert!(!period.is_zero() && k > 0, "degenerate health config");
+        HealthMonitor {
+            period,
+            k,
+            last_seen: vec![Nanos::ZERO; n_nodes],
+            alive: vec![true; n_nodes],
+        }
+    }
+
+    /// A probe from `node` arrived at `now`. Returns `true` on a
+    /// suspected → alive recovery transition.
+    pub fn heartbeat(&mut self, node: usize, now: Nanos) -> bool {
+        self.last_seen[node] = now;
+        !std::mem::replace(&mut self.alive[node], true)
+    }
+
+    /// Sweep for nodes whose silence exceeded `k` periods at `now`,
+    /// appending newly-suspected ids to `out` in ascending node order
+    /// (determinism: callers fold these into reports).
+    pub fn check_into(&mut self, now: Nanos, out: &mut Vec<usize>) {
+        let budget = self.period * self.k;
+        for (n, (&seen, alive)) in
+            self.last_seen.iter().zip(self.alive.iter_mut()).enumerate()
+        {
+            if *alive && seen + budget < now {
+                *alive = false;
+                out.push(n);
+            }
+        }
+    }
+
+    /// Current liveness belief for `node`.
+    #[inline]
+    pub fn is_alive(&self, node: usize) -> bool {
+        self.alive[node]
+    }
+
+    /// The configured probe period.
+    pub fn period(&self) -> Nanos {
+        self.period
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compile_routes_ops_to_tables() {
+        let script = ScenarioScript::new()
+            .crash(1, Nanos(100), Nanos(200))
+            .flap(2, 0.5, Nanos(50), Nanos(60))
+            .storm(0, FaultPlan::corrupting(1.0).window(Nanos(10), Nanos(20)))
+            .straggle(3, 4.0, Nanos(0), Nanos(1_000));
+        let c = script.compile(4);
+        assert!(c.is_down(1, Nanos(150)));
+        assert!(!c.is_down(1, Nanos(200)));
+        assert!(!c.is_down(0, Nanos(150)));
+        assert_eq!(c.faults[2].plan_at(Nanos(55)).drop_chance, 0.5);
+        assert!(c.faults[2].plan_at(Nanos(60)).is_none());
+        assert_eq!(c.faults[0].plan_at(Nanos(15)).corrupt_chance, 1.0);
+        assert_eq!(c.straggle_factor(3, Nanos(500)), 4.0);
+        assert_eq!(c.straggle_factor(3, Nanos(1_000)), 1.0);
+        assert_eq!(c.straggle_factor(2, Nanos(500)), 1.0);
+        assert!(!c.is_quiet());
+        assert!(ScenarioScript::new().compile(4).is_quiet());
+    }
+
+    #[test]
+    #[should_panic(expected = "crash names node")]
+    fn compile_rejects_out_of_range_nodes() {
+        ScenarioScript::new()
+            .crash(9, Nanos(0), Nanos(1))
+            .compile(4);
+    }
+
+    #[test]
+    fn health_monitor_suspects_and_recovers() {
+        let period = Nanos(1_000);
+        let mut hm = HealthMonitor::new(2, period, 3);
+        let mut out = Vec::new();
+        // Fresh monitor: grace until k periods pass.
+        hm.check_into(Nanos(3_000), &mut out);
+        assert!(out.is_empty());
+        hm.heartbeat(0, Nanos(3_000));
+        hm.heartbeat(1, Nanos(3_000));
+        // Node 1 goes silent: its budget runs out k periods after its
+        // last probe (3_000 + 3 × 1_000).
+        hm.heartbeat(0, Nanos(6_000));
+        hm.check_into(Nanos(6_000), &mut out);
+        assert!(out.is_empty(), "within budget");
+        hm.check_into(Nanos(6_001), &mut out);
+        assert_eq!(out, vec![1]);
+        assert!(!hm.is_alive(1));
+        assert!(hm.is_alive(0));
+        // Re-sweeping does not re-report.
+        hm.check_into(Nanos(7_000), &mut out);
+        assert_eq!(out, vec![1]);
+        // A probe recovers it, exactly once.
+        assert!(hm.heartbeat(1, Nanos(8_000)));
+        assert!(!hm.heartbeat(1, Nanos(8_100)));
+        assert!(hm.is_alive(1));
+    }
+}

@@ -22,7 +22,7 @@
 use std::collections::VecDeque;
 
 use crate::sim::{Sim, Timed};
-use crate::stats::Samples;
+use crate::stats::{Histogram, Samples};
 use crate::time::Nanos;
 
 /// A latency/throughput report shared by all drivers.
@@ -44,6 +44,7 @@ pub struct LoadReport {
 #[derive(Clone, Debug)]
 pub struct RunStats {
     latency: Samples,
+    hist: Histogram,
     completed: u64,
     warmup: Nanos,
 }
@@ -53,6 +54,7 @@ impl RunStats {
     pub fn new(warmup: Nanos) -> Self {
         RunStats {
             latency: Samples::new(),
+            hist: Histogram::new(),
             completed: 0,
             warmup,
         }
@@ -68,6 +70,7 @@ impl RunStats {
     pub fn complete(&mut self, finished: Nanos, issued: Nanos) {
         if finished >= self.warmup {
             self.latency.record(finished - issued);
+            self.hist.record(finished - issued);
             self.completed += 1;
         }
     }
@@ -82,6 +85,13 @@ impl RunStats {
         &mut self.latency
     }
 
+    /// The streaming latency histogram — bounded-memory p50/p99/p99.9
+    /// with order-invariant merging; its percentiles track
+    /// [`Samples::percentile`] within [`Histogram::RELATIVE_ERROR`].
+    pub fn histogram(&self) -> &Histogram {
+        &self.hist
+    }
+
     /// Absorb another shard's/node's stats (same warm-up horizon). Used
     /// by the sharded runner to fold per-node bookkeeping into one report;
     /// merging in a fixed (node) order keeps the folded report identical
@@ -90,6 +100,7 @@ impl RunStats {
         debug_assert_eq!(self.warmup, other.warmup, "merging mismatched warm-ups");
         self.completed += other.completed;
         self.latency.merge(other.latency);
+        self.hist.merge(&other.hist);
     }
 
     /// Fold into the standard [`LoadReport`] over a measurement `duration`.

@@ -22,6 +22,7 @@
 //!   engine and NIC port so saturation emerges instead of being scripted.
 
 pub mod arena;
+pub mod chaos;
 pub mod fault;
 pub mod harness;
 pub mod queue;
@@ -35,7 +36,8 @@ pub mod table;
 pub mod time;
 
 pub use arena::{Arena, ArenaSlot};
-pub use fault::{FaultPlan, Verdict};
+pub use chaos::{CompiledScenario, HealthMonitor, ScenarioOp, ScenarioScript, StragglerWindow};
+pub use fault::{FaultPlan, FaultTimeline, Verdict};
 pub use harness::{Effects, Engine, Harness, LoadReport, RunStats};
 pub use queue::{
     adaptive_threshold, queue_kind, set_adaptive_threshold, set_queue_kind, EventId, EventQueue,
@@ -50,5 +52,5 @@ pub use rate::TokenBucket;
 pub use rng::SimRng;
 pub use server::{FifoServer, ServerBank};
 pub use sim::{Sim, Timed};
-pub use stats::{Counters, Samples, UtilizationBins, WindowedRate};
+pub use stats::{Counters, Histogram, Samples, UtilizationBins, WindowedRate};
 pub use time::{cycles_time, wire_time, ByteCost, Nanos};

@@ -93,6 +93,156 @@ impl Samples {
     }
 }
 
+/// Number of sub-buckets per power-of-two range: 2^5 = 32 sub-buckets,
+/// giving a relative error of at most `1/32 ≈ 3.125%` on every query.
+const SUB_BITS: u32 = 5;
+const SUB_BUCKETS: usize = 1 << SUB_BITS;
+/// Values below `2^(SUB_BITS + 1)` get one exact bucket each.
+const EXACT_LIMIT: u64 = (SUB_BUCKETS as u64) * 2;
+/// Power-of-two ranges above the exact region: msb in `6 ..= 63`.
+const RANGES: usize = 64 - (SUB_BITS as usize + 1);
+const BUCKETS: usize = EXACT_LIMIT as usize + RANGES * SUB_BUCKETS;
+
+/// A streaming log-bucketed latency histogram (HDR-style) with bounded
+/// memory: ~15 KiB of counts regardless of sample count, preallocated at
+/// construction so the steady state is allocation-free.
+///
+/// Layout: values `0..64` land in one exact bucket each; a value with
+/// most-significant bit `m ≥ 6` lands in one of 32 sub-buckets of the
+/// range `[2^m, 2^(m+1))`, so every query is exact below 64 ns and within
+/// `2^-5 = 3.125%` relative error above. Percentiles use the same
+/// nearest-rank rule as [`Samples::percentile`] and report the bucket's
+/// lower edge, which keeps the bound one-sided (never over-reports).
+///
+/// [`Histogram::merge`] adds counts element-wise, so merged tails are
+/// exactly independent of merge order and split — the sharded runner
+/// relies on this to report identical p99/p99.9 at every shard count.
+#[derive(Clone)]
+pub struct Histogram {
+    counts: Box<[u64; BUCKETS]>,
+    total: u64,
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("total", &self.total)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram with all buckets preallocated.
+    pub fn new() -> Self {
+        Histogram {
+            counts: vec![0u64; BUCKETS].into_boxed_slice().try_into().unwrap(),
+            total: 0,
+        }
+    }
+
+    /// The documented worst-case relative error of any percentile query.
+    pub const RELATIVE_ERROR: f64 = 1.0 / SUB_BUCKETS as f64;
+
+    #[inline]
+    fn bucket_of(v: u64) -> usize {
+        if v < EXACT_LIMIT {
+            v as usize
+        } else {
+            let msb = 63 - v.leading_zeros();
+            let shift = msb - SUB_BITS;
+            let range = (msb - (SUB_BITS + 1)) as usize;
+            EXACT_LIMIT as usize
+                + range * SUB_BUCKETS
+                + ((v >> shift) as usize - SUB_BUCKETS)
+        }
+    }
+
+    /// Lower edge of bucket `b` — the value a percentile query reports.
+    #[inline]
+    fn bucket_floor(b: usize) -> u64 {
+        if b < EXACT_LIMIT as usize {
+            b as u64
+        } else {
+            let rel = b - EXACT_LIMIT as usize;
+            let range = rel / SUB_BUCKETS;
+            let sub = rel % SUB_BUCKETS;
+            let msb = range as u32 + SUB_BITS + 1;
+            ((SUB_BUCKETS + sub) as u64) << (msb - SUB_BITS)
+        }
+    }
+
+    /// Record one sample. Allocation-free.
+    #[inline]
+    pub fn record(&mut self, v: Nanos) {
+        self.counts[Self::bucket_of(v.as_nanos())] += 1;
+        self.total += 1;
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> u64 {
+        self.total
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Percentile (0.0 ..= 100.0) by nearest-rank over buckets, reporting
+    /// the containing bucket's lower edge; zero when empty.
+    pub fn percentile(&self, p: f64) -> Nanos {
+        if self.total == 0 {
+            return Nanos::ZERO;
+        }
+        let rank = ((p / 100.0) * (self.total as f64 - 1.0)).round() as u64;
+        let rank = rank.min(self.total - 1);
+        let mut seen = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen > rank {
+                return Nanos(Self::bucket_floor(b));
+            }
+        }
+        Nanos(Self::bucket_floor(BUCKETS - 1))
+    }
+
+    /// Median.
+    pub fn p50(&self) -> Nanos {
+        self.percentile(50.0)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> Nanos {
+        self.percentile(99.0)
+    }
+
+    /// 99.9th percentile.
+    pub fn p999(&self) -> Nanos {
+        self.percentile(99.9)
+    }
+
+    /// Absorb another histogram. Element-wise, so exactly order- and
+    /// split-invariant.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+
+    /// Reset all buckets without releasing memory (end of warm-up).
+    pub fn clear(&mut self) {
+        self.counts.fill(0);
+        self.total = 0;
+    }
+}
+
 /// Counts events in fixed windows of virtual time — the raw material for the
 /// paper's time-series plots (Figs 14 & 15) and for RPS reporting.
 #[derive(Debug, Clone)]
@@ -352,6 +502,74 @@ mod tests {
         let mut u = UtilizationBins::new(Nanos(100));
         u.record_busy(Nanos(50), Nanos(50));
         assert!(u.series(Nanos(100)).iter().all(|&(_, f)| f == 0.0));
+    }
+
+    #[test]
+    fn histogram_exact_below_limit() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 7, 63] {
+            h.record(Nanos(v));
+        }
+        assert_eq!(h.len(), 4);
+        assert_eq!(h.percentile(0.0), Nanos(0));
+        assert_eq!(h.percentile(100.0), Nanos(63));
+        // Nearest-rank over 4 samples: rank round(0.5 * 3) = 2 → third value.
+        assert_eq!(h.p50(), Nanos(7));
+    }
+
+    #[test]
+    fn histogram_bucket_roundtrip_error_bound() {
+        // Every bucket floor maps back to its own bucket, floors are
+        // monotone, and any value's reported floor is within the
+        // documented relative error below it.
+        let mut prev = None;
+        for b in 0..BUCKETS {
+            let floor = Histogram::bucket_floor(b);
+            assert_eq!(Histogram::bucket_of(floor), b, "bucket {b}");
+            if let Some(p) = prev {
+                assert!(floor > p, "floors must be strictly increasing");
+            }
+            prev = Some(floor);
+        }
+        for &v in &[64u64, 100, 1_000, 12_345, 1 << 20, u64::MAX / 3, u64::MAX] {
+            let floor = Histogram::bucket_floor(Histogram::bucket_of(v));
+            assert!(floor <= v);
+            let err = (v - floor) as f64 / v as f64;
+            assert!(err < Histogram::RELATIVE_ERROR + 1e-12, "v={v} err={err}");
+        }
+    }
+
+    #[test]
+    fn histogram_merge_is_elementwise() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in 0..1_000u64 {
+            if v % 2 == 0 {
+                a.record(Nanos(v * 17));
+            } else {
+                b.record(Nanos(v * 17));
+            }
+        }
+        let mut whole = Histogram::new();
+        for v in 0..1_000u64 {
+            whole.record(Nanos(v * 17));
+        }
+        a.merge(&b);
+        assert_eq!(a.len(), whole.len());
+        for p in [0.0, 50.0, 90.0, 99.0, 99.9, 100.0] {
+            assert_eq!(a.percentile(p), whole.percentile(p), "p={p}");
+        }
+    }
+
+    #[test]
+    fn histogram_empty_and_clear() {
+        let mut h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.p99(), Nanos::ZERO);
+        h.record(Nanos(123));
+        h.clear();
+        assert!(h.is_empty());
+        assert_eq!(h.len(), 0);
     }
 
     #[test]

@@ -1,0 +1,121 @@
+//! Property tests for the streaming log-bucketed [`Histogram`].
+//!
+//! Two contracts matter to the sharded runner:
+//!
+//! 1. **Merge is order- and split-invariant.** `RunStats::merge` folds
+//!    per-node histograms in global node order, but the *tails it
+//!    reports must not depend on how samples were split across nodes or
+//!    in which order the folds happened* — otherwise shard counts could
+//!    skew p99. Element-wise bucket addition gives this exactly; the
+//!    property drives it with random splits and permutations.
+//! 2. **Bucketed percentiles track exact ones.** The histogram
+//!    documents a worst-case relative error of `Histogram::RELATIVE_ERROR`
+//!    (2⁻⁵ = 3.125%): any percentile it reports is the lower edge of the
+//!    bucket containing the exact [`Samples::percentile`] answer, so
+//!    `hist ≤ exact` and `exact − hist ≤ RELATIVE_ERROR · exact` (+1 for
+//!    integer truncation at tiny values).
+
+use proptest::prelude::*;
+
+use palladium_simnet::{Histogram, Nanos, Samples};
+
+/// Sample values spanning the exact region (< 64), the log-bucketed
+/// mid-range, and large outliers — mixed magnitudes are where bucket
+/// error would show.
+fn value_strategy() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        3 => 0u64..64,
+        5 => 64u64..100_000,
+        3 => 100_000u64..10_000_000_000,
+        1 => any::<u64>(),
+    ]
+}
+
+const PERCENTILES: [f64; 7] = [0.0, 10.0, 50.0, 90.0, 99.0, 99.9, 100.0];
+
+/// Record `values` whole and as permuted split parts; both paths must
+/// report bit-identical percentiles.
+fn check_merge(values: &[u64], cuts: &[usize], swap_seed: usize) -> Result<(), TestCaseError> {
+    let mut whole = Histogram::new();
+    for &v in values {
+        whole.record(Nanos(v));
+    }
+
+    // Split the sample stream at the (sorted, deduped) cut points.
+    let mut cuts: Vec<usize> = cuts.iter().map(|&c| c % values.len()).collect();
+    cuts.sort_unstable();
+    cuts.dedup();
+    let mut parts: Vec<Histogram> = Vec::new();
+    let mut start = 0;
+    for &c in cuts.iter().chain(std::iter::once(&values.len())) {
+        let mut h = Histogram::new();
+        for &v in &values[start..c.max(start)] {
+            h.record(Nanos(v));
+        }
+        parts.push(h);
+        start = c.max(start);
+    }
+
+    // Deterministically permute the merge order.
+    let n = parts.len();
+    for i in 0..n {
+        parts.swap(i, (i + swap_seed) % n);
+    }
+    let mut merged = Histogram::new();
+    for p in &parts {
+        merged.merge(p);
+    }
+
+    prop_assert_eq!(merged.len(), whole.len());
+    for p in PERCENTILES {
+        prop_assert_eq!(merged.percentile(p), whole.percentile(p), "p={}", p);
+    }
+    Ok(())
+}
+
+/// Bucketed percentiles must sit at or just below the exact sort-based
+/// answer, within the documented one-sided relative-error bound.
+fn check_against_exact(values: &[u64]) -> Result<(), TestCaseError> {
+    let mut hist = Histogram::new();
+    let mut exact = Samples::new();
+    for &v in values {
+        hist.record(Nanos(v));
+        exact.record(Nanos(v));
+    }
+    for p in PERCENTILES {
+        let h = hist.percentile(p).as_nanos();
+        let e = exact.percentile(p).as_nanos();
+        // One-sided: the histogram reports the bucket's lower edge.
+        prop_assert!(h <= e, "p{}: hist {} above exact {}", p, h, e);
+        let bound = (e as f64 * Histogram::RELATIVE_ERROR).floor() as u64 + 1;
+        prop_assert!(
+            e - h <= bound,
+            "p{}: hist {} vs exact {} exceeds the {}% bound",
+            p,
+            h,
+            e,
+            Histogram::RELATIVE_ERROR * 100.0
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merge_is_order_and_split_invariant(
+        values in proptest::collection::vec(value_strategy(), 1..400),
+        cuts in proptest::collection::vec(0usize..400, 0..6),
+        swap_seed in 0usize..1_000,
+    ) {
+        check_merge(&values, &cuts, swap_seed)?;
+    }
+
+    #[test]
+    fn percentiles_track_exact_within_documented_error(
+        values in proptest::collection::vec(value_strategy(), 1..500),
+    ) {
+        check_against_exact(&values)?;
+    }
+}

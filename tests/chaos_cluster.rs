@@ -1,0 +1,252 @@
+//! Chaos-scenario pins for the sharded Fig 16 cluster.
+//!
+//! The fault-free golden (`cluster_sharded.rs`) proves the healthy data
+//! plane is shard-count-invariant. This suite proves the same for the
+//! *unhealthy* one: scripted crash/flap/straggler scenarios — verdicts
+//! drawn from per-node fault streams, partitions applied as
+//! deterministic down-windows, failover driven by the heartbeat plane —
+//! must produce byte-identical reports at 1/2/4/8 shards under both
+//! execution modes. A diff here means fault verdicts leaked onto a
+//! shard-dependent RNG, the down table diverged between fabric
+//! instances, or the health plane observed shard-dependent timing.
+//!
+//! To regenerate after an *intentional* change:
+//! `GOLDEN_REGEN=1 cargo test -q --test chaos_cluster` and commit the
+//! updated snapshot together with the change that explains it.
+#![recursion_limit = "512"]
+
+use proptest::prelude::*;
+
+use palladium_core::driver::cluster_sharded::{
+    ClusterShardedConfig, ClusterShardedReport, ClusterShardedSim,
+};
+use palladium_core::system::SystemKind;
+use palladium_simnet::{Execution, FaultPlan, Nanos, ScenarioScript};
+use palladium_workloads::boutique::{sharded_config, ChainKind};
+
+const PAIRS: usize = 4;
+
+fn base_cfg() -> ClusterShardedConfig {
+    sharded_config(SystemKind::PalladiumDne, ChainKind::HomeQuery, PAIRS)
+        .clients(8 * PAIRS)
+        .warmup_ms(1)
+        .duration_ms(4)
+}
+
+/// Crash pair 1's first worker mid-run; the health plane must suspect
+/// it, abandon the in-flight requests, and re-route to survivors until
+/// heartbeats resume.
+fn crash_failover() -> ScenarioScript {
+    ScenarioScript::new().crash(2, Nanos::from_micros(1_500), Nanos::from_millis(3))
+}
+
+/// Flap two workers' links with stochastic drop windows: go-back-N
+/// absorbs the losses (rto/fault_drops count them), no failover fires.
+fn link_flap() -> ScenarioScript {
+    ScenarioScript::new()
+        .flap(5, 0.05, Nanos::from_millis(1), Nanos::from_micros(2_500))
+        .flap(1, 0.02, Nanos::from_micros(1_800), Nanos::from_micros(3_200))
+}
+
+/// One worker computes 8× slower for 2 ms: no losses, but the latency
+/// tail must move.
+fn straggler() -> ScenarioScript {
+    ScenarioScript::new().straggle(6, 8.0, Nanos::from_millis(1), Nanos::from_millis(3))
+}
+
+/// Hex-exact rendering (no shortest-repr float ambiguity), the
+/// fault-free trace extended with histogram tails and chaos accounting.
+fn trace(name: &str, r: &ClusterShardedReport) -> String {
+    let c = &r.chaos;
+    format!(
+        "chaos/{name}: rps={:016x} mean={} p50={} p99={} p999={} completed={} \
+         sw_bytes={} dma_bytes={} events={} messages={} \
+         fault_drops={} crash_drops={} corrupt={} rto={} suspected={} \
+         recovered={} inflight_lost={} reroutes={} shed={}\n",
+        r.chain.load.rps.to_bits(),
+        r.chain.load.mean_latency.as_nanos(),
+        r.p50.as_nanos(),
+        r.p99.as_nanos(),
+        r.p999.as_nanos(),
+        r.chain.load.completed,
+        r.chain.software_copy_bytes,
+        r.chain.rnic_dma_bytes,
+        r.events,
+        r.messages,
+        c.fault_drops,
+        c.crash_drops,
+        c.corrupt,
+        c.rto,
+        c.suspected,
+        c.recovered,
+        c.inflight_lost,
+        c.reroutes,
+        c.shed
+    )
+}
+
+fn scenarios() -> Vec<(&'static str, ScenarioScript)> {
+    vec![
+        ("crash_failover", crash_failover()),
+        ("link_flap", link_flap()),
+        ("straggler", straggler()),
+    ]
+}
+
+#[test]
+fn chaos_scenarios_reproduce_the_snapshot_at_every_shard_count() {
+    let mut serial = String::new();
+    let mut sims = Vec::new();
+    for (name, script) in scenarios() {
+        let sim = ClusterShardedSim::new(base_cfg().chaos(script));
+        let r = sim.run(1, Execution::Sequential);
+        assert!(r.chain.load.completed > 0, "{name}: cluster must survive the scenario");
+        serial.push_str(&trace(name, &r));
+        sims.push((name, sim));
+    }
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/chaos_cluster_golden.txt");
+    if std::env::var("GOLDEN_REGEN").is_ok() {
+        std::fs::create_dir_all(std::path::Path::new(path).parent().unwrap()).unwrap();
+        std::fs::write(path, &serial).unwrap();
+    } else {
+        let want = std::fs::read_to_string(path)
+            .expect("golden snapshot missing — run with GOLDEN_REGEN=1 to create it");
+        assert_eq!(serial, want, "--shards 1 diverged from the golden snapshot");
+    }
+
+    for (name, sim) in &sims {
+        let one = trace(name, &sim.run(1, Execution::Sequential));
+        for shards in [2usize, 4, 8] {
+            for execution in [Execution::Sequential, Execution::Threads] {
+                let got = trace(name, &sim.run(shards, execution));
+                assert_eq!(
+                    got, one,
+                    "{name}: {shards} shards / {execution:?} diverged from the serial bytes"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn crash_triggers_detection_failover_and_recovery() {
+    let r = ClusterShardedSim::new(base_cfg().chaos(crash_failover())).run(1, Execution::Sequential);
+    let c = &r.chaos;
+    assert!(c.crash_drops > 0, "the partition must eat frames: {c:?}");
+    assert!(c.suspected > 0, "missed heartbeats must raise suspicion: {c:?}");
+    assert!(c.inflight_lost > 0, "suspicion must abandon in-flight requests: {c:?}");
+    assert!(c.reroutes > 0, "issues during the outage must re-route: {c:?}");
+    assert!(c.recovered > 0, "heartbeats resume after the window: {c:?}");
+    assert_eq!(c.fault_drops, 0, "a pure partition draws no stochastic verdicts");
+}
+
+#[test]
+fn flap_drops_are_absorbed_by_the_transport() {
+    let faulty = ClusterShardedSim::new(base_cfg().chaos(link_flap())).run(1, Execution::Sequential);
+    let c = &faulty.chaos;
+    assert!(c.fault_drops > 0, "flap windows must drop frames: {c:?}");
+    assert!(c.rto > 0, "dropped frames must cost retransmission timeouts: {c:?}");
+    assert_eq!(c.crash_drops, 0, "no partitions in this scenario");
+    assert!(
+        faulty.chain.load.completed > 0,
+        "go-back-N must still complete requests through the flaps"
+    );
+}
+
+#[test]
+fn straggler_moves_the_latency_tail() {
+    let healthy = ClusterShardedSim::new(base_cfg()).run(1, Execution::Sequential);
+    let slow = ClusterShardedSim::new(base_cfg().chaos(straggler())).run(1, Execution::Sequential);
+    assert_eq!(slow.chaos.fault_drops + slow.chaos.crash_drops, 0, "stragglers lose nothing");
+    assert!(
+        slow.p99 > healthy.p99,
+        "an 8× straggler must stretch p99 ({} vs {})",
+        slow.p99.as_nanos(),
+        healthy.p99.as_nanos()
+    );
+    assert!(
+        slow.chain.load.completed > 0,
+        "the cluster keeps completing through the straggle window"
+    );
+}
+
+/// Satellite regression: the per-node fault streams make stochastic
+/// drop *counters* — not just aggregate shapes — identical at 1 and 4
+/// shards. Before the rework the verdict RNG advanced per-net, so
+/// re-sharding reshuffled every coin flip.
+#[test]
+fn drop_counters_are_shard_count_invariant() {
+    let sim = ClusterShardedSim::new(base_cfg().chaos(link_flap()));
+    let one = sim.run(1, Execution::Sequential);
+    let four = sim.run(4, Execution::Sequential);
+    assert!(one.chaos.fault_drops > 0, "scenario must exercise the fault path");
+    assert_eq!(
+        one.chaos, four.chaos,
+        "fault/health counters diverged between 1 and 4 shards"
+    );
+}
+
+/// A scripted fault storm, proptest-shaped: random crash windows, flap
+/// probabilities and straggle factors over a smaller (2-pair) cluster
+/// must stay byte-identical between 1 and 4 shards. Drives scenario
+/// shapes no hand-written pin would think of.
+fn storm_strategy() -> impl Strategy<Value = ScenarioScript> {
+    let crash = (0usize..4, 200_000u64..1_200_000, 200_000u64..1_500_000).prop_map(
+        |(node, from, len)| {
+            ScenarioScript::new().crash(node, Nanos(from), Nanos(from + len))
+        },
+    );
+    let flap = (0usize..4, 0.01f64..0.2, 100_000u64..1_000_000, 200_000u64..1_500_000)
+        .prop_map(|(node, p, from, len)| {
+            ScenarioScript::new().flap(node, p, Nanos(from), Nanos(from + len))
+        });
+    let corrupt = (0usize..4, 0.005f64..0.05).prop_map(|(node, p)| {
+        ScenarioScript::new().storm(node, FaultPlan::corrupting(p))
+    });
+    let straggle = (0usize..5, 2.0f64..12.0, 100_000u64..1_000_000, 200_000u64..1_500_000)
+        .prop_map(|(node, f, from, len)| {
+            ScenarioScript::new().straggle(node, f, Nanos(from), Nanos(from + len))
+        });
+    proptest::collection::vec(prop_oneof![crash, flap, corrupt, straggle], 1..4).prop_map(
+        |parts| {
+            let mut script = ScenarioScript::new();
+            for part in parts {
+                for op in part.ops() {
+                    script = script.op(*op);
+                }
+            }
+            script
+        },
+    )
+}
+
+fn check_storm(script: ScenarioScript) -> Result<(), TestCaseError> {
+    let cfg = sharded_config(SystemKind::PalladiumDne, ChainKind::HomeQuery, 2)
+        .clients(8)
+        .warmup_ms(0)
+        .duration_ms(2)
+        .chaos(script);
+    let sim = ClusterShardedSim::new(cfg);
+    let one = trace("storm", &sim.run(1, Execution::Sequential));
+    for (shards, execution) in [(4usize, Execution::Sequential), (4, Execution::Threads)] {
+        let got = trace("storm", &sim.run(shards, execution));
+        prop_assert_eq!(
+            &got,
+            &one,
+            "storm diverged at {} shards / {:?}",
+            shards,
+            execution
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn fault_storms_are_shard_count_invariant(script in storm_strategy()) {
+        check_storm(script)?;
+    }
+}

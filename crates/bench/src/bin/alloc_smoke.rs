@@ -141,6 +141,36 @@ fn run_cluster_chaos(duration_ms: u64) -> (u64, u64) {
     (report.events, ALLOCS.load(Ordering::Relaxed) - before)
 }
 
+/// The recovery path under the allocation gate: a correlated rack crash
+/// (both of pair 1's workers) whose members pay the costed rejoin inside
+/// the base duration, plus a persistent gray link (directed drop +
+/// latency inflation) that keeps the EWMA probation machinery running
+/// through the steady-state tail. Rejoin scheduling (epoch bump + one
+/// deferred event per recovery), the TTR histogram (fixed log buckets)
+/// and the per-pair score updates must all stay off the heap.
+fn run_cluster_rejoin(duration_ms: u64) -> (u64, u64) {
+    let script = ScenarioScript::new()
+        .domain("rack1", &[2, 3])
+        .crash_domain("rack1", Nanos::from_millis(15), Nanos::from_millis(25))
+        .gray_link(
+            0,
+            1,
+            0.02,
+            Nanos::from_micros(100),
+            Nanos::from_millis(12),
+            Nanos::from_millis(35),
+        );
+    let cfg = boutique::sharded_config(SystemKind::PalladiumDne, ChainKind::HomeQuery, 2)
+        .clients(32)
+        .warmup_ms(10)
+        .duration_ms(duration_ms)
+        .stride(2)
+        .chaos(script);
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let report = ClusterShardedSim::new(cfg).run(2, Execution::Sequential);
+    (report.events, ALLOCS.load(Ordering::Relaxed) - before)
+}
+
 /// Run the Fig 12 two-sided echo (the driver the shared `PayloadCache`
 /// newly covers) for `duration_ms`, returning `(events, allocations)`.
 fn run_echo(duration_ms: u64) -> (u64, u64) {
@@ -214,7 +244,13 @@ fn main() {
         40,
         120,
     );
-    if !(chain_ok && echo_ok && sharded_ok && chaos_ok) {
+    let rejoin_ok = gate(
+        "sharded cluster recovery, rack crash + costed rejoin + gray link",
+        run_cluster_rejoin,
+        40,
+        120,
+    );
+    if !(chain_ok && echo_ok && sharded_ok && chaos_ok && rejoin_ok) {
         std::process::exit(1);
     }
 }

@@ -4,7 +4,7 @@
 //! sharded Fig 16 cluster — see `palladium_simnet::chaos`) exists to
 //! answer one question: *how much tail latency does each fault class
 //! cost, and does failover keep the cluster serving?* This binary pins
-//! the answer. It runs a fault-free baseline plus the three named
+//! the answer. It runs a fault-free baseline plus the five named
 //! scenarios, reads p50/p99/p99.9 off the streaming latency histogram,
 //! and writes `BENCH_slo.json` — the committed copy is the per-scenario
 //! SLO the CI bench-smoke job diffs against.
@@ -19,6 +19,10 @@
 //! Hard in-binary gates (machine-independent, always enforced):
 //! - every scenario keeps completing requests (failover liveness);
 //! - the crash scenario detects, fails over and recovers;
+//! - the rack-crash scenario suspects the whole domain and both members
+//!   complete the *costed* rejoin with non-zero time-to-recovery;
+//! - the gray-partition scenario is caught by the differential EWMA
+//!   (demotion + deflection) while heartbeat suspicion stays at zero;
 //! - no scenario sheds requests (the chaos-raised retry budget holds).
 //!
 //! Usage: `cargo run --release -p palladium-bench --bin slo_smoke --
@@ -66,6 +70,25 @@ fn scenarios() -> Vec<(&'static str, Option<ScenarioScript>)> {
                 Nanos::from_millis(3),
             )),
         ),
+        (
+            "rack_crash_rejoin",
+            Some(
+                ScenarioScript::new()
+                    .domain("rack1", &[2, 3])
+                    .crash_domain("rack1", Nanos::from_micros(1_500), Nanos::from_millis(3)),
+            ),
+        ),
+        (
+            "gray_partition",
+            Some(ScenarioScript::new().gray_link(
+                4,
+                5,
+                0.05,
+                Nanos::from_micros(200),
+                Nanos::from_millis(1),
+                Nanos::from_micros(4_500),
+            )),
+        ),
     ]
 }
 
@@ -89,6 +112,36 @@ fn gate(name: &str, r: &ClusterShardedReport) -> bool {
                 "FAIL: {name}: detection/failover/recovery incomplete \
                  (suspected={} reroutes={} recovered={})",
                 c.suspected, c.reroutes, c.recovered
+            );
+            ok = false;
+        }
+    }
+    if name == "rack_crash_rejoin" {
+        let c = &r.chaos;
+        // The correlated crash must suspect the whole domain, and
+        // recovery must be *costed*: both members complete the paid
+        // rejoin with a non-zero time-to-recovery.
+        if c.suspected < 2 || c.rejoins < 2 || c.ttr_p50.is_zero() {
+            eprintln!(
+                "FAIL: {name}: costed rejoin incomplete \
+                 (suspected={} rejoins={} ttr_p50={})",
+                c.suspected,
+                c.rejoins,
+                c.ttr_p50.as_nanos()
+            );
+            ok = false;
+        }
+    }
+    if name == "gray_partition" {
+        let c = &r.chaos;
+        // Gray faults sit below the heartbeat threshold: detection must
+        // come from the differential EWMA (demotion + deflection), never
+        // from suspicion.
+        if c.suspected != 0 || c.gray_demoted == 0 || c.gray_reroutes == 0 {
+            eprintln!(
+                "FAIL: {name}: EWMA detection incomplete or heartbeats fired \
+                 (suspected={} gray_demoted={} gray_reroutes={})",
+                c.suspected, c.gray_demoted, c.gray_reroutes
             );
             ok = false;
         }
@@ -118,8 +171,9 @@ fn main() {
         let r = ClusterShardedSim::new(cfg).run(2, Execution::Sequential);
         all_ok &= gate(name, &r);
         println!(
-            "  {name:>14}: p50={:>7} ns  p99={:>8} ns  p99.9={:>8} ns  completed={:>4}  \
-             drops={} crash={} rto={} suspected={} reroutes={} lost={}",
+            "  {name:>17}: p50={:>7} ns  p99={:>8} ns  p99.9={:>8} ns  completed={:>4}  \
+             drops={} crash={} rto={} suspected={} reroutes={} lost={} \
+             rejoins={} ttr_p50={} gray_demoted={} gray_reroutes={}",
             r.p50.as_nanos(),
             r.p99.as_nanos(),
             r.p999.as_nanos(),
@@ -129,12 +183,18 @@ fn main() {
             r.chaos.rto,
             r.chaos.suspected,
             r.chaos.reroutes,
-            r.chaos.inflight_lost
+            r.chaos.inflight_lost,
+            r.chaos.rejoins,
+            r.chaos.ttr_p50.as_nanos(),
+            r.chaos.gray_demoted,
+            r.chaos.gray_reroutes
         );
         rows.push(format!(
             "    {{\"scenario\": \"{name}\", \"p50_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}, \
              \"completed\": {}, \"fault_drops\": {}, \"crash_drops\": {}, \"rto\": {}, \
-             \"suspected\": {}, \"recovered\": {}, \"inflight_lost\": {}, \"reroutes\": {}}}",
+             \"suspected\": {}, \"recovered\": {}, \"inflight_lost\": {}, \"reroutes\": {}, \
+             \"rejoins\": {}, \"ttr_p50_ns\": {}, \"ttr_p99_ns\": {}, \"gray_demoted\": {}, \
+             \"gray_reroutes\": {}}}",
             r.p50.as_nanos(),
             r.p99.as_nanos(),
             r.p999.as_nanos(),
@@ -145,7 +205,12 @@ fn main() {
             r.chaos.suspected,
             r.chaos.recovered,
             r.chaos.inflight_lost,
-            r.chaos.reroutes
+            r.chaos.reroutes,
+            r.chaos.rejoins,
+            r.chaos.ttr_p50.as_nanos(),
+            r.chaos.ttr_p99.as_nanos(),
+            r.chaos.gray_demoted,
+            r.chaos.gray_reroutes
         ));
     }
 

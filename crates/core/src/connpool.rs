@@ -11,7 +11,7 @@
 
 use palladium_membuf::{NodeId, TenantId};
 use palladium_rdma::{Qpn, RdmaNet};
-use palladium_simnet::IdTable;
+use palladium_simnet::{IdTable, Nanos};
 
 /// Identity of one pooled connection (local endpoint).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -40,6 +40,43 @@ impl Default for ConnPoolConfig {
             conns_per_peer: 4,
             max_active: 256,
         }
+    }
+}
+
+/// Control-plane cost model for a worker rejoin (Swift \[PAPERS.md\]: RDMA
+/// recovery is dominated by control-plane work, not data-plane loss). A
+/// rejoining worker pays serialized QP re-establishment, one MR
+/// re-registration pass, and a state re-sync transfer proportional to its
+/// pool bytes before it re-enters the routing set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RejoinCosts {
+    /// Control-plane serialization cost per QP re-established (setup RPCs
+    /// run on the DPU's slow path, one at a time).
+    pub qp_setup: Nanos,
+    /// Flat MR/pool re-registration cost (pinning + rkey redistribution).
+    pub mr_register: Nanos,
+    /// State re-sync transfer cost per KiB of pool memory re-seeded from
+    /// peers (rounded up to whole KiB).
+    pub resync_ns_per_kib: u64,
+}
+
+impl Default for RejoinCosts {
+    fn default() -> Self {
+        RejoinCosts {
+            qp_setup: Nanos::from_micros(25),
+            mr_register: Nanos::from_micros(50),
+            resync_ns_per_kib: 16,
+        }
+    }
+}
+
+impl RejoinCosts {
+    /// Total time a worker spends rejoining: `qps` serialized QP setups,
+    /// one MR registration, and `pool_bytes` of state re-sync.
+    pub fn cost(&self, qps: usize, pool_bytes: u64) -> Nanos {
+        self.qp_setup * qps as u64
+            + self.mr_register
+            + Nanos(self.resync_ns_per_kib * pool_bytes.div_ceil(1024))
     }
 }
 
@@ -88,9 +125,43 @@ impl ConnPool {
         qpns
     }
 
+    /// Warm up connections to `peer` like [`ConnPool::warm_up`], but pay
+    /// the control-plane cost through the simulation clock: each QP setup
+    /// serializes for `per_qp`, so the pool is usable at the returned
+    /// ready-time, not at `now`. This is the rejoin path — a recovered
+    /// worker re-establishes its pool one QP at a time (Swift's
+    /// serialization bottleneck) instead of getting it for free.
+    pub fn warm_up_costed(
+        &mut self,
+        net: &mut RdmaNet,
+        peer: NodeId,
+        tenant: TenantId,
+        now: Nanos,
+        per_qp: Nanos,
+    ) -> (Vec<Qpn>, Nanos) {
+        let qpns = self.warm_up(net, peer, tenant);
+        let ready_at = now + per_qp * qpns.len() as u64;
+        (qpns, ready_at)
+    }
+
     /// Adopt an externally established connection.
     pub fn adopt(&mut self, peer: NodeId, tenant: TenantId, qpn: Qpn) {
         self.conns.push(PooledConn { peer, tenant, qpn });
+    }
+
+    /// Drop every pooled connection whose QP is gone or sits in the Error
+    /// state (go-back-N retry exhaustion). Errored QPs can never carry
+    /// work again, but until this sweep they still counted against the
+    /// active cap and inflated `pool_size`. Returns how many were evicted.
+    pub fn evict_errored(&mut self, net: &RdmaNet) -> usize {
+        let rnic = net.rnic(self.node);
+        let before = self.conns.len();
+        self.conns.retain(|c| {
+            rnic.qp(c.qpn)
+                .map(|q| q.state != palladium_rdma::QpState::Error)
+                .unwrap_or(false)
+        });
+        before - self.conns.len()
     }
 
     /// Number of pooled connections to `peer` for `tenant`.
@@ -102,14 +173,16 @@ impl ConnPool {
     }
 
     /// Count of currently active QPs on this node (shadow-QP criterion:
-    /// outstanding work > 0), per the live fabric state.
+    /// outstanding work > 0), per the live fabric state. Errored QPs are
+    /// dead weight, not activity — they never count, even while their
+    /// abandoned work drains.
     pub fn active_count(&self, net: &RdmaNet) -> usize {
         self.conns
             .iter()
             .filter(|c| {
                 net.rnic(self.node)
                     .qp(c.qpn)
-                    .map(|q| q.is_active())
+                    .map(|q| q.state == palladium_rdma::QpState::Rts && q.is_active())
                     .unwrap_or(false)
             })
             .count()
@@ -128,12 +201,17 @@ impl ConnPool {
         let at_cap = self.conns.len() >= self.cfg.max_active
             && self.active_count(net) >= self.cfg.max_active;
         let mut best: Option<(usize, Qpn)> = None;
+        let mut saw_error = false;
         for c in self
             .conns
             .iter()
             .filter(|c| c.peer == peer && c.tenant == tenant)
         {
             let Ok(qp) = rnic.qp(c.qpn) else { continue };
+            if qp.state == palladium_rdma::QpState::Error {
+                saw_error = true;
+                continue;
+            }
             if qp.state != palladium_rdma::QpState::Rts {
                 continue;
             }
@@ -167,6 +245,12 @@ impl ConnPool {
         let picked = best.map(|(_, q)| q);
         if let Some(q) = picked {
             *self.picks.get_or_insert_with(q.0 as usize, || 0) += 1;
+        }
+        // Errored QPs surfaced during the scan are purged immediately —
+        // leaving them pooled would keep re-scanning corpses and skew the
+        // active-cap heuristic (which counts pooled conns).
+        if saw_error {
+            self.evict_errored(net);
         }
         picked
     }
@@ -258,6 +342,71 @@ mod tests {
         let mut pool = ConnPool::new(NodeId(0), ConnPoolConfig::default());
         pool.warm_up(&mut net, NodeId(1), TenantId(1));
         assert!(pool.select(&net, NodeId(1), TenantId(9)).is_none());
+    }
+
+    /// Satellite regression: a QP that hits the Error state (retry
+    /// exhaustion) must leave the pool — before the eviction sweep it
+    /// lingered forever, inflating `pool_size` and the active-cap
+    /// heuristic, and `active_count` kept counting its abandoned work.
+    #[test]
+    fn select_evicts_errored_qps() {
+        let mut net = net();
+        let mut pool = ConnPool::new(NodeId(0), ConnPoolConfig::default());
+        let qpns = pool.warm_up(&mut net, NodeId(1), TenantId(1));
+        assert_eq!(pool.pool_size(NodeId(1), TenantId(1)), 4);
+        // Error two QPs, one of them with work still outstanding.
+        net.post_send(
+            Nanos::ZERO,
+            NodeId(0),
+            qpns[0],
+            WorkRequest::send(WrId(1), Bytes::from_static(b"x"), 0),
+        )
+        .unwrap();
+        for q in [qpns[0], qpns[1]] {
+            net.rnic_mut(NodeId(0)).qp_mut(q).unwrap().set_error();
+        }
+        assert_eq!(pool.active_count(&net), 0, "errored work is not activity");
+        // Selection still lands on a healthy QP and purges the corpses.
+        let picked = pool.select(&net, NodeId(1), TenantId(1)).unwrap();
+        assert!(picked == qpns[2] || picked == qpns[3]);
+        assert_eq!(pool.pool_size(NodeId(1), TenantId(1)), 2, "errored QPs evicted");
+        // The explicit sweep is idempotent.
+        assert_eq!(pool.evict_errored(&net), 0);
+    }
+
+    /// The rejoin path pays Swift-style serialized setup: the pool exists
+    /// immediately but is only *ready* per-QP-cost × pool-width later, and
+    /// the ready-time scales linearly with the configured cost.
+    #[test]
+    fn costed_warm_up_serializes_setup() {
+        let mut fabric = net();
+        let mut pool = ConnPool::new(NodeId(0), ConnPoolConfig::default());
+        let now = Nanos::from_micros(100);
+        let per_qp = Nanos::from_micros(25);
+        let (qpns, ready) = pool.warm_up_costed(&mut fabric, NodeId(1), TenantId(1), now, per_qp);
+        assert_eq!(qpns.len(), 4);
+        assert_eq!(ready, now + per_qp * 4);
+        // Doubling the per-QP cost doubles the paid setup time.
+        let mut net2 = net();
+        let mut pool2 = ConnPool::new(NodeId(0), ConnPoolConfig::default());
+        let (_, ready2) =
+            pool2.warm_up_costed(&mut net2, NodeId(1), TenantId(1), now, per_qp * 2);
+        assert_eq!(ready2 - now, (ready - now) * 2);
+    }
+
+    #[test]
+    fn rejoin_cost_scales_with_qps_and_pool_bytes() {
+        let costs = RejoinCosts::default();
+        let base = costs.cost(8, 32 << 20);
+        // Component accounting: 8 × 25 µs + 50 µs + 32 Mi/1 Ki × 16 ns.
+        assert_eq!(
+            base,
+            Nanos::from_micros(200) + Nanos::from_micros(50) + Nanos(32 * 1024 * 16)
+        );
+        assert!(costs.cost(16, 32 << 20) > base, "more QPs cost more");
+        assert!(costs.cost(8, 64 << 20) > base, "more state costs more");
+        let free = RejoinCosts { qp_setup: Nanos::ZERO, mr_register: Nanos::ZERO, resync_ns_per_kib: 0 };
+        assert_eq!(free.cost(8, 32 << 20), Nanos::ZERO);
     }
 
     #[test]

@@ -72,6 +72,39 @@
 //! (`tests/chaos_cluster.rs` pins it). With `chaos` unset no heartbeat
 //! or health-check events are ever scheduled and the event schedule is
 //! exactly the fault-free one — the pre-chaos golden traces hold.
+//!
+//! # Costed rejoin and gray-failure detection
+//!
+//! Recovery is not free. When a suspected worker's heartbeats resume,
+//! [`HealthMonitor`] moves it to **Rejoining** — still out of the
+//! routing set — and the ingress schedules [`Ev::RejoinDone`] after the
+//! configured [`RejoinCosts`]: serialized per-QP re-establishment
+//! (Swift's control-plane bottleneck), one MR/pool re-registration, and
+//! a state re-sync transfer proportional to the worker's pool bytes.
+//! Only the paid-up completion re-admits the pair; a worker that goes
+//! silent again mid-rejoin aborts the pending completion (a per-worker
+//! epoch voids the stale event) and counts as `rejoins_aborted`. The
+//! QPs themselves persist across the outage — go-back-N redelivers once
+//! the partition lifts (dense per-RNIC QP tables are what keep QPN
+//! wiring shard-count invariant) — so the rejoin models the
+//! *control-plane time* of re-establishment, mirroring
+//! [`crate::connpool::ConnPool::warm_up_costed`]. Time-to-recovery
+//! (suspicion → paid re-admission) lands in a [`Histogram`]
+//! (`ttr_p50`/`ttr_p99` in [`ChaosReport`]).
+//!
+//! Gray faults (low-rate directed drop/latency inflation, compiled into
+//! per-link [`palladium_simnet::FaultTimeline`]s) sit *below* the
+//! heartbeat-miss threshold: probes still arrive, so the monitor never
+//! suspects anyone. Detection is differential instead
+//! ([`GrayPolicy`]): the ingress keeps a per-pair EWMA of end-to-end
+//! latency (lost in-flights charge a loss penalty), and each health
+//! sweep compares pairs against the *best* pair's EWMA — a pair whose
+//! score exceeds `enter ×` the baseline moves to probation (routing
+//! deflects to healthy pairs, counted as `gray_reroutes`), readmitted
+//! with hysteresis at `exit ×` once probe traffic — every
+//! `probe_every`-th preferred request is still admitted — pulls the
+//! EWMA back down. All scores update in ingress event order, so
+//! detection is byte-identical at every shard count too.
 
 use bytes::Bytes;
 
@@ -85,15 +118,15 @@ use palladium_rdma::{
     WrId,
 };
 use palladium_simnet::{
-    run_sharded, ChannelStats, CompiledScenario, Effects, Execution, HealthMonitor, IdTable,
-    Nanos, Outbox, Partition, RunStats, ScenarioScript, ServerBank, ShardConfig, ShardEngine,
-    Slab,
+    run_sharded, ChannelStats, CompiledScenario, Effects, Execution, HealthMonitor, Histogram,
+    IdTable, Nanos, Outbox, Partition, RunStats, ScenarioScript, ServerBank, ShardConfig,
+    ShardEngine, Slab, Suspicion, WorkerState,
 };
 
 use super::chain::{AppSpec, ChainReport, ChainSpec, INGRESS_FN};
 use super::LoadReport;
 use crate::config::{CostModel, EngineLocation};
-use crate::connpool::{ConnPool, ConnPoolConfig};
+use crate::connpool::{ConnPool, ConnPoolConfig, RejoinCosts};
 use crate::dne::{pack_imm, Dne, DneEffect};
 use crate::ingress::{IngressConfig, IngressGateway, Leg};
 use crate::routing::{Coordinator, DeployEvent};
@@ -172,6 +205,50 @@ pub struct ClusterShardedConfig {
     pub heartbeat_period: Nanos,
     /// Silent heartbeat periods before the ingress suspects a worker.
     pub heartbeat_k: u64,
+    /// Control-plane cost model paid by a recovering worker before it
+    /// re-enters the routing set (chaos runs only).
+    pub rejoin: RejoinCosts,
+    /// Differential gray-failure detection policy (chaos runs only).
+    pub gray: GrayPolicy,
+}
+
+/// Differential gray-failure detection: per-pair EWMA latency scores,
+/// compared against the best pair (not an absolute timeout — a gray
+/// link inflates latency *relative to its peers* while heartbeats still
+/// arrive). Degraded pairs move to a probation routing weight and are
+/// readmitted with hysteresis.
+#[derive(Clone, Copy, Debug)]
+pub struct GrayPolicy {
+    /// EWMA smoothing factor for per-pair latency scores.
+    pub alpha: f64,
+    /// Demote a pair to probation when its EWMA exceeds `enter ×` the
+    /// best pair's EWMA.
+    pub enter: f64,
+    /// Restore a probationary pair when its EWMA falls back under
+    /// `exit ×` the best pair's EWMA (must be `< enter` for hysteresis).
+    pub exit: f64,
+    /// Minimum completed samples before a pair participates in the
+    /// comparison (both as baseline and as demotion candidate).
+    pub min_samples: u64,
+    /// On probation, every `probe_every`-th preferred request is still
+    /// admitted so the EWMA can observe recovery.
+    pub probe_every: u64,
+    /// Latency charged to a pair's EWMA for each in-flight request
+    /// abandoned on it (losses must hurt the score, not just vanish).
+    pub loss_penalty: Nanos,
+}
+
+impl Default for GrayPolicy {
+    fn default() -> Self {
+        GrayPolicy {
+            alpha: 0.125,
+            enter: 2.0,
+            exit: 1.4,
+            min_samples: 16,
+            probe_every: 8,
+            loss_penalty: Nanos::from_millis(10),
+        }
+    }
 }
 
 impl ClusterShardedConfig {
@@ -192,6 +269,8 @@ impl ClusterShardedConfig {
             chaos: None,
             heartbeat_period: Nanos::from_micros(50),
             heartbeat_k: 3,
+            rejoin: RejoinCosts::default(),
+            gray: GrayPolicy::default(),
         }
     }
 
@@ -237,6 +316,20 @@ impl ClusterShardedConfig {
         assert!(!period.is_zero() && k > 0, "degenerate heartbeat config");
         self.heartbeat_period = period;
         self.heartbeat_k = k;
+        self
+    }
+
+    /// Set the rejoin cost model (see [`RejoinCosts`]).
+    pub fn rejoin(mut self, costs: RejoinCosts) -> Self {
+        self.rejoin = costs;
+        self
+    }
+
+    /// Set the gray-failure detection policy (see [`GrayPolicy`]).
+    pub fn gray(mut self, policy: GrayPolicy) -> Self {
+        assert!(policy.exit < policy.enter, "hysteresis requires exit < enter");
+        assert!(policy.probe_every > 0, "probation needs probe traffic");
+        self.gray = policy;
         self
     }
 
@@ -315,6 +408,22 @@ pub struct ChaosReport {
     /// Requests/sends shed because a post failed (errored QP) — zero
     /// unless a QP exhausts its (chaos-raised) retry budget.
     pub shed: u64,
+    /// Recovered workers that completed the costed rejoin and re-entered
+    /// the routing set.
+    pub rejoins: u64,
+    /// Rejoins voided because the worker went silent again mid-rejoin.
+    pub rejoins_aborted: u64,
+    /// Median time-to-recovery: suspicion → paid re-admission.
+    pub ttr_p50: Nanos,
+    /// 99th-percentile time-to-recovery.
+    pub ttr_p99: Nanos,
+    /// Pairs demoted to probation by the differential EWMA detector.
+    pub gray_demoted: u64,
+    /// Probationary pairs restored once their EWMA recovered.
+    pub gray_restored: u64,
+    /// Requests deflected away from a probationary (but heartbeat-alive)
+    /// preferred pair.
+    pub gray_reroutes: u64,
 }
 
 #[derive(Debug)]
@@ -356,6 +465,9 @@ pub(crate) enum Ev {
     HeartbeatTick { n: usize, seq: u64 },
     /// The ingress sweeps for silent workers (chaos runs only).
     HealthCheck,
+    /// Worker `n` finished paying its rejoin cost (chaos runs only).
+    /// `epoch` voids completions staled by a crash mid-rejoin.
+    RejoinDone { n: usize, epoch: u64 },
 }
 
 struct ReqState {
@@ -386,6 +498,70 @@ struct IngressState {
     inflight_lost: u64,
     /// Requests steered away from a suspected preferred pair.
     reroutes: u64,
+    /// Rejoin and gray-failure bookkeeping (present iff chaos is on,
+    /// like `health`).
+    chaosx: Option<IngressChaos>,
+}
+
+/// Per-worker rejoin tracking and per-pair gray-failure scores, owned by
+/// the ingress (see the module docs on costed rejoin and differential
+/// detection). All state updates in ingress event order — deterministic
+/// at every shard count.
+struct IngressChaos {
+    /// When each worker was last suspected (TTR measurement anchor).
+    suspected_at: Vec<Nanos>,
+    /// Per-worker rejoin epoch: bumped on every recovery *and* on every
+    /// crash mid-rejoin, so a stale [`Ev::RejoinDone`] never re-admits a
+    /// worker that went silent after it was scheduled.
+    rejoin_epoch: Vec<u64>,
+    /// Time-to-recovery: suspicion → paid re-admission.
+    ttr: Histogram,
+    /// Completed rejoins.
+    rejoins: u64,
+    /// Rejoins voided by a crash mid-rejoin.
+    rejoins_aborted: u64,
+    /// Per-pair EWMA of end-to-end latency (nanoseconds).
+    ewma: Vec<f64>,
+    /// Samples observed per pair (gates the differential comparison).
+    ewma_n: Vec<u64>,
+    /// Pairs currently demoted to probation routing weight.
+    probation: Vec<bool>,
+    /// Per-pair probe admission counter while on probation.
+    probe_tick: Vec<u64>,
+    /// Demotions, restorations, and probation deflections.
+    gray_demoted: u64,
+    gray_restored: u64,
+    gray_reroutes: u64,
+}
+
+impl IngressChaos {
+    fn new(workers: usize, pairs: usize) -> Self {
+        IngressChaos {
+            suspected_at: vec![Nanos::ZERO; workers],
+            rejoin_epoch: vec![0; workers],
+            ttr: Histogram::new(),
+            rejoins: 0,
+            rejoins_aborted: 0,
+            ewma: vec![0.0; pairs],
+            ewma_n: vec![0; pairs],
+            probation: vec![false; pairs],
+            probe_tick: vec![0; pairs],
+            gray_demoted: 0,
+            gray_restored: 0,
+            gray_reroutes: 0,
+        }
+    }
+
+    /// Fold one latency observation into `pair`'s EWMA score.
+    fn observe(&mut self, alpha: f64, pair: usize, sample: Nanos) {
+        let s = sample.as_nanos() as f64;
+        if self.ewma_n[pair] == 0 {
+            self.ewma[pair] = s;
+        } else {
+            self.ewma[pair] += alpha * (s - self.ewma[pair]);
+        }
+        self.ewma_n[pair] += 1;
+    }
 }
 
 /// One shard of the cluster: a contiguous global-node block with its own
@@ -423,10 +599,19 @@ pub(crate) struct ClusterShard {
     chaos: Option<CompiledScenario>,
     /// Probe period for [`Ev::HeartbeatTick`] / [`Ev::HealthCheck`].
     heartbeat_period: Nanos,
+    /// Rejoin cost model (applied by the ingress shard).
+    rejoin: RejoinCosts,
+    /// Gray-failure detection policy (applied by the ingress shard).
+    gray: GrayPolicy,
+    /// QPs a worker re-establishes on rejoin (its pool width: partner +
+    /// ingress connections).
+    worker_qps: usize,
+    /// Pool bytes a worker re-syncs on rejoin.
+    pool_bytes: u64,
     /// Requests/sends shed on post failure (errored QP), this shard.
     shed: u64,
-    /// Scratch for the health sweep (newly suspected node ids).
-    health_scratch: Vec<usize>,
+    /// Scratch for the health sweep (newly suspected workers).
+    health_scratch: Vec<Suspicion>,
 
     // Reused scratch so steady-state stepping does not allocate.
     rdma_step: Step,
@@ -462,29 +647,97 @@ impl ClusterShard {
     }
 
     /// Pick the worker pair serving request `req`: the preferred
-    /// `req % pairs` when healthy, else the first believed-alive pair
-    /// scanning upward from it (failover re-route). Falls back to the
-    /// preferred pair when every pair is suspected — the request then
-    /// rides the transport's retry machinery. Fault-free runs have no
-    /// health monitor and always take the preferred pair.
+    /// `req % pairs` when healthy, else the first believed-alive,
+    /// non-probationary pair scanning upward from it (failover
+    /// re-route). Suspected *and* rejoining workers are out of the set —
+    /// re-admission is paid for, not assumed. A probationary preferred
+    /// pair still receives every `probe_every`-th request so its EWMA
+    /// can observe recovery. Falls back to the preferred pair when
+    /// nothing qualifies — the request then rides the transport's retry
+    /// machinery. Fault-free runs have no health monitor and always take
+    /// the preferred pair.
     fn choose_pair(&mut self, req: u64) -> usize {
         let preferred = (req % self.pairs as u64) as usize;
+        let pairs = self.pairs;
         let Some(ing) = self.ingress.as_mut() else {
             return preferred;
         };
-        let Some(health) = ing.health.as_ref() else {
+        let IngressState { health, chaosx, reroutes, .. } = ing;
+        let Some(health) = health.as_ref() else {
             return preferred;
         };
-        for off in 0..self.pairs {
-            let p = (preferred + off) % self.pairs;
-            if health.is_alive(2 * p) && health.is_alive(2 * p + 1) {
-                if p != preferred {
-                    ing.reroutes += 1;
-                }
-                return p;
+        for off in 0..pairs {
+            let p = (preferred + off) % pairs;
+            if !health.is_alive(2 * p) || !health.is_alive(2 * p + 1) {
+                continue;
             }
+            if let Some(cx) = chaosx.as_mut() {
+                if cx.probation[p] {
+                    if p != preferred {
+                        continue; // never deflect *onto* a gray pair
+                    }
+                    cx.probe_tick[p] += 1;
+                    if cx.probe_tick[p] % self.gray.probe_every != 0 {
+                        continue; // deflected; only probes get through
+                    }
+                }
+            }
+            if p != preferred {
+                // Attribute the deflection: if the preferred pair's
+                // heartbeats are fine, probation (gray detection) caused
+                // it; otherwise it is ordinary crash failover.
+                let preferred_alive =
+                    health.is_alive(2 * preferred) && health.is_alive(2 * preferred + 1);
+                match (preferred_alive, chaosx.as_mut()) {
+                    (true, Some(cx)) => cx.gray_reroutes += 1,
+                    _ => *reroutes += 1,
+                }
+            }
+            return p;
         }
         preferred
+    }
+
+    /// Differential gray-failure sweep (run from each health check):
+    /// compare every heartbeat-alive pair's EWMA against the best such
+    /// pair. Scores more than `enter ×` the baseline demote to
+    /// probation; probationary scores back under `exit ×` restore. The
+    /// best pair can never demote (its EWMA *is* the baseline), so the
+    /// comparison needs no absolute latency threshold.
+    fn gray_sweep(&mut self) {
+        let gray = self.gray;
+        let pairs = self.pairs;
+        let Some(ing) = self.ingress.as_mut() else {
+            return;
+        };
+        let IngressState { health, chaosx, .. } = ing;
+        let (Some(h), Some(cx)) = (health.as_ref(), chaosx.as_mut()) else {
+            return;
+        };
+        let eligible = |p: usize, cx: &IngressChaos| {
+            h.is_alive(2 * p) && h.is_alive(2 * p + 1) && cx.ewma_n[p] >= gray.min_samples
+        };
+        let mut best: Option<f64> = None;
+        for p in 0..pairs {
+            if eligible(p, cx) {
+                best = Some(best.map_or(cx.ewma[p], |b: f64| b.min(cx.ewma[p])));
+            }
+        }
+        let Some(best) = best else {
+            return; // no baseline yet (warm-up, or everything is down)
+        };
+        for p in 0..pairs {
+            if !eligible(p, cx) {
+                continue;
+            }
+            if !cx.probation[p] && cx.ewma[p] > gray.enter * best {
+                cx.probation[p] = true;
+                cx.gray_demoted += 1;
+            } else if cx.probation[p] && cx.ewma[p] <= gray.exit * best {
+                cx.probation[p] = false;
+                cx.gray_restored += 1;
+            }
+        }
     }
 
     /// Charge work on a function core of worker node `n`.
@@ -637,10 +890,20 @@ impl ClusterShard {
             RdmaOutput::HeartbeatSeen { node, from, .. }
                 if node.raw() as usize == self.ingress_node =>
             {
+                let cost = self.rejoin.cost(self.worker_qps, self.pool_bytes);
                 if let Some(ing) = self.ingress.as_mut() {
                     if let Some(h) = ing.health.as_mut() {
                         if h.heartbeat(from.raw() as usize, now) {
+                            // Suspect → Rejoining: heartbeats resumed,
+                            // but the worker re-enters routing only after
+                            // paying the control-plane rejoin cost.
                             ing.recovered += 1;
+                            if let Some(cx) = ing.chaosx.as_mut() {
+                                let n = from.raw() as usize;
+                                cx.rejoin_epoch[n] += 1;
+                                let epoch = cx.rejoin_epoch[n];
+                                fx.after(cost, Ev::RejoinDone { n, epoch });
+                            }
                         }
                     }
                 }
@@ -932,6 +1195,7 @@ impl ShardEngine for ClusterShard {
             }
             Ev::GwOut { req, worker } => {
                 let client_wire = self.cost.client_wire;
+                let alpha = self.gray.alpha;
                 let ing = self.ingress.as_mut().expect("ingress shard");
                 ing.gw.leg_done(worker);
                 let finish = now + client_wire;
@@ -940,7 +1204,13 @@ impl ShardEngine for ClusterShard {
                     st.done = true;
                     let issued = st.issued;
                     let client = st.client;
+                    let pair = st.pair;
                     ing.stats.complete(finish, issued);
+                    // Feed the pair's gray-failure score with the
+                    // end-to-end latency this request observed.
+                    if let Some(cx) = ing.chaosx.as_mut() {
+                        cx.observe(alpha, pair, finish - issued);
+                    }
                     fx.at(finish, Ev::Issue { client });
                 }
             }
@@ -964,6 +1234,8 @@ impl ShardEngine for ClusterShard {
                 fx.after(self.heartbeat_period, Ev::HeartbeatTick { n, seq: seq + 1 });
             }
             Ev::HealthCheck => {
+                let loss_penalty = self.gray.loss_penalty;
+                let alpha = self.gray.alpha;
                 let mut newly = std::mem::take(&mut self.health_scratch);
                 newly.clear();
                 {
@@ -978,21 +1250,52 @@ impl ShardEngine for ClusterShard {
                 // re-issue their clients against a surviving pair.
                 // Scanning `reqs` in index order keeps the accounting (and
                 // the re-issue schedule) deterministic.
-                for &dead in &newly {
-                    let pair = dead / 2;
+                for s in &newly {
+                    let pair = s.node / 2;
                     let ing = self.ingress.as_mut().expect("ingress shard");
+                    if let Some(cx) = ing.chaosx.as_mut() {
+                        cx.suspected_at[s.node] = now;
+                        if s.was_rejoining {
+                            // Crashed mid-rejoin: void the pending
+                            // completion so a stale RejoinDone cannot
+                            // re-admit a silent worker.
+                            cx.rejoins_aborted += 1;
+                            cx.rejoin_epoch[s.node] += 1;
+                        }
+                    }
                     for req in 0..ing.reqs.len() {
                         let st = &mut ing.reqs[req];
                         if !st.done && st.pair == pair {
                             st.done = true;
                             ing.inflight_lost += 1;
                             let client = st.client;
+                            // A lost request is the worst latency signal
+                            // there is — charge it to the pair's score.
+                            if let Some(cx) = ing.chaosx.as_mut() {
+                                cx.observe(alpha, pair, loss_penalty);
+                            }
                             fx.at(now, Ev::Issue { client });
                         }
                     }
                 }
                 self.health_scratch = newly;
+                self.gray_sweep();
                 fx.after(self.heartbeat_period, Ev::HealthCheck);
+            }
+            Ev::RejoinDone { n, epoch } => {
+                let ing = self.ingress.as_mut().expect("rejoin on ingress shard");
+                let (Some(h), Some(cx)) = (ing.health.as_mut(), ing.chaosx.as_mut()) else {
+                    return;
+                };
+                // Stale completions (epoch mismatch after a crash
+                // mid-rejoin) and already-resolved workers are no-ops.
+                if cx.rejoin_epoch[n] == epoch
+                    && h.state(n) == WorkerState::Rejoining
+                    && h.rejoin_complete(n)
+                {
+                    cx.rejoins += 1;
+                    cx.ttr.record(now - cx.suspected_at[n]);
+                }
             }
         }
     }
@@ -1105,6 +1408,12 @@ impl ClusterShardedSim {
                         if !ch.faults[n].is_none() {
                             net.set_node_fault(NodeId(n as u16), ch.faults[n].clone());
                         }
+                        // Directed gray links land on the destination's
+                        // owning shard (faults apply at the destination
+                        // port — same invariance discipline).
+                        for (src, tl) in &ch.links[n] {
+                            net.set_link_fault(NodeId(*src as u16), NodeId(n as u16), tl.clone());
+                        }
                     }
                 }
                 net
@@ -1195,6 +1504,7 @@ impl ClusterShardedSim {
             recovered: 0,
             inflight_lost: 0,
             reroutes: 0,
+            chaosx: chaos.as_ref().map(|_| IngressChaos::new(2 * cfg.pairs, cfg.pairs)),
         });
         let mut engines: Vec<ClusterShard> = Vec::with_capacity(shards);
         for (s, net) in nets.into_iter().enumerate() {
@@ -1232,6 +1542,10 @@ impl ClusterShardedSim {
                 ingress: None,
                 chaos: chaos.clone(),
                 heartbeat_period: cfg.heartbeat_period,
+                rejoin: cfg.rejoin,
+                gray: cfg.gray,
+                worker_qps: 2 * cpp,
+                pool_bytes: POOL_BUFS as u64 * BUF_SIZE as u64,
                 shed: 0,
                 health_scratch: Vec::new(),
                 rdma_step: Step::default(),
@@ -1340,6 +1654,17 @@ impl ClusterShardedSim {
         chaos_rep.recovered = ing.recovered;
         chaos_rep.inflight_lost = ing.inflight_lost;
         chaos_rep.reroutes = ing.reroutes;
+        if let Some(cx) = &ing.chaosx {
+            chaos_rep.rejoins = cx.rejoins;
+            chaos_rep.rejoins_aborted = cx.rejoins_aborted;
+            if !cx.ttr.is_empty() {
+                chaos_rep.ttr_p50 = cx.ttr.p50();
+                chaos_rep.ttr_p99 = cx.ttr.p99();
+            }
+            chaos_rep.gray_demoted = cx.gray_demoted;
+            chaos_rep.gray_restored = cx.gray_restored;
+            chaos_rep.gray_reroutes = cx.gray_reroutes;
+        }
         let (p50, p99, p999) = {
             let h = ing.stats.histogram();
             (h.p50(), h.p99(), h.p999())

@@ -235,6 +235,12 @@ pub struct RdmaNet {
     /// Per-owned-node fault timelines (indexed `node - base`); an empty
     /// timeline falls back to the net-level `fault` plan.
     node_faults: Vec<FaultTimeline>,
+    /// Directed-link fault timelines (indexed `dst - base`, entries keyed
+    /// by global *source* id): gray faults pinned to one `src → dst`
+    /// direction. A non-none link plan overrides the port/net plan for
+    /// that frame only; verdicts still draw from the destination node's
+    /// stream, so link faults stay shard-count invariant.
+    link_faults: Vec<Vec<(u16, FaultTimeline)>>,
     /// Per-owned-node fault RNG streams, keyed by **global** node id via
     /// [`SimRng::stream`]: the verdict sequence a destination node draws
     /// is identical no matter how the fabric is sharded, which is what
@@ -275,6 +281,7 @@ impl RdmaNet {
             base: span.start,
             fault_rngs: span.clone().map(|i| SimRng::stream(seed, i as u64)).collect(),
             node_faults: span.clone().map(|_| FaultTimeline::new()).collect(),
+            link_faults: span.clone().map(|_| Vec::new()).collect(),
             rnics: span.map(|i| Rnic::new(NodeId(i as u16))).collect(),
             sharded_egress: false,
             fault: FaultPlan::NONE,
@@ -306,6 +313,20 @@ impl RdmaNet {
     pub fn set_node_fault(&mut self, node: NodeId, timeline: FaultTimeline) {
         let idx = node.raw() as usize - self.base;
         self.node_faults[idx] = timeline;
+    }
+
+    /// Install a fault timeline on the directed link `src → dst` (`dst`
+    /// must lie in this instance's span; `src` is any global node). While
+    /// the timeline has an active plan it overrides the port/net plan for
+    /// frames on that link only — the reverse direction and every other
+    /// source are untouched, which is what makes a gray fault asymmetric.
+    pub fn set_link_fault(&mut self, src: NodeId, dst: NodeId, timeline: FaultTimeline) {
+        let idx = dst.raw() as usize - self.base;
+        let entries = &mut self.link_faults[idx];
+        match entries.iter_mut().find(|(s, _)| *s == src.raw()) {
+            Some((_, tl)) => *tl = timeline,
+            None => entries.push((src.raw(), timeline)),
+        }
     }
 
     /// Install the fabric-wide network-partition table: per **global**
@@ -711,11 +732,23 @@ impl RdmaNet {
                 // net-level RNG — so verdicts are identical at every
                 // shard count.
                 let idx = pkt.dst.raw() as usize - self.base;
-                let plan = if self.node_faults[idx].is_none() {
+                let mut plan = if self.node_faults[idx].is_none() {
                     self.fault
                 } else {
                     self.node_faults[idx].plan_at(now)
                 };
+                // A directed-link timeline (gray fault on src → dst)
+                // overrides the port plan while active. Selection is
+                // deterministic by (src, dst, now); the verdict still
+                // draws from dst's stream below.
+                if let Some((_, tl)) =
+                    self.link_faults[idx].iter().find(|(s, _)| *s == pkt.src.raw())
+                {
+                    let lp = tl.plan_at(now);
+                    if !lp.is_none() {
+                        plan = lp;
+                    }
+                }
                 if !exempt {
                     match plan.judge(now, &mut self.fault_rngs[idx]) {
                         Verdict::Drop => {
@@ -1350,6 +1383,41 @@ mod tests {
             .collect();
         assert_eq!(imms, (0..16).collect::<Vec<_>>());
         assert!(net.counters.get("crc_drop") > 0);
+    }
+
+    /// A directed link fault is asymmetric: blackholing `0 → 1` eats
+    /// every frame on that direction (data 0→1, ACKs 0→1) while the
+    /// reverse path `1 → 0` never draws a verdict. Payloads from node 1
+    /// therefore still land on node 0, even as node 1's sender bleeds
+    /// RTOs waiting for ACKs that the gray link swallows.
+    #[test]
+    fn link_fault_is_direction_scoped() {
+        let (mut net, _qa, qb) = two_node_net();
+        net.set_link_fault(
+            NodeId(0),
+            NodeId(1),
+            FaultTimeline::from_plan(FaultPlan::dropping(1.0)),
+        );
+        post_rq(&mut net, NodeId(0), 4);
+        post_rq(&mut net, NodeId(1), 4);
+        let mut sim = Sim::new();
+        let wr = WorkRequest::send(WrId(1), Bytes::from(vec![7u8; 64]), 9);
+        let step = net.post_send(sim.now(), NodeId(1), qb, wr).unwrap();
+        let _ = run(&mut net, &mut sim, step.events);
+        // The clean direction delivered exactly once despite dedup'd
+        // retransmissions...
+        let recvs: Vec<u64> = net
+            .poll_cq(NodeId(0), 16)
+            .iter()
+            .filter(|c| c.kind == CqeKind::Recv)
+            .map(|c| c.imm)
+            .collect();
+        assert_eq!(recvs, vec![9], "payload crosses the healthy direction");
+        // ...while the gray direction ate the ACKs until retry
+        // exhaustion: drops and RTOs are all charged to 0 → 1.
+        assert!(net.counters.get("drop") > 0, "ACKs on the gray link must drop");
+        assert!(net.counters.get("rto") > 0, "missing ACKs must cost RTOs");
+        assert_eq!(net.counters.get("crash_drop"), 0, "no partitions involved");
     }
 
     #[test]

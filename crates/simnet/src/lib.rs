@@ -36,7 +36,10 @@ pub mod table;
 pub mod time;
 
 pub use arena::{Arena, ArenaSlot};
-pub use chaos::{CompiledScenario, HealthMonitor, ScenarioOp, ScenarioScript, StragglerWindow};
+pub use chaos::{
+    CompiledScenario, HealthMonitor, ScenarioOp, ScenarioScript, StragglerWindow, Suspicion,
+    WorkerState,
+};
 pub use fault::{FaultPlan, FaultTimeline, Verdict};
 pub use harness::{Effects, Engine, Harness, LoadReport, RunStats};
 pub use queue::{

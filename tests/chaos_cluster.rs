@@ -54,6 +54,34 @@ fn straggler() -> ScenarioScript {
     ScenarioScript::new().straggle(6, 8.0, Nanos::from_millis(1), Nanos::from_millis(3))
 }
 
+/// A correlated fault: pair 1's rack (both workers, nodes 2 and 3) goes
+/// down as one domain op. Both workers must be suspected, both must pay
+/// the costed rejoin after the window, and the time-to-recovery
+/// histogram must land in the report.
+fn rack_crash_rejoin() -> ScenarioScript {
+    ScenarioScript::new()
+        .domain("rack1", &[2, 3])
+        .crash_domain("rack1", Nanos::from_micros(1_500), Nanos::from_millis(3))
+}
+
+/// A gray partial partition on the directed link 4 → 5 (pair 2's
+/// intra-pair chain traffic): 5% drop plus up to 200 µs inflation per
+/// frame — structurally invisible to the heartbeat plane, since
+/// heartbeats travel worker → ingress and never cross this link. Pure
+/// heartbeat detection sees nothing; the differential EWMA (pair 2's
+/// chain ping-pongs 4 ↔ 5, so its end-to-end latency inflates well past
+/// `enter ×` the healthy pairs') must demote the pair.
+fn gray_partition() -> ScenarioScript {
+    ScenarioScript::new().gray_link(
+        4,
+        5,
+        0.05,
+        Nanos::from_micros(200),
+        Nanos::from_millis(1),
+        Nanos::from_micros(4_500),
+    )
+}
+
 /// Hex-exact rendering (no shortest-repr float ambiguity), the
 /// fault-free trace extended with histogram tails and chaos accounting.
 fn trace(name: &str, r: &ClusterShardedReport) -> String {
@@ -62,7 +90,9 @@ fn trace(name: &str, r: &ClusterShardedReport) -> String {
         "chaos/{name}: rps={:016x} mean={} p50={} p99={} p999={} completed={} \
          sw_bytes={} dma_bytes={} events={} messages={} \
          fault_drops={} crash_drops={} corrupt={} rto={} suspected={} \
-         recovered={} inflight_lost={} reroutes={} shed={}\n",
+         recovered={} inflight_lost={} reroutes={} shed={} \
+         rejoins={} rejoins_aborted={} ttr_p50={} ttr_p99={} \
+         gray_demoted={} gray_restored={} gray_reroutes={}\n",
         r.chain.load.rps.to_bits(),
         r.chain.load.mean_latency.as_nanos(),
         r.p50.as_nanos(),
@@ -81,7 +111,14 @@ fn trace(name: &str, r: &ClusterShardedReport) -> String {
         c.recovered,
         c.inflight_lost,
         c.reroutes,
-        c.shed
+        c.shed,
+        c.rejoins,
+        c.rejoins_aborted,
+        c.ttr_p50.as_nanos(),
+        c.ttr_p99.as_nanos(),
+        c.gray_demoted,
+        c.gray_restored,
+        c.gray_reroutes
     )
 }
 
@@ -90,6 +127,8 @@ fn scenarios() -> Vec<(&'static str, ScenarioScript)> {
         ("crash_failover", crash_failover()),
         ("link_flap", link_flap()),
         ("straggler", straggler()),
+        ("rack_crash_rejoin", rack_crash_rejoin()),
+        ("gray_partition", gray_partition()),
     ]
 }
 
@@ -171,6 +210,92 @@ fn straggler_moves_the_latency_tail() {
     );
 }
 
+/// A rack-scoped crash takes out both workers of pair 1 at once, and
+/// recovery is *costed*: the pair re-enters routing only after paying
+/// QP re-establishment + MR re-registration + pool re-sync, so the
+/// time-to-recovery histogram must be non-zero and both rejoins must
+/// complete within the run.
+#[test]
+fn rack_crash_pays_a_costed_rejoin() {
+    let r = ClusterShardedSim::new(base_cfg().chaos(rack_crash_rejoin()))
+        .run(1, Execution::Sequential);
+    let c = &r.chaos;
+    assert!(c.suspected >= 2, "both rack members must be suspected: {c:?}");
+    assert!(c.recovered >= 2, "heartbeats resume after the window: {c:?}");
+    assert_eq!(c.rejoins, 2, "both workers must complete the costed rejoin: {c:?}");
+    assert_eq!(c.rejoins_aborted, 0, "a single clean outage aborts nothing: {c:?}");
+    assert!(!c.ttr_p50.is_zero(), "recovery must take measurable time: {c:?}");
+    assert!(c.ttr_p99 >= c.ttr_p50, "histogram tails are ordered: {c:?}");
+    // Detection alone takes heartbeat_k periods; the paid rejoin makes
+    // TTR strictly larger than the ~774 µs default control-plane cost.
+    assert!(
+        c.ttr_p50 > Nanos::from_micros(700),
+        "TTR must include the control-plane cost: {c:?}"
+    );
+    assert!(r.chain.load.completed > 0, "survivors keep serving");
+}
+
+/// Doubling the configured control-plane costs must move the measured
+/// time-to-recovery: TTR is an output of the cost model, not a constant.
+#[test]
+fn time_to_recovery_scales_with_rejoin_costs() {
+    use palladium_core::connpool::RejoinCosts;
+    let cfg = || base_cfg().duration_ms(7).chaos(rack_crash_rejoin());
+    let base = ClusterShardedSim::new(cfg()).run(1, Execution::Sequential);
+    let pricey = ClusterShardedSim::new(cfg().rejoin(RejoinCosts {
+        qp_setup: Nanos::from_micros(100),
+        mr_register: Nanos::from_micros(200),
+        resync_ns_per_kib: 64,
+    }))
+    .run(1, Execution::Sequential);
+    assert_eq!(base.chaos.rejoins, 2, "{:?}", base.chaos);
+    assert_eq!(pricey.chaos.rejoins, 2, "{:?}", pricey.chaos);
+    assert!(
+        pricey.chaos.ttr_p50 > base.chaos.ttr_p50,
+        "4× control-plane costs must raise TTR ({} vs {})",
+        pricey.chaos.ttr_p50.as_nanos(),
+        base.chaos.ttr_p50.as_nanos()
+    );
+}
+
+/// The gray link drops/delays pair 2's chain traffic but never touches
+/// heartbeats (they travel worker → ingress, not 4 → 5): pure heartbeat
+/// detection must stay silent while the differential EWMA demotes the
+/// pair and deflects its traffic.
+#[test]
+fn gray_partition_is_caught_by_ewma_not_heartbeats() {
+    let r = ClusterShardedSim::new(base_cfg().chaos(gray_partition()))
+        .run(1, Execution::Sequential);
+    let c = &r.chaos;
+    assert_eq!(c.suspected, 0, "gray faults sit below the heartbeat threshold: {c:?}");
+    assert_eq!(c.reroutes, 0, "no crash failover without suspicion: {c:?}");
+    assert!(c.fault_drops > 0, "the gray link must actually drop frames: {c:?}");
+    assert!(c.gray_demoted > 0, "the EWMA comparison must demote pair 2: {c:?}");
+    assert!(
+        c.gray_reroutes > 0,
+        "probation must deflect the pair's traffic: {c:?}"
+    );
+    assert!(r.chain.load.completed > 0, "the cluster keeps serving through it");
+}
+
+/// Repeated outage cycles on one worker, the second crash landing
+/// mid-rejoin: the stale rejoin completion must be voided (epoch
+/// machinery), counted as aborted, and the final recovery must still
+/// complete cleanly.
+#[test]
+fn crash_mid_rejoin_aborts_and_recovers() {
+    let script = ScenarioScript::new()
+        .crash(2, Nanos::from_millis(1), Nanos::from_millis(2))
+        .crash(2, Nanos::from_micros(2_200), Nanos::from_micros(3_500));
+    let r = ClusterShardedSim::new(base_cfg().chaos(script)).run(1, Execution::Sequential);
+    let c = &r.chaos;
+    assert_eq!(c.suspected, 2, "each outage is one suspicion: {c:?}");
+    assert_eq!(c.recovered, 2, "heartbeats resume after each window: {c:?}");
+    assert_eq!(c.rejoins_aborted, 1, "the mid-rejoin crash voids one rejoin: {c:?}");
+    assert_eq!(c.rejoins, 1, "only the final recovery completes: {c:?}");
+    assert!(!c.ttr_p50.is_zero(), "{c:?}");
+}
+
 /// Satellite regression: the per-node fault streams make stochastic
 /// drop *counters* — not just aggregate shapes — identical at 1 and 4
 /// shards. Before the rework the verdict RNG advanced per-net, so
@@ -208,7 +333,12 @@ fn storm_strategy() -> impl Strategy<Value = ScenarioScript> {
         .prop_map(|(node, f, from, len)| {
             ScenarioScript::new().straggle(node, f, Nanos(from), Nanos(from + len))
         });
-    proptest::collection::vec(prop_oneof![crash, flap, corrupt, straggle], 1..4).prop_map(
+    let gray = (0usize..5, 1usize..5, 0.01f64..0.1, 0u64..20_000, 100_000u64..1_000_000, 200_000u64..1_500_000)
+        .prop_map(|(src, off, p, delay, from, len)| {
+            let dst = (src + off) % 5;
+            ScenarioScript::new().gray_link(src, dst, p, Nanos(delay), Nanos(from), Nanos(from + len))
+        });
+    proptest::collection::vec(prop_oneof![crash, flap, corrupt, straggle, gray], 1..4).prop_map(
         |parts| {
             let mut script = ScenarioScript::new();
             for part in parts {
@@ -248,5 +378,56 @@ proptest! {
     #[test]
     fn fault_storms_are_shard_count_invariant(script in storm_strategy()) {
         check_storm(script)?;
+    }
+}
+
+/// Satellite: a domain-scoped crash compiles to *exactly* the member
+/// nodes' down tables — byte-identical to the equivalent per-node ops,
+/// member order preserved — and touches no other node.
+fn check_domain_compile(
+    members: Vec<usize>,
+    from: Nanos,
+    until: Nanos,
+) -> Result<(), TestCaseError> {
+    let domain = ScenarioScript::new()
+        .domain("d", &members)
+        .crash_domain("d", from, until)
+        .compile(9);
+    let mut manual = ScenarioScript::new();
+    for &m in &members {
+        manual = manual.crash(m, from, until);
+    }
+    prop_assert_eq!(&domain, &manual.compile(9), "domain != per-node ops");
+    for n in 0..9 {
+        let hit = domain.down[n] == vec![(from, until)];
+        let miss = domain.down[n].is_empty();
+        prop_assert!(
+            if members.contains(&n) { hit } else { miss },
+            "node {}'s down table is wrong: {:?}",
+            n,
+            domain.down[n]
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn domain_crash_compiles_to_member_down_tables(
+        raw in proptest::collection::vec(0usize..8, 1..6),
+        from in 0u64..2_000_000,
+        len in 1u64..2_000_000,
+    ) {
+        // Deduplicate (the domain builder rejects duplicate members)
+        // while preserving first-occurrence order.
+        let mut members = Vec::new();
+        for m in raw {
+            if !members.contains(&m) {
+                members.push(m);
+            }
+        }
+        check_domain_compile(members, Nanos(from), Nanos(from + len))?;
     }
 }

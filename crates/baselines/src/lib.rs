@@ -14,6 +14,12 @@
 //! driver stays dependency-clean, and this crate re-exports them for
 //! discoverability.
 
+// The simulation's memory-safety story is that only the shard mailbox ring
+// (simnet) and the bench counting allocator contain `unsafe` at all; this
+// crate is compiler-certified to stay out of that set (simlint's
+// safety-comments rule covers the two that cannot be).
+#![forbid(unsafe_code)]
+
 pub mod echo;
 
 pub use echo::{EchoConfig, EchoSim, PathMode, Primitive};

@@ -64,21 +64,29 @@ fn count(layout: Layout) {
 // SAFETY: delegates every operation to `System`; the counters are relaxed
 // atomics with no further side effects.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: forwards the exact layout to `System::alloc`; counting is a
+    // relaxed atomic side effect with no aliasing or layout impact.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         count(layout);
         System.alloc(layout)
     }
 
+    // SAFETY: forwards the exact layout to `System::alloc_zeroed`; the
+    // zeroing contract is the system allocator's.
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         count(layout);
         System.alloc_zeroed(layout)
     }
 
+    // SAFETY: caller obligations (live ptr, matching layout) pass straight
+    // through to `System::realloc`, unmodified.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         count(layout);
         System.realloc(ptr, layout, new_size)
     }
 
+    // SAFETY: caller obligations (ptr from this allocator, same layout)
+    // pass straight through to `System::dealloc`.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout)
     }

@@ -87,7 +87,7 @@ impl FairnessSimConfig {
     /// The paper's §4.2 configuration, scaled by `time_scale` (1.0 = the
     /// full 4-minute run; tests use a small fraction).
     pub fn paper(policy: SchedPolicy, time_scale: f64) -> Self {
-        let s = |secs: f64| Nanos::from_nanos((secs * time_scale * 1e9) as u64);
+        let s = |secs: f64| Nanos::from_f64_saturating(secs * time_scale * 1e9);
         FairnessSimConfig {
             policy,
             profiles: vec![

@@ -400,7 +400,7 @@ impl IngressSim {
     pub fn scaling_run(&self, time_scale: f64, max_clients: usize) -> ScalingReport {
         let cfg = self.cfg;
         let cost = self.cost;
-        let s = |secs: f64| Nanos::from_nanos((secs * time_scale * 1e9) as u64);
+        let s = |secs: f64| Nanos::from_f64_saturating(secs * time_scale * 1e9);
         let duration = s(240.0);
         let window = s(4.0);
         let eval_interval = s(0.5);

@@ -24,6 +24,12 @@
 //!   (Figs 13–14), multi-tenant fairness (Fig 15) and the full
 //!   function-chain cluster (Fig 16 / Table 2).
 
+// The simulation's memory-safety story is that only the shard mailbox ring
+// (simnet) and the bench counting allocator contain `unsafe` at all; this
+// crate is compiler-certified to stay out of that set (simlint's
+// safety-comments rule covers the two that cannot be).
+#![forbid(unsafe_code)]
+
 pub mod autoscaler;
 pub mod config;
 pub mod connpool;

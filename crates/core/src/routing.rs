@@ -7,7 +7,7 @@
 //! functions to their nodes. A CNI-like coordinator listens for function
 //! deployment events and synchronizes both.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use palladium_membuf::{FnId, NodeId, TenantId};
 use palladium_simnet::PageTable;
@@ -93,7 +93,11 @@ pub enum DeployEvent {
 /// and pushes per-node tables (the CNI-like component of §3.5.5).
 #[derive(Debug, Default)]
 pub struct Coordinator {
-    placements: HashMap<FnId, (TenantId, NodeId)>,
+    /// Ordered so `tables_for` (and any future placement enumeration)
+    /// walks deployments in fn-id order regardless of deploy history —
+    /// the coordinator is control-plane state that feeds deterministic
+    /// per-node tables.
+    placements: BTreeMap<FnId, (TenantId, NodeId)>,
 }
 
 impl Coordinator {
@@ -208,6 +212,42 @@ mod tests {
         assert_eq!(t.node_of(FnId(9_000)), Some(NodeId(0)));
         assert!(t.is_local(FnId(40_000)));
         assert_eq!(t.node_of(FnId(12_345)), None);
+    }
+
+    #[test]
+    fn tables_are_deploy_order_invariant() {
+        // Regression for the HashMap→BTreeMap conversion: two coordinators
+        // fed the same deployments in different orders must materialize
+        // identical tables AND identical enumeration order (the old
+        // HashMap iterated in per-process-random order; it happened not
+        // to matter only because PageTable inserts are keyed).
+        let deploys = [
+            (FnId(9_000), TenantId(2), NodeId(1)),
+            (FnId(1), TenantId(1), NodeId(0)),
+            (FnId(40_000), TenantId(3), NodeId(0)),
+            (FnId(300), TenantId(1), NodeId(1)),
+            (FnId(65_535), TenantId(2), NodeId(0)),
+        ];
+        let mut fwd = Coordinator::new();
+        let mut rev = Coordinator::new();
+        for &(f, tenant, node) in &deploys {
+            fwd.apply(DeployEvent::Created { f, tenant, node });
+        }
+        for &(f, tenant, node) in deploys.iter().rev() {
+            rev.apply(DeployEvent::Created { f, tenant, node });
+        }
+        for node in [NodeId(0), NodeId(1)] {
+            let a = fwd.tables_for(node);
+            let b = rev.tables_for(node);
+            assert_eq!(a.local_functions(), b.local_functions());
+            for f in 0..=u16::MAX {
+                assert_eq!(a.node_of(FnId(f)), b.node_of(FnId(f)), "fn {f}");
+                assert_eq!(a.local_tenant(FnId(f)), b.local_tenant(FnId(f)));
+            }
+        }
+        // And the enumeration itself is ascending — pinned, not incidental.
+        let local = fwd.tables_for(NodeId(0)).local_functions();
+        assert_eq!(local, vec![FnId(1), FnId(40_000), FnId(65_535)]);
     }
 
     #[test]

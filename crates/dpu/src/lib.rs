@@ -15,6 +15,12 @@
 //! The DNE itself (the engine that runs *on* this SoC) lives in
 //! `palladium-core::dne`; this crate is the hardware it runs on.
 
+// The simulation's memory-safety story is that only the shard mailbox ring
+// (simnet) and the bench counting allocator contain `unsafe` at all; this
+// crate is compiler-certified to stay out of that set (simlint's
+// safety-comments rule covers the two that cannot be).
+#![forbid(unsafe_code)]
+
 pub mod dma;
 pub mod mmap_import;
 pub mod soc;

@@ -8,14 +8,16 @@
 //! explicitly granted them, never because it could reach into host memory
 //! at will.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use palladium_membuf::{create_from_export, Grant, ImportError, MmapExport, PoolId, TenantId};
 
 /// The DPU's table of imported host pools.
 #[derive(Debug, Default)]
 pub struct ImportTable {
-    imports: HashMap<PoolId, MmapExport>,
+    /// Ordered by pool id so teardown's `retain` sweep (and any future
+    /// enumeration of imports) walks pools deterministically.
+    imports: BTreeMap<PoolId, MmapExport>,
     /// Revocation epoch: bumped on tenant teardown; stale handles die.
     epoch: u64,
 }

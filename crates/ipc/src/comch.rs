@@ -10,7 +10,7 @@
 //! Timing lives in [`crate::costs::ChannelCosts`]; this module is the real
 //! state: endpoint registry, queues, connection lifecycle.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use palladium_membuf::{BufDesc, FnId, TenantId};
 
@@ -40,7 +40,11 @@ struct Endpoint {
 pub struct ComchServer {
     kind: ChannelKind,
     costs: ChannelCosts,
-    endpoints: HashMap<FnId, Endpoint>,
+    /// Ordered by fn id: the server iterates endpoints (tenant
+    /// disconnect, the DNE busy-poll sweep), so the registry must walk in
+    /// a deterministic order — the seed's HashMap forced `dne_sweep` to
+    /// collect-and-sort every call to stay reproducible.
+    endpoints: BTreeMap<FnId, Endpoint>,
     /// Total descriptors that crossed the channel (both directions).
     pub transferred: u64,
 }
@@ -51,7 +55,7 @@ impl ComchServer {
         ComchServer {
             kind,
             costs: ChannelCosts::for_kind(kind),
-            endpoints: HashMap::new(),
+            endpoints: BTreeMap::new(),
             transferred: 0,
         }
     }
@@ -142,13 +146,14 @@ impl ComchServer {
     /// busy-poll over "all monitored function endpoints", §3.5.4). Returns
     /// `(fn, desc)` pairs in deterministic fn-id order.
     pub fn dne_sweep(&mut self) -> Vec<(FnId, BufDesc)> {
-        let mut fns: Vec<FnId> = self
+        // BTreeMap iteration is already ascending fn-id order — the
+        // deterministic sweep order falls out of the container.
+        let fns: Vec<FnId> = self
             .endpoints
             .iter()
             .filter(|(_, e)| e.connected && !e.to_dne.is_empty())
             .map(|(f, _)| *f)
             .collect();
-        fns.sort();
         let mut out = Vec::new();
         for f in fns {
             let ep = self.endpoints.get_mut(&f).expect("listed above");

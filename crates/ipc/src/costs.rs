@@ -117,6 +117,7 @@ impl ChannelCosts {
 
     /// DNE-side per-descriptor CPU cost with `endpoints` functions attached.
     pub fn dne_cpu(&self, endpoints: usize) -> Nanos {
+        // simlint: allow(saturating-cost-casts) — usize→u64 widening of an endpoint count; lossless on every supported platform
         self.dne_cpu_base + self.dne_cpu_per_endpoint * endpoints as u64
     }
 

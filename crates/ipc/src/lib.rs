@@ -12,6 +12,12 @@
 //!   Comch-P and the kernel-TCP baseline; the Fig 9 curves (and the Fig 16
 //!   DNE-vs-CNE crossover) are these costs run through queueing.
 
+// The simulation's memory-safety story is that only the shard mailbox ring
+// (simnet) and the bench counting allocator contain `unsafe` at all; this
+// crate is compiler-certified to stay out of that set (simlint's
+// safety-comments rule covers the two that cannot be).
+#![forbid(unsafe_code)]
+
 pub mod comch;
 pub mod costs;
 pub mod sockmap;

@@ -11,6 +11,7 @@
 //! descriptors, and delivery queues per socket. Timing costs live in
 //! [`crate::costs`]; drivers charge them to the right cores.
 
+// simlint: allow(no-unordered-iteration) — lookup-only maps below; never iterated
 use std::collections::HashMap;
 
 use palladium_membuf::{BufDesc, FnId};
@@ -32,8 +33,10 @@ pub enum SockmapError {
 #[derive(Debug, Default)]
 pub struct Sockmap {
     /// `BPF_MAP_TYPE_SOCKMAP`: function id → socket fd.
+    // simlint: allow(no-unordered-iteration) — keyed get/insert/remove only; never iterated
     map: HashMap<FnId, SockFd>,
     /// Kernel-side socket receive queues (descriptors, in order).
+    // simlint: allow(no-unordered-iteration) — keyed per-fd delivery only; never iterated
     queues: HashMap<SockFd, Vec<BufDesc>>,
     next_fd: u32,
     /// Messages redirected so far.

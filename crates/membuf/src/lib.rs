@@ -20,6 +20,12 @@
 //!   RNIC DMA or SoC DMA; "zero-copy" is an *asserted invariant*, not a
 //!   slogan.
 
+// The simulation's memory-safety story is that only the shard mailbox ring
+// (simnet) and the bench counting allocator contain `unsafe` at all; this
+// crate is compiler-certified to stay out of that set (simlint's
+// safety-comments rule covers the two that cannot be).
+#![forbid(unsafe_code)]
+
 pub mod desc;
 pub mod hugepage;
 pub mod ids;

@@ -24,6 +24,12 @@
 //! of milliseconds (hence the connection pool), and active QPs beyond the
 //! device cache thrash (hence shadow QPs and the active-QP cap).
 
+// The simulation's memory-safety story is that only the shard mailbox ring
+// (simnet) and the bench counting allocator contain `unsafe` at all; this
+// crate is compiler-certified to stay out of that set (simlint's
+// safety-comments rule covers the two that cannot be).
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod fabric;
 pub mod mr;

@@ -1,0 +1,15 @@
+//! Fixture: a guarded cast with a reasoned marker is accepted; widening
+//! and float-target casts are not flagged at all.
+pub fn clamped(ns: f64) -> u64 {
+    let c = ns.clamp(0.0, 1e18);
+    // simlint: allow(saturating-cost-casts) — cast is guarded by the clamp on the line above
+    c as u64
+}
+
+pub fn widen(x: u64) -> u128 {
+    x as u128 // u128 target: never flagged
+}
+
+pub fn to_float(x: u64) -> f64 {
+    x as f64 // float target: never flagged
+}

@@ -1,0 +1,4 @@
+//! Fixture: a bare float→int cast in a cost-model module must fire.
+pub fn wire_ns(bytes: u64, gbps: f64) -> u64 {
+    ((bytes as f64 * 8.0) / gbps) as u64
+}

@@ -1,0 +1,8 @@
+//! Fixture: unwrap/expect in a kernel steady-state module must fire.
+pub fn head(v: &[u64]) -> u64 {
+    *v.first().unwrap()
+}
+
+pub fn head2(v: &[u64]) -> u64 {
+    *v.first().expect("non-empty")
+}

@@ -1,0 +1,7 @@
+//! Fixture: a reasoned marker accepted (and seeded streams need none).
+pub fn roll(seed: u64) -> u64 {
+    // simlint: allow(no-ambient-rng) — demo fixture: pretend this draw is outside any replayed trace
+    let mut rng = rand::thread_rng();
+    let _ = seed;
+    rng.next_u64()
+}

@@ -1,0 +1,5 @@
+//! Fixture: ambient randomness must fire everywhere.
+pub fn roll() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.next_u64()
+}

@@ -1,0 +1,15 @@
+//! Fixture: a SAFETY comment on the same line or the contiguous comment
+//! block above satisfies the rule; so does a reasoned allow marker.
+pub fn read(p: *const u8) -> u8 {
+    // SAFETY: fixture — caller guarantees `p` is valid for reads.
+    unsafe { *p }
+}
+
+pub fn read_inline(p: *const u8) -> u8 {
+    unsafe { *p } // SAFETY: fixture — caller guarantees validity.
+}
+
+pub fn read_marked(p: *const u8) -> u8 {
+    // simlint: allow(safety-comments) — fixture: justification lives in the module docs
+    unsafe { *p }
+}

@@ -1,0 +1,10 @@
+//! Fixture: `unsafe` without an adjacent SAFETY comment must fire — a
+//! comment separated by intervening code does not leak through.
+// SAFETY: this comment covers only the first site below.
+pub unsafe fn covered(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+pub fn uncovered(p: *const u8) -> u8 {
+    unsafe { *p }
+}

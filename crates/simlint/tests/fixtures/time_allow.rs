@@ -1,0 +1,8 @@
+//! Fixture: the busy-accounting exemption — reasoned marker accepted.
+use std::time::Instant;
+
+pub fn busy_probe() -> u64 {
+    // simlint: allow(no-ambient-time) — real-time busy accounting; never feeds virtual time
+    let t0 = Instant::now();
+    t0.elapsed().as_nanos() as u64
+}

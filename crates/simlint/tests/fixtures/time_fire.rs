@@ -1,0 +1,7 @@
+//! Fixture: an ambient clock read outside `crates/bench` must fire.
+use std::time::Instant;
+
+pub fn stamp() -> u128 {
+    let t0 = Instant::now();
+    t0.elapsed().as_nanos()
+}

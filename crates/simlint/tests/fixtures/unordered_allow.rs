@@ -1,0 +1,26 @@
+//! Fixture: a reasoned allow marker suppresses the unordered-map rule,
+//! and tokens inside strings or `#[cfg(test)]` modules never fire.
+// simlint: allow(no-unordered-iteration) — lookup-only cache below; never iterated
+use std::collections::HashMap;
+
+pub struct Cache {
+    // simlint: allow(no-unordered-iteration) — keyed get/insert only; never iterated
+    entries: HashMap<u32, u32>,
+}
+
+pub fn log_kind() -> &'static str {
+    "HashMap" // a string literal, not a use: must not fire
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn cross_check() {
+        // Tests may use HashMap freely to cross-check determinism.
+        let mut m = HashMap::new();
+        m.insert(1, 2);
+        assert_eq!(m[&1], 2);
+    }
+}

@@ -1,0 +1,13 @@
+//! Fixture: an unordered map in a deterministic sim crate must fire.
+use std::collections::HashMap;
+
+pub struct Router {
+    routes: HashMap<u32, u32>,
+}
+
+impl Router {
+    pub fn routes(&self) -> Vec<(u32, u32)> {
+        // Iterating a HashMap: per-process random order.
+        self.routes.iter().map(|(a, b)| (*a, *b)).collect()
+    }
+}

@@ -1,0 +1,41 @@
+//! The workspace-is-clean gate: any new violation anywhere in the
+//! workspace fails `cargo test`, not just the CI `cargo run -p simlint`
+//! step. This is also what makes every in-tree allow marker load-bearing —
+//! markers that stop suppressing something are reported as stale, so
+//! deleting any one annotation (or the violation it covers) flips this
+//! test.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    // crates/simlint/ → workspace root is two levels up.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crate lives at <root>/crates/simlint")
+        .to_path_buf();
+    assert!(
+        root.join("Cargo.toml").exists(),
+        "workspace root discovery broke: {}",
+        root.display()
+    );
+    let (files, violations) =
+        simlint::lint_workspace(&root).expect("workspace walk must succeed");
+    // Sanity: the walk actually saw the workspace (96+ files at the time
+    // of writing; a collapse here means the exclude rules ate the tree).
+    assert!(
+        files >= 90,
+        "only {files} files scanned — workspace walk is broken"
+    );
+    assert!(
+        violations.is_empty(),
+        "simlint violations ({}):\n{}",
+        violations.len(),
+        violations
+            .iter()
+            .map(|v| format!("  {v}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -66,6 +66,7 @@
 
 use std::cell::Cell;
 use std::cmp::Ordering;
+// simlint: allow(no-unordered-iteration) — cancelled-id set below is membership-only; never iterated
 use std::collections::{BinaryHeap, HashSet};
 
 use crate::arena::{Arena, ArenaSlot};
@@ -518,6 +519,7 @@ impl<const BITS: u32, const LEVELS: usize> Wheel<BITS, LEVELS> {
         // cursor); merge them.
         if c.heap {
             while self.overflow.peek().is_some_and(|e| e.at().0 == tmin) {
+                // simlint: allow(no-panic-hot-path) — pop follows a successful peek on the same heap with no intervening mutation
                 self.current.push(self.overflow.pop().expect("peeked"));
             }
         }
@@ -616,6 +618,7 @@ pub struct EventQueue<M> {
     /// entries (cancelled-but-not-yet-discarded entries still own their
     /// payload until the lazy discard frees it).
     arena: Arena<M>,
+    // simlint: allow(no-unordered-iteration) — insert/contains/remove only (lazy cancel); never iterated
     cancelled: HashSet<u64>,
     next_seq: u64,
     /// Adaptive mode: still on the heap, watching for the migration
@@ -653,6 +656,7 @@ impl<M> EventQueue<M> {
         EventQueue {
             backend,
             arena: Arena::new(),
+            // simlint: allow(no-unordered-iteration) — construction of the membership-only set above
             cancelled: HashSet::new(),
             next_seq: 0,
             adaptive: kind == QueueKind::Adaptive,
@@ -718,6 +722,7 @@ impl<M> EventQueue<M> {
         let msg = self
             .arena
             .take(e.slot)
+            // simlint: allow(no-panic-hot-path) — schedule moved the payload into this slot and only redeem/discard free it, exactly once (prop_arena pins the invariant)
             .expect("queue entry owns a live arena slot");
         (e.at(), e.seq(), msg)
     }
@@ -729,6 +734,7 @@ impl<M> EventQueue<M> {
         if let Some(slot) = slot {
             self.arena
                 .take(slot)
+                // simlint: allow(no-panic-hot-path) — a cancelled entry keeps slot ownership until this single lazy discard (prop_arena pins the invariant)
                 .expect("cancelled entry owns a live arena slot");
         }
     }
@@ -805,6 +811,7 @@ impl<M> EventQueue<M> {
                 self.discard(slot);
                 continue;
             }
+            // simlint: allow(no-panic-hot-path) — peek above returned an entry and nothing was removed since; pop_any must yield it
             let (at, popped, msg) = self.pop_any().expect("peeked entry present");
             debug_assert_eq!(popped, seq, "pop must return the peeked head");
             return Some((at, msg));

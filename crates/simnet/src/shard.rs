@@ -150,6 +150,9 @@ struct Channel<M> {
 // roles. The buffer swap (consumer-only) is confined to the barrier
 // phase where the producer provably does not touch the channel.
 unsafe impl<M: Send> Send for Channel<M> {}
+// SAFETY: same argument as `Send` above — shared access is exactly the
+// SPSC protocol: one producer thread pushing, one consumer thread
+// draining, buffer swaps confined to the quiesced barrier phase.
 unsafe impl<M: Send> Sync for Channel<M> {}
 
 /// One ring slot: interior-mutable so the producer can fill it through a
@@ -221,6 +224,7 @@ impl<M> Producer<M> {
         let head = ch.head.0.load(Ordering::Acquire);
         if tail.wrapping_sub(head) == buf.len() {
             ch.spilled.fetch_add(1, Ordering::Relaxed);
+            // simlint: allow(no-panic-hot-path) — the mutex is poisoned only if a sibling shard already panicked; propagating is the correct response
             ch.overflow.lock().expect("mailbox overflow lock").push(env);
             return;
         }
@@ -260,6 +264,7 @@ impl<M> Consumer<M> {
         if spilled != self.seen_spilled {
             self.seen_spilled = spilled;
             {
+                // simlint: allow(no-panic-hot-path) — poisoned only if a sibling shard already panicked; propagating is the correct response
                 let mut of = ch.overflow.lock().expect("mailbox overflow lock");
                 out.append(&mut of);
             }
@@ -654,6 +659,7 @@ impl<E: ShardEngine> ShardCtx<E> {
     /// Window phase 1: drain + deterministically merge last window's
     /// cross-shard arrivals into the local queue.
     fn merge_inbound(&mut self) {
+        // simlint: allow(no-ambient-time) — real-time busy accounting for the critical-path model; measures host merge cost, never feeds virtual time
         let t0 = Instant::now();
         for c in &mut self.inbox {
             c.drain_into(&mut self.inbound);
@@ -672,6 +678,7 @@ impl<E: ShardEngine> ShardCtx<E> {
     /// Window phase 2: run local events strictly before `end`.
     fn run_window(&mut self, end: Nanos) {
         self.runner.outbox.window_end = end;
+        // simlint: allow(no-ambient-time) — real-time busy accounting for the critical-path model; measures host run cost, never feeds virtual time
         let t0 = Instant::now();
         self.events += self.harness.run_window(&mut self.runner, end);
         self.busy.push(self.merge_ns + t0.elapsed().as_nanos() as u64);
@@ -710,6 +717,7 @@ pub fn run_sharded<E: ShardEngine>(
         .window
         .as_nanos()
         .checked_mul(cfg.stride)
+        // simlint: allow(no-panic-hot-path) — run setup, not steady state: a misconfigured stride must fail loudly before any window runs
         .expect("window × stride overflows");
     let n_windows = deadline.as_nanos() / w + 1;
 
@@ -789,6 +797,7 @@ pub fn run_sharded<E: ShardEngine>(
                     .collect();
                 run_shard(first);
                 for h in handles {
+                    // simlint: allow(no-panic-hot-path) — re-raises a shard panic on the coordinating thread after the barrier poisoned; the run is already dead
                     h.join().expect("shard thread panicked");
                 }
             });

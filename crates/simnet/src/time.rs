@@ -103,6 +103,7 @@ impl Nanos {
         if ns >= u64::MAX as f64 {
             Nanos::MAX
         } else if ns > 0.0 {
+            // simlint: allow(saturating-cost-casts) — this IS the saturating funnel: the cast is guarded by the range checks above
             Nanos(ns as u64)
         } else {
             Nanos::ZERO
@@ -266,6 +267,7 @@ impl ByteCost {
     #[inline]
     pub fn cost(self, bytes: u64) -> Nanos {
         let q = ((bytes as u128 * self.mul as u128) + (1u128 << 31)) >> 32;
+        // simlint: allow(saturating-cost-casts) — narrowing is explicitly clamped by the min() on the same expression
         Nanos(q.min(u64::MAX as u128) as u64)
     }
 

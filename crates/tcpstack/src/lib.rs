@@ -9,6 +9,12 @@
 //!   models behind Fig 13/14: Palladium's early HTTP/TCP→RDMA conversion
 //!   versus the deferred-conversion reverse proxies (K-Ingress, F-Ingress).
 
+// The simulation's memory-safety story is that only the shard mailbox ring
+// (simnet) and the bench counting allocator contain `unsafe` at all; this
+// crate is compiler-certified to stay out of that set (simlint's
+// safety-comments rule covers the two that cannot be).
+#![forbid(unsafe_code)]
+
 pub mod http;
 pub mod stack;
 

@@ -7,6 +7,12 @@
 //! * [`wrk`] — wrk-like closed-loop load shapes and the client sweeps /
 //!   ramps used across the figures.
 
+// The simulation's memory-safety story is that only the shard mailbox ring
+// (simnet) and the bench counting allocator contain `unsafe` at all; this
+// crate is compiler-certified to stay out of that set (simlint's
+// safety-comments rule covers the two that cannot be).
+#![forbid(unsafe_code)]
+
 pub mod boutique;
 pub mod wrk;
 

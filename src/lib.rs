@@ -51,6 +51,12 @@
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! paper-versus-measured record of every figure and table.
 
+// The simulation's memory-safety story is that only the shard mailbox ring
+// (simnet) and the bench counting allocator contain `unsafe` at all; this
+// crate is compiler-certified to stay out of that set (simlint's
+// safety-comments rule covers the two that cannot be).
+#![forbid(unsafe_code)]
+
 pub use palladium_baselines as baselines;
 pub use palladium_core as core;
 pub use palladium_dpu as dpu;

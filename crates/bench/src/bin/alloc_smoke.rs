@@ -31,10 +31,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use palladium_baselines::echo::{EchoConfig, EchoSim, Primitive};
 use palladium_core::driver::chain::ChainSim;
-use palladium_core::driver::cluster_sharded::ClusterShardedSim;
+use palladium_core::driver::cluster_sharded::{ClusterShardedSim, OverloadConfig};
 use palladium_core::system::SystemKind;
 use palladium_simnet::{Execution, FaultPlan, Nanos, ScenarioScript};
 use palladium_workloads::boutique::{self, ChainKind};
+use palladium_workloads::openloop::OpenLoopConfig;
 
 /// Pass threshold: steady-state allocations per simulated event. The
 /// target is literally zero on the event path; the budget only absorbs
@@ -179,6 +180,31 @@ fn run_cluster_rejoin(duration_ms: u64) -> (u64, u64) {
     (report.events, ALLOCS.load(Ordering::Relaxed) - before)
 }
 
+/// The overload plane under the allocation gate: a sustained open-loop
+/// flash crowd at roughly 2x the 2-pair cluster's saturation point, so
+/// the admission queue, deadline shedding, retry backoff + budget
+/// exhaustion and the circuit breaker all run hot through the
+/// steady-state tail. The arrival generator is stateless draws, the
+/// admission queue reaches its bounded high-water mark during warmup,
+/// retries ride the arena timer path, and the only growth is the
+/// append-only request table (amortized Vec doubling) — so overload
+/// shedding must be as allocation-free per event as healthy service.
+fn run_cluster_overload(duration_ms: u64) -> (u64, u64) {
+    let traffic = OpenLoopConfig::poisson(110_000.0, 10_000);
+    let cfg = boutique::sharded_config(SystemKind::PalladiumDne, ChainKind::HomeQuery, 2)
+        .warmup_ms(10)
+        .duration_ms(duration_ms)
+        .stride(2)
+        .overload(OverloadConfig::new(traffic, Nanos::from_millis(2)));
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let report = ClusterShardedSim::new(cfg).run(2, Execution::Sequential);
+    assert!(
+        report.chaos.shed_admission + report.chaos.shed_deadline > 0,
+        "the overload gate must actually shed (offered 2x saturation)"
+    );
+    (report.events, ALLOCS.load(Ordering::Relaxed) - before)
+}
+
 /// Run the Fig 12 two-sided echo (the driver the shared `PayloadCache`
 /// newly covers) for `duration_ms`, returning `(events, allocations)`.
 fn run_echo(duration_ms: u64) -> (u64, u64) {
@@ -258,7 +284,13 @@ fn main() {
         40,
         120,
     );
-    if !(chain_ok && echo_ok && sharded_ok && chaos_ok && rejoin_ok) {
+    let overload_ok = gate(
+        "sharded cluster overload, open-loop flash crowd at 2x saturation",
+        run_cluster_overload,
+        40,
+        120,
+    );
+    if !(chain_ok && echo_ok && sharded_ok && chaos_ok && rejoin_ok && overload_ok) {
         std::process::exit(1);
     }
 }

@@ -1,20 +1,25 @@
-//! `slo_smoke` — tail-latency SLO gates for the chaos scenarios.
+//! `slo_smoke` — tail-latency SLO and goodput gates for the chaos and
+//! overload scenarios.
 //!
 //! The chaos plane (scripted crashes, link flaps, stragglers on the
 //! sharded Fig 16 cluster — see `palladium_simnet::chaos`) exists to
 //! answer one question: *how much tail latency does each fault class
-//! cost, and does failover keep the cluster serving?* This binary pins
-//! the answer. It runs a fault-free baseline plus the five named
-//! scenarios, reads p50/p99/p99.9 off the streaming latency histogram,
-//! and writes `BENCH_slo.json` — the committed copy is the per-scenario
-//! SLO the CI bench-smoke job diffs against.
+//! cost, and does failover keep the cluster serving?* The overload plane
+//! (open-loop arrivals, admission control, retry budgets, costed
+//! autoscale — see `palladium_workloads::openloop`) answers the sequel:
+//! *what happens when the offered load itself is the fault?* This binary
+//! pins both. It runs a fault-free baseline plus the five chaos
+//! scenarios and the three overload scenarios, reads p50/p99/p99.9 off
+//! the streaming latency histogram, and writes `BENCH_slo.json` — the
+//! committed copy is the per-scenario SLO the CI bench-smoke job diffs
+//! against.
 //!
 //! Unlike events/sec these numbers are *simulated* latencies: fully
 //! deterministic, identical on every machine and at every shard count
-//! (the chaos golden pins the bytes). A drift here is a modeling change,
-//! never runner noise — the CI diff only warns (mirroring the
-//! events/sec step) so intentional model changes can land with a
-//! regenerated JSON, but any drift deserves a look.
+//! (the chaos and overload goldens pin the bytes). A drift here is a
+//! modeling change, never runner noise — the CI diff only warns
+//! (mirroring the events/sec step) so intentional model changes can land
+//! with a regenerated JSON, but any drift deserves a look.
 //!
 //! Hard in-binary gates (machine-independent, always enforced):
 //! - every scenario keeps completing requests (failover liveness);
@@ -23,10 +28,21 @@
 //!   complete the *costed* rejoin with non-zero time-to-recovery;
 //! - the gray-partition scenario is caught by the differential EWMA
 //!   (demotion + deflection) while heartbeat suspicion stays at zero;
-//! - no scenario sheds requests (the chaos-raised retry budget holds).
+//! - no chaos scenario sheds requests (the chaos-raised retry budget and
+//!   the default pool sizing hold);
+//! - the flash crowd triggers costed scale-out (warm lease + full rejoin
+//!   bill) with a measured surge-window tail;
+//! - the budgeted metastable config recovers goodput after the transient
+//!   crash while the legacy unbounded config stays collapsed.
+//!
+//! With `--load-sweep` it additionally walks the offered-load grid
+//! (`SWEEP_RPS`), locates the knee of the goodput-vs-offered-load curve
+//! (the smallest rate whose goodput is within 10% of the peak), gates
+//! goodput at 2x-the-knee offered load staying >= 50% of the peak (no
+//! congestion collapse), and writes the curve + knee into the JSON.
 //!
 //! Usage: `cargo run --release -p palladium-bench --bin slo_smoke --
-//! [--out PATH]` (default `BENCH_slo.json`).
+//! [--load-sweep] [--out PATH]` (default `BENCH_slo.json`).
 
 use palladium_core::driver::cluster_sharded::{
     ClusterShardedConfig, ClusterShardedReport, ClusterShardedSim,
@@ -34,6 +50,7 @@ use palladium_core::driver::cluster_sharded::{
 use palladium_core::system::SystemKind;
 use palladium_simnet::{Execution, Nanos, ScenarioScript};
 use palladium_workloads::boutique::{sharded_config, ChainKind};
+use palladium_workloads::openloop::{flash_autoscale, metastable, poisson_overload, SWEEP_RPS};
 
 const PAIRS: usize = 4;
 
@@ -44,7 +61,7 @@ fn base_cfg() -> ClusterShardedConfig {
         .duration_ms(4)
 }
 
-/// The scenario catalogue, mirroring `tests/chaos_cluster.rs` (the
+/// The chaos-scenario catalogue, mirroring `tests/chaos_cluster.rs` (the
 /// golden pins the bytes; this binary pins the SLO view of them).
 fn scenarios() -> Vec<(&'static str, Option<ScenarioScript>)> {
     vec![
@@ -92,16 +109,28 @@ fn scenarios() -> Vec<(&'static str, Option<ScenarioScript>)> {
     ]
 }
 
+/// The overload-scenario catalogue, mirroring `tests/overload_cluster.rs`
+/// (the overload golden pins the bytes; this binary pins the gates).
+fn overload_scenarios() -> Vec<(&'static str, ClusterShardedConfig)> {
+    vec![
+        ("flash_autoscale", flash_autoscale()),
+        ("metastable_budgeted", metastable(true)),
+        ("metastable_unbounded", metastable(false)),
+    ]
+}
+
 fn gate(name: &str, r: &ClusterShardedReport) -> bool {
     let mut ok = true;
     if r.chain.load.completed == 0 {
         eprintln!("FAIL: {name}: cluster completed zero requests — liveness lost");
         ok = false;
     }
-    if r.chaos.shed > 0 {
+    let shed = r.chaos.shed_qp + r.chaos.shed_pool;
+    if shed > 0 {
         eprintln!(
-            "FAIL: {name}: {} requests shed — a QP exhausted the chaos-raised retry budget",
-            r.chaos.shed
+            "FAIL: {name}: {shed} requests shed (qp={} pool={}) — a QP exhausted the \
+             chaos-raised retry budget or the ingress pool ran dry",
+            r.chaos.shed_qp, r.chaos.shed_pool
         );
         ok = false;
     }
@@ -149,6 +178,134 @@ fn gate(name: &str, r: &ClusterShardedReport) -> bool {
     ok
 }
 
+fn overload_gate(name: &str, r: &ClusterShardedReport) -> bool {
+    let o = &r.overload;
+    let mut ok = true;
+    if o.goodput == 0 {
+        eprintln!("FAIL: {name}: zero goodput — overload killed the cluster");
+        ok = false;
+    }
+    match name {
+        // The surge must trigger *costed* elasticity: spare pairs
+        // activate, the first claims the warm lease, later ones pay the
+        // full rejoin bill, and the surge-window tail is measured.
+        "flash_autoscale"
+            if o.scale_ups < 1
+                || o.lease_hits < 1
+                || o.rejoin_bills < 1
+                || o.ramp_p99.is_zero() =>
+        {
+            eprintln!(
+                "FAIL: {name}: costed scale-out incomplete (scale_ups={} lease_hits={} \
+                 rejoin_bills={} ramp_p99={})",
+                o.scale_ups,
+                o.lease_hits,
+                o.rejoin_bills,
+                o.ramp_p99.as_nanos()
+            );
+            ok = false;
+        }
+        // Budgets + breaker + backlog shedding turn the transient crash
+        // back into a transient: goodput must recover in the last
+        // quarter of the run, with the machinery visibly engaged.
+        "metastable_budgeted"
+            if o.recovery_goodput == 0 || o.retry_exhausted == 0 || o.breaker_opens == 0 =>
+        {
+            eprintln!(
+                "FAIL: {name}: budgeted config failed to recover \
+                 (recovery_goodput={} retry_exhausted={} breaker_opens={})",
+                o.recovery_goodput, o.retry_exhausted, o.breaker_opens
+            );
+            ok = false;
+        }
+        // The negative control must stay collapsed — if unbounded
+        // retries also recover, the scenario no longer demonstrates the
+        // metastable failure the budgets exist to prevent.
+        "metastable_unbounded" if o.recovery_goodput != 0 => {
+            eprintln!(
+                "FAIL: {name}: the unbounded control recovered (recovery_goodput={}) — \
+                 the metastable scenario lost its teeth",
+                o.recovery_goodput
+            );
+            ok = false;
+        }
+        _ => {}
+    }
+    ok
+}
+
+/// Walk the offered-load grid, locate the knee of the goodput curve, and
+/// gate against congestion collapse. Returns (ok, json rows, knee rps).
+fn load_sweep() -> (bool, Vec<String>, f64) {
+    println!("slo_smoke: goodput-vs-offered-load sweep ({} points)", SWEEP_RPS.len());
+    let mut points = Vec::new();
+    let mut rows = Vec::new();
+    for &rps in SWEEP_RPS.iter() {
+        let r = ClusterShardedSim::new(poisson_overload(rps)).run(2, Execution::Sequential);
+        let o = &r.overload;
+        println!(
+            "  {:>9.0} rps offered: offered={:>5} admitted={:>5} goodput={:>4} late={:>3} \
+             shed_admission={:>5} shed_deadline={:>5} p99={:>8} ns",
+            rps,
+            o.offered,
+            o.admitted,
+            o.goodput,
+            o.late,
+            r.chaos.shed_admission,
+            r.chaos.shed_deadline,
+            r.p99.as_nanos()
+        );
+        rows.push(format!(
+            "    {{\"offered_rps\": {rps}, \"offered\": {}, \"admitted\": {}, \"goodput\": {}, \
+             \"late\": {}, \"shed_admission\": {}, \"shed_deadline\": {}, \"p99_ns\": {}}}",
+            o.offered,
+            o.admitted,
+            o.goodput,
+            o.late,
+            r.chaos.shed_admission,
+            r.chaos.shed_deadline,
+            r.p99.as_nanos()
+        ));
+        points.push((rps, o.goodput));
+    }
+    let peak = points.iter().map(|&(_, g)| g).max().unwrap_or(0);
+    // The knee: the smallest offered rate whose goodput is already within
+    // 10% of the peak — beyond it, extra offered load buys nothing but
+    // shedding work.
+    let knee = points
+        .iter()
+        .find(|&&(_, g)| 10 * g >= 9 * peak)
+        .map(|&(rps, _)| rps)
+        .unwrap_or(0.0);
+    let (top_rps, top_goodput) = *points.last().expect("sweep grid is non-empty");
+    let mut ok = true;
+    if knee == 0.0 || peak == 0 {
+        eprintln!("FAIL: load sweep found no knee — goodput never approached a peak");
+        ok = false;
+    }
+    if top_rps < 2.0 * knee {
+        eprintln!(
+            "FAIL: sweep grid tops out at {top_rps} rps, under 2x the knee ({knee} rps) — \
+             the collapse gate needs deeper overload coverage"
+        );
+        ok = false;
+    }
+    // The no-congestion-collapse claim: past 2x the knee, admission
+    // control + deadline shedding keep goodput >= half the peak instead
+    // of letting retry/queueing work starve real service.
+    if 2 * top_goodput < peak {
+        eprintln!(
+            "FAIL: goodput collapsed past saturation ({top_goodput} at {top_rps} rps vs \
+             peak {peak}) — the shedding machinery is not protecting service"
+        );
+        ok = false;
+    }
+    println!(
+        "  knee={knee:.0} rps (goodput peak {peak}); goodput at {top_rps:.0} rps = {top_goodput}"
+    );
+    (ok, rows, knee)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let out_path = args
@@ -156,6 +313,7 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "BENCH_slo.json".to_string());
+    let sweep = args.iter().any(|a| a == "--load-sweep");
 
     let mut rows: Vec<String> = Vec::new();
     let mut all_ok = true;
@@ -171,7 +329,7 @@ fn main() {
         let r = ClusterShardedSim::new(cfg).run(2, Execution::Sequential);
         all_ok &= gate(name, &r);
         println!(
-            "  {name:>17}: p50={:>7} ns  p99={:>8} ns  p99.9={:>8} ns  completed={:>4}  \
+            "  {name:>19}: p50={:>7} ns  p99={:>8} ns  p99.9={:>8} ns  completed={:>4}  \
              drops={} crash={} rto={} suspected={} reroutes={} lost={} \
              rejoins={} ttr_p50={} gray_demoted={} gray_reroutes={}",
             r.p50.as_nanos(),
@@ -214,13 +372,78 @@ fn main() {
         ));
     }
 
+    println!("slo_smoke: overload goodput gates (open-loop arrivals, budgeted degradation)");
+    for (name, cfg) in overload_scenarios() {
+        let r = ClusterShardedSim::new(cfg).run(2, Execution::Sequential);
+        all_ok &= overload_gate(name, &r);
+        let o = &r.overload;
+        println!(
+            "  {name:>19}: p50={:>7} ns  p99={:>8} ns  p99.9={:>8} ns  offered={:>4}  \
+             goodput={:>3} late={} recovery={} exhausted={} breaker_opens={} \
+             scale_ups={} lease_hits={} rejoin_bills={} ramp_p99={}",
+            r.p50.as_nanos(),
+            r.p99.as_nanos(),
+            r.p999.as_nanos(),
+            o.offered,
+            o.goodput,
+            o.late,
+            o.recovery_goodput,
+            o.retry_exhausted,
+            o.breaker_opens,
+            o.scale_ups,
+            o.lease_hits,
+            o.rejoin_bills,
+            o.ramp_p99.as_nanos()
+        );
+        rows.push(format!(
+            "    {{\"scenario\": \"{name}\", \"p50_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}, \
+             \"completed\": {}, \"offered\": {}, \"admitted\": {}, \"goodput\": {}, \
+             \"late\": {}, \"recovery_goodput\": {}, \"retries\": {}, \"retry_exhausted\": {}, \
+             \"shed_admission\": {}, \"shed_deadline\": {}, \"shed_breaker\": {}, \
+             \"breaker_opens\": {}, \"scale_ups\": {}, \"scale_downs\": {}, \
+             \"rejoin_bills\": {}, \"lease_hits\": {}, \"ramp_p99_ns\": {}}}",
+            r.p50.as_nanos(),
+            r.p99.as_nanos(),
+            r.p999.as_nanos(),
+            r.chain.load.completed,
+            o.offered,
+            o.admitted,
+            o.goodput,
+            o.late,
+            o.recovery_goodput,
+            o.retries,
+            o.retry_exhausted,
+            r.chaos.shed_admission,
+            r.chaos.shed_deadline,
+            r.chaos.shed_breaker,
+            o.breaker_opens,
+            o.scale_ups,
+            o.scale_downs,
+            o.rejoin_bills,
+            o.lease_hits,
+            o.ramp_p99.as_nanos()
+        ));
+    }
+
+    let mut sweep_section = String::new();
+    if sweep {
+        let (ok, sweep_rows, knee) = load_sweep();
+        all_ok &= ok;
+        sweep_section = format!(
+            ",\n  \"knee_rps\": {knee},\n  \"load_sweep\": [\n{}\n  ]",
+            sweep_rows.join(",\n")
+        );
+    }
+
     let mut json = String::from(
-        "{\n  \"comment\": \"chaos-scenario tail-latency SLOs; simulated (deterministic) \
-         nanoseconds, regenerate with slo_smoke on intentional model changes\",\n  \
+        "{\n  \"comment\": \"chaos + overload scenario SLOs; simulated (deterministic) \
+         nanoseconds, regenerate with slo_smoke --load-sweep on intentional model changes\",\n  \
          \"scenarios\": [\n",
     );
     json.push_str(&rows.join(",\n"));
-    json.push_str("\n  ]\n}\n");
+    json.push_str("\n  ]");
+    json.push_str(&sweep_section);
+    json.push_str("\n}\n");
     std::fs::write(&out_path, &json).expect("write slo json");
     println!("wrote {out_path}");
 

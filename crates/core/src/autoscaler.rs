@@ -25,6 +25,12 @@ pub struct AutoscalerConfig {
     /// Service interruption while workers restart after a scaling action
     /// (the Fig 14 (2) blip).
     pub reload_blip: Nanos,
+    /// Minimum span between two scaling *actions* (not evaluations) when
+    /// driven through [`Autoscaler::evaluate_at`] — damps flapping when a
+    /// flash crowd makes utilization whipsaw across both thresholds inside
+    /// one worker-warmup time. `ZERO` (the default) disables the cooldown,
+    /// preserving the classic per-interval policy.
+    pub cooldown: Nanos,
 }
 
 impl Default for AutoscalerConfig {
@@ -36,6 +42,7 @@ impl Default for AutoscalerConfig {
             max_workers: 24,
             eval_interval: Nanos::from_millis(500),
             reload_blip: Nanos::from_millis(120),
+            cooldown: Nanos::ZERO,
         }
     }
 }
@@ -56,6 +63,8 @@ pub enum ScaleAction {
 pub struct Autoscaler {
     cfg: AutoscalerConfig,
     workers: usize,
+    /// When the last non-`Hold` action was taken (cooldown anchor).
+    last_action: Option<Nanos>,
     /// Decisions taken (up, down) — for reports.
     pub ups: u32,
     /// Scale-down decisions taken.
@@ -68,6 +77,7 @@ impl Autoscaler {
         Autoscaler {
             workers: cfg.min_workers,
             cfg,
+            last_action: None,
             ups: 0,
             downs: 0,
         }
@@ -98,6 +108,23 @@ impl Autoscaler {
         } else {
             ScaleAction::Hold
         }
+    }
+
+    /// [`Autoscaler::evaluate`] with the cooldown applied: while `now` is
+    /// within `cfg.cooldown` of the last non-`Hold` action, the policy is
+    /// not consulted and the answer is `Hold`. With `cooldown == ZERO`
+    /// this is exactly `evaluate`.
+    pub fn evaluate_at(&mut self, now: Nanos, avg_useful_util: f64) -> ScaleAction {
+        if let Some(at) = self.last_action {
+            if now.as_nanos() < at.as_nanos().saturating_add(self.cfg.cooldown.as_nanos()) {
+                return ScaleAction::Hold;
+            }
+        }
+        let action = self.evaluate(avg_useful_util);
+        if action != ScaleAction::Hold {
+            self.last_action = Some(now);
+        }
+        action
     }
 }
 
@@ -147,6 +174,71 @@ mod tests {
         assert_eq!(s.evaluate(0.9), ScaleAction::Hold, "at max");
         assert_eq!(s.evaluate(0.1), ScaleAction::Down);
         assert_eq!(s.evaluate(0.1), ScaleAction::Hold, "at min");
+    }
+
+    #[test]
+    fn cooldown_suppresses_back_to_back_actions() {
+        let mut s = Autoscaler::new(AutoscalerConfig {
+            cooldown: Nanos::from_millis(2),
+            ..Default::default()
+        });
+        let t = Nanos::from_millis;
+        assert_eq!(s.evaluate_at(t(0), 0.9), ScaleAction::Up);
+        // Saturated again 1 ms later: inside the cooldown, forced Hold.
+        assert_eq!(s.evaluate_at(t(1), 0.9), ScaleAction::Hold);
+        assert_eq!(s.workers(), 2);
+        // Cooldown expired: the policy acts again.
+        assert_eq!(s.evaluate_at(t(2), 0.9), ScaleAction::Up);
+        assert_eq!(s.workers(), 3);
+        // A whipsaw to idle right after the second action is also damped.
+        assert_eq!(s.evaluate_at(t(3), 0.1), ScaleAction::Hold);
+        assert_eq!(s.evaluate_at(t(4), 0.1), ScaleAction::Down);
+        assert_eq!(s.workers(), 2);
+    }
+
+    #[test]
+    fn zero_cooldown_matches_plain_evaluate() {
+        let mut a = scaler();
+        let mut b = scaler();
+        for (i, util) in [0.9, 0.9, 0.1, 0.45, 0.9, 0.1, 0.1].iter().enumerate() {
+            let via_at = a.evaluate_at(Nanos(i as u64), *util);
+            let via_plain = b.evaluate(*util);
+            assert_eq!(via_at, via_plain, "step {i}");
+        }
+        assert_eq!(a.workers(), b.workers());
+    }
+
+    #[test]
+    fn cooldown_holds_do_not_reset_the_window() {
+        // Repeated saturated evaluations inside the window must not push the
+        // cooldown anchor forward: the action fires exactly when the original
+        // window expires.
+        let mut s = Autoscaler::new(AutoscalerConfig {
+            cooldown: Nanos::from_millis(10),
+            ..Default::default()
+        });
+        assert_eq!(s.evaluate_at(Nanos::ZERO, 0.9), ScaleAction::Up);
+        for ms in 1..10 {
+            assert_eq!(s.evaluate_at(Nanos::from_millis(ms), 0.9), ScaleAction::Hold);
+        }
+        assert_eq!(s.evaluate_at(Nanos::from_millis(10), 0.9), ScaleAction::Up);
+    }
+
+    #[test]
+    fn evaluate_at_respects_worker_clamps() {
+        let mut s = Autoscaler::new(AutoscalerConfig {
+            min_workers: 2,
+            max_workers: 3,
+            cooldown: Nanos::from_micros(100),
+            ..Default::default()
+        });
+        assert_eq!(s.workers(), 2);
+        assert_eq!(s.evaluate_at(Nanos(0), 0.99), ScaleAction::Up);
+        assert_eq!(s.evaluate_at(Nanos(200_000), 0.99), ScaleAction::Hold, "at max");
+        assert_eq!(s.workers(), 3);
+        assert_eq!(s.evaluate_at(Nanos(400_000), 0.01), ScaleAction::Down);
+        assert_eq!(s.evaluate_at(Nanos(600_000), 0.01), ScaleAction::Hold, "at min");
+        assert_eq!(s.workers(), 2);
     }
 
     #[test]

@@ -117,14 +117,17 @@ use palladium_rdma::{
     Cqe, CqeKind, Packet, RdmaConfig, RdmaEvent, RdmaNet, RdmaOutput, RqEntry, Step, WorkRequest,
     WrId,
 };
+use std::collections::VecDeque;
+
 use palladium_simnet::{
-    run_sharded, ChannelStats, CompiledScenario, Effects, Execution, HealthMonitor, Histogram,
-    IdTable, Nanos, Outbox, Partition, RunStats, ScenarioScript, ServerBank, ShardConfig,
-    ShardEngine, Slab, Suspicion, WorkerState,
+    run_sharded, Arrival, ChannelStats, CompiledScenario, Effects, Execution, HealthMonitor,
+    Histogram, IdTable, Nanos, OpenLoop, OpenLoopConfig, Outbox, PageTable, Partition, RunStats,
+    ScenarioScript, ServerBank, ShardConfig, ShardEngine, SimRng, Slab, Suspicion, WorkerState,
 };
 
 use super::chain::{AppSpec, ChainReport, ChainSpec, INGRESS_FN};
 use super::LoadReport;
+use crate::autoscaler::{Autoscaler, AutoscalerConfig, ScaleAction};
 use crate::config::{CostModel, EngineLocation};
 use crate::connpool::{ConnPool, ConnPoolConfig, RejoinCosts};
 use crate::dne::{pack_imm, Dne, DneEffect};
@@ -136,6 +139,24 @@ const TENANT: TenantId = TenantId(1);
 const POOL_BUFS: u32 = 4096;
 const BUF_SIZE: u32 = 8192;
 const INITIAL_RQ: u64 = 512;
+
+/// Stream-id salt for per-request retry-backoff jitter draws: the draw for
+/// `(request, attempt)` is stateless, so backoff schedules are byte-identical
+/// at every shard count and execution mode.
+const RETRY_STREAM: u64 = 0x6265_6F66_6672;
+
+/// Every `N`-th deadline-infeasible request is admitted anyway. The
+/// feasibility estimate only re-learns from completions, so shedding on
+/// it unconditionally lets an outage-poisoned EWMA starve the cluster
+/// forever — a metastable trap of the admission controller's own making.
+/// The probe keeps samples flowing so the estimate can recover.
+const DL_PROBE_EVERY: u64 = 8; // "beoffr"
+
+/// Transport retry budget under chaos *without* an overload retry policy —
+/// the legacy "undying" configuration: the QP never suicides, go-back-N
+/// redelivers once a partition lifts, and failover belongs to the health
+/// plane alone.
+const UNDYING_RETRY: u32 = 100_000;
 
 /// Payload word layout: request id (low 40 bits), hop index (8 bits),
 /// worker pair (high 16 bits) — see the module docs on request-state
@@ -210,6 +231,217 @@ pub struct ClusterShardedConfig {
     pub rejoin: RejoinCosts,
     /// Differential gray-failure detection policy (chaos runs only).
     pub gray: GrayPolicy,
+    /// Buffers per node pool. The default matches the historical constant;
+    /// shrinking it is how the pool-exhaustion shed path is tested.
+    pub pool_bufs: u32,
+    /// Open-loop overload regime (see [`OverloadConfig`]). `None` keeps the
+    /// classic closed-loop drivers byte-for-byte: no arrival events, no
+    /// admission queue, no retry budgets, no autoscaler.
+    pub overload: Option<OverloadConfig>,
+}
+
+/// The overload regime: open-loop arrivals plus the degradation machinery
+/// that keeps overload survivable — ingress admission control with
+/// deadline-aware shedding, per-request retry budgets, a per-pair circuit
+/// breaker, and (optionally) costed autoscaler scale-out.
+///
+/// Every stochastic draw (arrival gaps, population ranks, retry jitter)
+/// comes from stateless [`SimRng::stream`]s keyed by sequence numbers, and
+/// every decision executes in ingress event order, so overload runs are
+/// byte-identical at every shard count and execution mode like everything
+/// else in this driver.
+#[derive(Clone, Debug)]
+pub struct OverloadConfig {
+    /// The open-loop arrival profile and Zipf function population.
+    pub traffic: OpenLoopConfig,
+    /// End-to-end deadline propagated with each request; completions past
+    /// it are *measured* as `late` (not goodput) regardless of policy.
+    pub deadline: Nanos,
+    /// Bounded admission queue capacity (requests waiting at the ingress).
+    pub queue_cap: usize,
+    /// Maximum admitted-but-unfinished requests (the concurrency window
+    /// that keeps the data plane out of its own congestion collapse).
+    pub inflight_cap: u64,
+    /// Queued requests older than this are shed oldest-first — serving a
+    /// request that already waited this long only makes every later one
+    /// later.
+    pub queue_delay_max: Nanos,
+    /// Initial service-latency estimate seeding the deadline-feasibility
+    /// EWMA (updated from admission→completion samples).
+    pub est_latency: Nanos,
+    /// Whether the admission/retry machinery *acts* on deadlines (sheds
+    /// infeasible requests). The unbounded-legacy negative control turns
+    /// this off: deadlines are still measured, never enforced.
+    pub shed_on_deadline: bool,
+    /// Per-request retry budget and backoff shape.
+    pub retry: RetryPolicy,
+    /// Per-pair circuit breaker.
+    pub breaker: BreakerPolicy,
+    /// Costed autoscaler scale-out; `None` serves with all pairs active.
+    pub autoscale: Option<AutoscalePolicy>,
+}
+
+impl OverloadConfig {
+    /// Budgeted-degradation defaults over the given traffic and deadline.
+    pub fn new(traffic: OpenLoopConfig, deadline: Nanos) -> Self {
+        OverloadConfig {
+            traffic,
+            deadline,
+            queue_cap: 512,
+            inflight_cap: 64,
+            queue_delay_max: Nanos::from_micros(500),
+            est_latency: Nanos::from_micros(500),
+            shed_on_deadline: true,
+            retry: RetryPolicy::budgeted(),
+            breaker: BreakerPolicy::default(),
+            autoscale: None,
+        }
+    }
+
+    /// Tune the admission bound: queue capacity, in-flight window, and the
+    /// oldest-first queue-delay threshold.
+    pub fn admission(mut self, queue_cap: usize, inflight_cap: u64, queue_delay_max: Nanos) -> Self {
+        self.queue_cap = queue_cap;
+        self.inflight_cap = inflight_cap;
+        self.queue_delay_max = queue_delay_max;
+        self
+    }
+
+    /// Set the retry policy.
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
+    /// Set the circuit-breaker policy.
+    pub fn breaker(mut self, policy: BreakerPolicy) -> Self {
+        self.breaker = policy;
+        self
+    }
+
+    /// Enable costed autoscaler scale-out.
+    pub fn autoscale(mut self, policy: AutoscalePolicy) -> Self {
+        self.autoscale = Some(policy);
+        self
+    }
+
+    /// The honest negative control: the pre-budget configuration with an
+    /// effectively unbounded queue, undying retries with near-zero backoff,
+    /// no breaker, and no deadline enforcement (deadlines are still
+    /// *measured*, so goodput reads honestly). Under a transient fault at
+    /// sustained load this is the classic metastable recipe — the backlog
+    /// and retry storm outlive the fault.
+    pub fn unbounded_legacy(mut self) -> Self {
+        self.queue_cap = 1 << 20;
+        self.queue_delay_max = Nanos::from_secs(3600);
+        self.shed_on_deadline = false;
+        self.retry = RetryPolicy::unbounded();
+        self.breaker = BreakerPolicy::disabled();
+        self
+    }
+}
+
+/// Per-request retry budget with deterministic exponential backoff +
+/// jitter. Budget exhaustion is an honest client-visible failure
+/// (`retry_exhausted` in [`OverloadReport`]), not an infinite loop.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Retries allowed after the first attempt.
+    pub budget: u32,
+    /// Backoff before retry `k` is `base × 2^(k-1)`, capped.
+    pub backoff_base: Nanos,
+    /// Backoff ceiling.
+    pub backoff_cap: Nanos,
+    /// Uniform jitter fraction (±) applied to each backoff — deterministic
+    /// per `(request, attempt)` via a stateless stream.
+    pub jitter_frac: f64,
+    /// Transport-level (QP) retry budget under chaos. `None` keeps the
+    /// legacy undying transport ([`UNDYING_RETRY`]); `Some(n)` makes the
+    /// transport give up honestly after `n` RTOs, handing failure to the
+    /// client-level budget above.
+    pub transport_retry: Option<u32>,
+}
+
+impl RetryPolicy {
+    /// The budgeted configuration: 3 retries, 50 µs base doubling to an
+    /// 800 µs cap, ±25% jitter, transport retries bounded.
+    pub fn budgeted() -> Self {
+        RetryPolicy {
+            budget: 3,
+            backoff_base: Nanos::from_micros(50),
+            backoff_cap: Nanos::from_micros(800),
+            jitter_frac: 0.25,
+            transport_retry: Some(64),
+        }
+    }
+
+    /// The legacy storm: effectively infinite retries with a near-zero
+    /// fixed backoff and an undying transport.
+    pub fn unbounded() -> Self {
+        RetryPolicy {
+            budget: u32::MAX,
+            backoff_base: Nanos::from_micros(5),
+            backoff_cap: Nanos::from_micros(5),
+            jitter_frac: 0.2,
+            transport_retry: None,
+        }
+    }
+}
+
+/// Per-pair circuit breaker: after `open_after` consecutive transport/loss
+/// failures the pair is shed *at the source* for `cooldown`; the first
+/// admission after the cooldown is the half-open probe — success closes
+/// the breaker, failure re-arms it. Composes with the health plane and the
+/// gray/probation states: the breaker reacts to failures the EWMA detector
+/// is too slow for (a demoted pair keeps losing in-flights).
+#[derive(Clone, Copy, Debug)]
+pub struct BreakerPolicy {
+    /// Consecutive failures that open the breaker.
+    pub open_after: u32,
+    /// How long an open breaker sheds before allowing a half-open probe.
+    pub cooldown: Nanos,
+}
+
+impl Default for BreakerPolicy {
+    fn default() -> Self {
+        BreakerPolicy {
+            open_after: 8,
+            cooldown: Nanos::from_micros(200),
+        }
+    }
+}
+
+impl BreakerPolicy {
+    /// A breaker that never opens (the legacy control).
+    pub fn disabled() -> Self {
+        BreakerPolicy {
+            open_after: u32::MAX,
+            cooldown: Nanos::ZERO,
+        }
+    }
+}
+
+/// Costed elastic scale-out: the run starts serving from `initial_pairs`
+/// and the [`Autoscaler`] activates further (fully wired but idle) pairs
+/// when the backlog-derived utilization crosses its thresholds. Each
+/// activation pays the full [`RejoinCosts`] bill before serving — or, while
+/// pre-leased warm workers remain, an rFaaS-style `lease_fraction` of it.
+#[derive(Clone, Copy, Debug)]
+pub struct AutoscalePolicy {
+    /// Pairs active at t = 0 (the rest are spares awaiting activation).
+    pub initial_pairs: usize,
+    /// The hysteresis policy. `min_workers`/`max_workers` are overridden to
+    /// `initial_pairs`/total pairs by the driver; set `eval_interval` and
+    /// `cooldown` to the cadence the scenario needs.
+    pub scaler: AutoscalerConfig,
+    /// In-flight + queued requests one active pair is expected to absorb;
+    /// utilization fed to the scaler is `backlog / (active × target)`.
+    pub target_inflight_per_pair: u64,
+    /// Pre-leased warm workers that activate at `lease_fraction` of the
+    /// full rejoin bill.
+    pub warm_leases: u32,
+    /// Fraction of the rejoin bill a leased activation pays.
+    pub lease_fraction: f64,
 }
 
 /// Differential gray-failure detection: per-pair EWMA latency scores,
@@ -271,6 +503,8 @@ impl ClusterShardedConfig {
             heartbeat_k: 3,
             rejoin: RejoinCosts::default(),
             gray: GrayPolicy::default(),
+            pool_bufs: POOL_BUFS,
+            overload: None,
         }
     }
 
@@ -333,6 +567,22 @@ impl ClusterShardedConfig {
         self
     }
 
+    /// Set the per-node pool size in buffers.
+    pub fn pool_bufs(mut self, bufs: u32) -> Self {
+        assert!(bufs >= 1, "need at least one pool buffer");
+        self.pool_bufs = bufs;
+        self
+    }
+
+    /// Drive the run open-loop under `overload` (see [`OverloadConfig`]).
+    /// Replaces the closed-loop clients entirely.
+    pub fn overload(mut self, overload: OverloadConfig) -> Self {
+        assert!(overload.inflight_cap >= 1, "need a non-empty in-flight window");
+        assert!(overload.traffic.population >= 1, "need a function population");
+        self.overload = Some(overload);
+        self
+    }
+
     /// The window width a run of this configuration uses.
     pub fn window(&self) -> Nanos {
         let frame_la = RdmaConfig::default().frame_lookahead();
@@ -381,6 +631,48 @@ pub struct ClusterShardedReport {
     pub p999: Nanos,
     /// Chaos accounting — all-zero on fault-free runs.
     pub chaos: ChaosReport,
+    /// Overload accounting — all-zero on closed-loop runs.
+    pub overload: OverloadReport,
+}
+
+/// Open-loop overload accounting for one run. Goodput is the honest
+/// metric: completions within their propagated deadline. Folded entirely
+/// from ingress-ordered state — byte-identical at every shard count.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct OverloadReport {
+    /// Arrivals generated inside the measurement window.
+    pub offered: u64,
+    /// Requests admitted to the data plane inside the window.
+    pub admitted: u64,
+    /// Completions within their deadline (the goodput numerator).
+    pub goodput: u64,
+    /// Completions past their deadline — served, but worthless.
+    pub late: u64,
+    /// Within-deadline completions finishing in the last quarter of the
+    /// window — distinguishes a system that *recovered* from one whose
+    /// backlog outlived the run (the metastable signature).
+    pub recovery_goodput: u64,
+    /// Retry attempts scheduled by the backoff machinery.
+    pub retries: u64,
+    /// Requests that exhausted their retry budget (or whose deadline
+    /// passed before the next attempt) — honest client-visible failures.
+    pub retry_exhausted: u64,
+    /// Circuit-breaker open (and re-arm) transitions.
+    pub breaker_opens: u64,
+    /// Circuit-breaker half-open probes that closed the breaker.
+    pub breaker_closes: u64,
+    /// Autoscaler pair activations that completed (after paying).
+    pub scale_ups: u64,
+    /// Autoscaler pair deactivations.
+    pub scale_downs: u64,
+    /// Activations that paid the full rejoin bill.
+    pub rejoin_bills: u64,
+    /// Activations that claimed a pre-leased warm worker at a fraction of
+    /// the bill.
+    pub lease_hits: u64,
+    /// p99 end-to-end latency of completions inside the surge window (the
+    /// flash-crowd ramp), `ZERO` when no surge window applies.
+    pub ramp_p99: Nanos,
 }
 
 /// Fault, detection and failover accounting for one run. Folded
@@ -406,8 +698,19 @@ pub struct ChaosReport {
     /// was believed dead.
     pub reroutes: u64,
     /// Requests/sends shed because a post failed (errored QP) — zero
-    /// unless a QP exhausts its (chaos-raised) retry budget.
-    pub shed: u64,
+    /// unless a QP exhausts its transport retry budget.
+    pub shed_qp: u64,
+    /// Requests shed because the ingress buffer pool was exhausted (every
+    /// drop path is attributed — this one used to vanish silently).
+    pub shed_pool: u64,
+    /// Requests shed by admission control: queue full, or queued past the
+    /// oldest-first queue-delay threshold.
+    pub shed_admission: u64,
+    /// Requests shed because their propagated deadline could not be met
+    /// under the current backlog estimate.
+    pub shed_deadline: u64,
+    /// Requests shed at the source by an open per-pair circuit breaker.
+    pub shed_breaker: u64,
     /// Recovered workers that completed the costed rejoin and re-entered
     /// the routing set.
     pub rejoins: u64,
@@ -468,6 +771,16 @@ pub(crate) enum Ev {
     /// Worker `n` finished paying its rejoin cost (chaos runs only).
     /// `epoch` voids completions staled by a crash mid-rejoin.
     RejoinDone { n: usize, epoch: u64 },
+    /// The next open-loop arrival lands at the ingress (overload runs
+    /// only; self-perpetuating).
+    Arrive,
+    /// A failed request's backoff expired; re-enter admission.
+    Retry { req: u64 },
+    /// The autoscaler evaluates its policy (overload + autoscale only;
+    /// self-perpetuating at the eval interval).
+    ScaleTick,
+    /// A scale-out finished paying its bill: pair `pair` activates.
+    ScaleOutDone { pair: usize },
 }
 
 struct ReqState {
@@ -477,6 +790,20 @@ struct ReqState {
     /// Worker pair serving this request (usually `req % pairs`; a
     /// surviving pair under failover).
     pair: usize,
+    /// Overload-mode fields (all zero/false on closed-loop runs).
+    /// Propagated end-to-end deadline.
+    deadline: Nanos,
+    /// When this request last entered the admission queue.
+    queued_at: Nanos,
+    /// When this request was last admitted to the data plane.
+    admitted_at: Nanos,
+    /// Attempts started (1 on arrival; retries increment).
+    attempts: u32,
+    /// Currently admitted and unfinished (distinguishes in-plane requests
+    /// from queued/backing-off ones during suspicion sweeps).
+    inflight: bool,
+    /// Routing hint from the function-population table (`fn_id % pairs`).
+    hint: u16,
 }
 
 /// State owned by the shard carrying the ingress node.
@@ -501,6 +828,177 @@ struct IngressState {
     /// Rejoin and gray-failure bookkeeping (present iff chaos is on,
     /// like `health`).
     chaosx: Option<IngressChaos>,
+    /// Open-loop overload machinery (present iff `cfg.overload` is set).
+    overload: Option<IngressOverload>,
+}
+
+/// Admission control, retry budgets, breaker state and the autoscaler,
+/// owned by the ingress. Everything updates in ingress event order.
+struct IngressOverload {
+    ov: OverloadConfig,
+    gen: OpenLoop,
+    /// The next arrival, pre-drawn so its time can be scheduled.
+    next: Arrival,
+    /// Function id → preferred-pair hint over the whole Zipf population
+    /// (the PR 3 two-level page table, exercised per arrival).
+    route: PageTable<u16>,
+    /// Bounded admission queue of request ids (FIFO).
+    queue: VecDeque<u64>,
+    /// Admitted-but-unfinished requests.
+    inflight: u64,
+    /// EWMA of admission→completion latency (ns), seeding deadline
+    /// feasibility; initialized from `ov.est_latency`.
+    est: f64,
+    /// Per-pair breaker: `ZERO` = closed, else shed until that instant
+    /// (first admission at/after it is the half-open probe).
+    breaker_until: Vec<Nanos>,
+    /// Per-pair consecutive-failure counter.
+    breaker_fails: Vec<u32>,
+    /// Deadline-infeasible requests seen (every [`DL_PROBE_EVERY`]-th is
+    /// admitted as a probe so the feasibility EWMA can re-learn).
+    dl_probe: u64,
+    /// The scaling policy engine (present iff `ov.autoscale`).
+    scaler: Option<Autoscaler>,
+    /// Pairs currently receiving traffic (prefix `0..active_pairs`).
+    active_pairs: usize,
+    /// Activations in flight (0 or 1; evaluation pauses while paying).
+    activating: usize,
+    /// Pre-leased warm workers remaining.
+    leases_left: u32,
+    /// Full rejoin bill one activation pays (before lease discount).
+    scaleout_bill: Nanos,
+    seed: u64,
+    warmup: Nanos,
+    /// Completions at/after this instant count as recovery goodput
+    /// (last quarter of the measurement window).
+    recovery_lo: Nanos,
+    /// Surge window for ramp-tail measurement.
+    ramp_lo: Nanos,
+    ramp_hi: Nanos,
+    /// End-to-end latency of completions inside the surge window.
+    ramp: Histogram,
+    // Counters (see [`OverloadReport`] / [`ChaosReport`]).
+    offered: u64,
+    admitted: u64,
+    goodput: u64,
+    late: u64,
+    recovery_goodput: u64,
+    retries: u64,
+    retry_exhausted: u64,
+    shed_admission: u64,
+    shed_deadline: u64,
+    shed_breaker: u64,
+    breaker_opens: u64,
+    breaker_closes: u64,
+    scale_ups: u64,
+    scale_downs: u64,
+    lease_hits: u64,
+    rejoin_bills: u64,
+}
+
+impl IngressOverload {
+    fn new(
+        ov: OverloadConfig,
+        pairs: usize,
+        seed: u64,
+        warmup: Nanos,
+        horizon: Nanos,
+        scaleout_bill: Nanos,
+    ) -> Self {
+        let mut gen = OpenLoop::new(&ov.traffic, seed);
+        let next = gen.next_arrival();
+        let mut route = PageTable::new();
+        for id in 0..ov.traffic.population {
+            route.insert(id as usize, (id % pairs as u64) as u16);
+        }
+        let (ramp_lo, ramp_hi) = ov.traffic.process.surge_window().unwrap_or((warmup, horizon));
+        let recovery_lo = Nanos(
+            warmup.as_nanos() + (horizon.as_nanos() - warmup.as_nanos()) * 3 / 4,
+        );
+        let active_pairs = ov
+            .autoscale
+            .map(|p| p.initial_pairs.clamp(1, pairs))
+            .unwrap_or(pairs);
+        let scaler = ov.autoscale.map(|p| {
+            Autoscaler::new(AutoscalerConfig {
+                min_workers: active_pairs,
+                max_workers: pairs,
+                ..p.scaler
+            })
+        });
+        let leases_left = ov.autoscale.map(|p| p.warm_leases).unwrap_or(0);
+        let est = ov.est_latency.as_nanos() as f64;
+        IngressOverload {
+            gen,
+            next,
+            route,
+            queue: VecDeque::with_capacity(ov.queue_cap.min(4096)),
+            inflight: 0,
+            est,
+            breaker_until: vec![Nanos::ZERO; pairs],
+            breaker_fails: vec![0; pairs],
+            dl_probe: 0,
+            scaler,
+            active_pairs,
+            activating: 0,
+            leases_left,
+            scaleout_bill,
+            seed,
+            warmup,
+            recovery_lo,
+            ramp_lo,
+            ramp_hi,
+            ramp: Histogram::new(),
+            offered: 0,
+            admitted: 0,
+            goodput: 0,
+            late: 0,
+            recovery_goodput: 0,
+            retries: 0,
+            retry_exhausted: 0,
+            shed_admission: 0,
+            shed_deadline: 0,
+            shed_breaker: 0,
+            breaker_opens: 0,
+            breaker_closes: 0,
+            scale_ups: 0,
+            scale_downs: 0,
+            lease_hits: 0,
+            rejoin_bills: 0,
+            ov,
+        }
+    }
+
+    /// Record a pair-attributed transport/loss failure; open (or re-arm)
+    /// the breaker after `open_after` consecutive ones.
+    fn breaker_fail(&mut self, now: Nanos, pair: usize) {
+        let pol = self.ov.breaker;
+        if pol.open_after == u32::MAX {
+            return;
+        }
+        if self.breaker_until[pair] != Nanos::ZERO {
+            // Open or probing: a failure re-arms the cooldown.
+            self.breaker_until[pair] = now + pol.cooldown;
+            self.breaker_opens += 1;
+            return;
+        }
+        self.breaker_fails[pair] += 1;
+        if self.breaker_fails[pair] >= pol.open_after {
+            self.breaker_until[pair] = now + pol.cooldown;
+            self.breaker_opens += 1;
+            self.breaker_fails[pair] = 0;
+        }
+    }
+
+    /// Record a successful completion on `pair`: reset the failure streak
+    /// and close the breaker if this was the half-open probe.
+    fn breaker_ok(&mut self, now: Nanos, pair: usize) {
+        self.breaker_fails[pair] = 0;
+        if self.breaker_until[pair] != Nanos::ZERO && now >= self.breaker_until[pair] {
+            self.breaker_until[pair] = Nanos::ZERO;
+            self.breaker_closes += 1;
+        }
+    }
 }
 
 /// Per-worker rejoin tracking and per-pair gray-failure scores, owned by
@@ -609,9 +1107,14 @@ pub(crate) struct ClusterShard {
     /// Pool bytes a worker re-syncs on rejoin.
     pool_bytes: u64,
     /// Requests/sends shed on post failure (errored QP), this shard.
-    shed: u64,
+    shed_qp: u64,
+    /// Requests shed on ingress pool exhaustion, this shard.
+    shed_pool: u64,
     /// Scratch for the health sweep (newly suspected workers).
     health_scratch: Vec<Suspicion>,
+    /// Scratch for in-flight requests lost to a suspicion sweep
+    /// (overload mode feeds them to the retry machinery after the sweep).
+    lost_scratch: Vec<u64>,
 
     // Reused scratch so steady-state stepping does not allocate.
     rdma_step: Step,
@@ -738,6 +1241,293 @@ impl ClusterShard {
                 cx.gray_restored += 1;
             }
         }
+    }
+
+    /// Pick the pair serving `req` in overload mode, scanning the *active*
+    /// prefix upward from the routing hint. A pair qualifies when its
+    /// workers are believed alive, it is not deflected by gray probation
+    /// (same probe admission as [`ClusterShard::choose_pair`]), and its
+    /// circuit breaker is closed — or due a half-open probe, in which case
+    /// this admission *is* the probe. `None` means every active pair is
+    /// shedding at the source (`shed_breaker`), the honest answer under a
+    /// cluster-wide brownout: the request rides the retry budget instead
+    /// of piling onto a broken pair.
+    fn overload_choose(&mut self, now: Nanos, req: u64) -> Option<usize> {
+        let probe_every = self.gray.probe_every;
+        let ing = self.ingress.as_mut().expect("ingress shard");
+        let IngressState { health, chaosx, reroutes, overload, reqs, .. } = ing;
+        let ov = overload.as_mut().expect("overload mode");
+        let active = ov.active_pairs.max(1);
+        let pref = reqs[req as usize].hint as usize % active;
+        for off in 0..active {
+            let p = (pref + off) % active;
+            if let Some(h) = health.as_ref() {
+                if !h.is_alive(2 * p) || !h.is_alive(2 * p + 1) {
+                    continue;
+                }
+            }
+            if let Some(cx) = chaosx.as_mut() {
+                if cx.probation[p] {
+                    if p != pref {
+                        continue; // never deflect *onto* a gray pair
+                    }
+                    cx.probe_tick[p] += 1;
+                    if cx.probe_tick[p] % probe_every != 0 {
+                        continue;
+                    }
+                }
+            }
+            let until = ov.breaker_until[p];
+            if until != Nanos::ZERO && now < until {
+                continue; // breaker open: shed at the source
+            }
+            if p != pref {
+                // Attribute the deflection: probation → gray, everything
+                // else (dead pair, open breaker) → ordinary reroute.
+                let pref_gray =
+                    chaosx.as_ref().map(|cx| cx.probation[pref]).unwrap_or(false);
+                let pref_alive = health
+                    .as_ref()
+                    .map(|h| h.is_alive(2 * pref) && h.is_alive(2 * pref + 1))
+                    .unwrap_or(true);
+                if pref_alive && pref_gray {
+                    if let Some(cx) = chaosx.as_mut() {
+                        cx.gray_reroutes += 1;
+                    }
+                } else {
+                    *reroutes += 1;
+                }
+            }
+            return Some(p);
+        }
+        None
+    }
+
+    /// Full admission pipeline for an arriving or retrying request:
+    /// breaker/health pair selection (sheds at the source), deadline
+    /// feasibility under the backlog estimate, then the bounded queue with
+    /// oldest-first shedding past the queue-delay threshold.
+    fn try_admit(&mut self, now: Nanos, fx: &mut Effects<'_, Ev>, req: u64) {
+        let Some(pair) = self.overload_choose(now, req) else {
+            let ov = self.ingress.as_mut().expect("ingress shard").overload.as_mut().unwrap();
+            ov.shed_breaker += 1;
+            self.fail_or_retry(now, fx, req);
+            return;
+        };
+        let admit_now = {
+            let ing = self.ingress.as_mut().expect("ingress shard");
+            let deadline = ing.reqs[req as usize].deadline;
+            let ov = ing.overload.as_mut().expect("overload mode");
+            if ov.ov.shed_on_deadline {
+                // ETA = queue drain (Little's-law estimate against the
+                // in-flight window) + one service time.
+                let wait = ov.est * (ov.queue.len() as f64 + 1.0) / ov.ov.inflight_cap as f64;
+                let eta = now.as_nanos() as f64 + wait + ov.est;
+                if eta > deadline.as_nanos() as f64 {
+                    ov.dl_probe += 1;
+                    if !ov.dl_probe.is_multiple_of(DL_PROBE_EVERY) {
+                        ov.shed_deadline += 1;
+                        self.fail_or_retry(now, fx, req);
+                        return;
+                    }
+                    // Probe admission (see [`DL_PROBE_EVERY`]).
+                }
+            }
+            ov.inflight < ov.ov.inflight_cap
+        };
+        if admit_now {
+            self.admit(now, fx, req, pair);
+            return;
+        }
+        // In-flight window full: queue, shedding the oldest entries that
+        // have already overstayed the queue-delay threshold.
+        loop {
+            let stale = {
+                let ing = self.ingress.as_mut().expect("ingress shard");
+                let IngressState { overload, reqs, .. } = ing;
+                let ov = overload.as_mut().expect("overload mode");
+                match ov.queue.front() {
+                    Some(&head) if now - reqs[head as usize].queued_at > ov.ov.queue_delay_max => {
+                        ov.queue.pop_front();
+                        ov.shed_admission += 1;
+                        Some(head)
+                    }
+                    _ => None,
+                }
+            };
+            match stale {
+                Some(head) => self.fail_or_retry(now, fx, head),
+                None => break,
+            }
+        }
+        let queued = {
+            let ing = self.ingress.as_mut().expect("ingress shard");
+            let IngressState { overload, reqs, .. } = ing;
+            let ov = overload.as_mut().expect("overload mode");
+            if ov.queue.len() >= ov.ov.queue_cap {
+                ov.shed_admission += 1;
+                false
+            } else {
+                reqs[req as usize].queued_at = now;
+                ov.queue.push_back(req);
+                true
+            }
+        };
+        if !queued {
+            self.fail_or_retry(now, fx, req);
+        }
+    }
+
+    /// Admit `req` to the data plane on `pair`: the overload-mode analogue
+    /// of the closed-loop [`Ev::Issue`] submission.
+    fn admit(&mut self, now: Nanos, fx: &mut Effects<'_, Ev>, req: u64, pair: usize) {
+        let client_wire = self.cost.client_wire;
+        let (req_bytes, resp_bytes) = {
+            let chain = self.chain(pair);
+            (chain.req_bytes as u64, chain.resp_bytes as u64)
+        };
+        let ing = self.ingress.as_mut().expect("ingress shard");
+        let ov = ing.overload.as_mut().expect("overload mode");
+        ov.inflight += 1;
+        if now >= ov.warmup {
+            ov.admitted += 1;
+        }
+        let st = &mut ing.reqs[req as usize];
+        st.pair = pair;
+        st.inflight = true;
+        st.admitted_at = now;
+        let client = st.client;
+        let arrive = now + client_wire;
+        let (w, done) = ing.gw.submit(arrive, client, Leg::Inbound, req_bytes, resp_bytes);
+        fx.at(done, Ev::GwIn { req, worker: w });
+    }
+
+    /// Refill the in-flight window from the admission queue, re-checking
+    /// staleness, deadline feasibility and pair availability at dequeue.
+    fn drain_queue(&mut self, now: Nanos, fx: &mut Effects<'_, Ev>) {
+        loop {
+            let req = {
+                let ov = self
+                    .ingress
+                    .as_mut()
+                    .expect("ingress shard")
+                    .overload
+                    .as_mut()
+                    .expect("overload mode");
+                if ov.inflight >= ov.ov.inflight_cap {
+                    break;
+                }
+                match ov.queue.pop_front() {
+                    Some(r) => r,
+                    None => break,
+                }
+            };
+            let verdict = {
+                let ing = self.ingress.as_mut().expect("ingress shard");
+                let st = &ing.reqs[req as usize];
+                let (queued_at, deadline) = (st.queued_at, st.deadline);
+                let ov = ing.overload.as_mut().expect("overload mode");
+                if now - queued_at > ov.ov.queue_delay_max {
+                    ov.shed_admission += 1;
+                    Err(())
+                } else if ov.ov.shed_on_deadline
+                    && now.as_nanos() as f64 + ov.est > deadline.as_nanos() as f64
+                {
+                    ov.dl_probe += 1;
+                    if ov.dl_probe.is_multiple_of(DL_PROBE_EVERY) {
+                        Ok(()) // probe admission (see [`DL_PROBE_EVERY`])
+                    } else {
+                        ov.shed_deadline += 1;
+                        Err(())
+                    }
+                } else {
+                    Ok(())
+                }
+            };
+            if verdict.is_err() {
+                self.fail_or_retry(now, fx, req);
+                continue;
+            }
+            match self.overload_choose(now, req) {
+                Some(pair) => self.admit(now, fx, req, pair),
+                None => {
+                    let ov = self
+                        .ingress
+                        .as_mut()
+                        .expect("ingress shard")
+                        .overload
+                        .as_mut()
+                        .unwrap();
+                    ov.shed_breaker += 1;
+                    self.fail_or_retry(now, fx, req);
+                }
+            }
+        }
+    }
+
+    /// A request's attempt failed (shed, lost, or transport-errored):
+    /// consume retry budget and schedule the next attempt with exponential
+    /// backoff + stateless jitter, or give up honestly.
+    fn fail_or_retry(&mut self, now: Nanos, fx: &mut Effects<'_, Ev>, req: u64) {
+        let ing = self.ingress.as_mut().expect("ingress shard");
+        let IngressState { overload, reqs, .. } = ing;
+        let ov = overload.as_mut().expect("overload mode");
+        let st = &mut reqs[req as usize];
+        if st.done {
+            return;
+        }
+        let rp = ov.ov.retry;
+        let attempts = st.attempts;
+        if attempts > rp.budget {
+            st.done = true;
+            ov.retry_exhausted += 1;
+            return;
+        }
+        let exp = attempts.saturating_sub(1).min(16);
+        let raw = rp.backoff_base.as_nanos().saturating_mul(1u64 << exp);
+        let backoff = Nanos(raw.min(rp.backoff_cap.as_nanos()).max(1));
+        let mut rng = SimRng::stream(
+            ov.seed ^ RETRY_STREAM,
+            req.wrapping_mul(64).wrapping_add(attempts as u64),
+        );
+        let wait = rng.jitter(backoff, rp.jitter_frac).max(Nanos(1));
+        let at = now + wait;
+        if ov.ov.shed_on_deadline && at > st.deadline {
+            // The next attempt cannot land inside the deadline: an honest
+            // failure, not a zombie retry.
+            st.done = true;
+            ov.retry_exhausted += 1;
+            return;
+        }
+        st.attempts = attempts + 1;
+        ov.retries += 1;
+        fx.at(at, Ev::Retry { req });
+    }
+
+    /// An admitted request failed in the data plane (pool exhausted or QP
+    /// errored at post time). In overload mode: release its in-flight
+    /// slot, charge the pair's breaker, and hand it to the retry budget.
+    /// No-op on closed-loop runs (the health plane re-issues clients).
+    fn overload_send_failed(&mut self, now: Nanos, fx: &mut Effects<'_, Ev>, req: u64) {
+        {
+            let Some(ing) = self.ingress.as_mut() else {
+                return;
+            };
+            if ing.overload.is_none() {
+                return;
+            }
+            let st = &mut ing.reqs[req as usize];
+            if !st.inflight {
+                return;
+            }
+            st.inflight = false;
+            let pair = st.pair;
+            let ov = ing.overload.as_mut().unwrap();
+            ov.inflight = ov.inflight.saturating_sub(1);
+            ov.breaker_fail(now, pair);
+        }
+        self.fail_or_retry(now, fx, req);
+        self.drain_queue(now, fx);
     }
 
     /// Charge work on a function core of worker node `n`.
@@ -1026,6 +1816,12 @@ impl ShardEngine for ClusterShard {
                     issued: now,
                     done: false,
                     pair,
+                    deadline: Nanos::ZERO,
+                    queued_at: Nanos::ZERO,
+                    admitted_at: Nanos::ZERO,
+                    attempts: 1,
+                    inflight: false,
+                    hint: 0,
                 });
                 let (req_bytes, resp_bytes) = {
                     let chain = self.chain(pair);
@@ -1050,7 +1846,11 @@ impl ShardEngine for ClusterShard {
                 // RDMA to the entry node's DNE. The word encodes hop 0.
                 let data = self.payloads.make(word_of(req, 0, pair), bytes);
                 let Ok(token) = self.pools[li].alloc(Owner::Ingress) else {
-                    return; // pool exhausted: shed the request
+                    // Pool exhausted: shed the request, *attributed* — and
+                    // in overload mode hand it to the retry budget.
+                    self.shed_pool += 1;
+                    self.overload_send_failed(now, fx, req);
+                    return;
                 };
                 self.pools[li]
                     .write_bytes(&token, data.clone(), &mut self.meters[li])
@@ -1065,15 +1865,18 @@ impl ShardEngine for ClusterShard {
                     .conns
                     .select(&self.net, NodeId(entry_node as u16), TENANT)
                 else {
-                    // Every QP to the entry node is errored (retry budget
-                    // exhausted under chaos): shed the request instead of
-                    // panicking; the health plane re-issues its client.
-                    self.shed += 1;
+                    // Every QP to the entry node is errored (transport
+                    // retry budget exhausted under chaos): shed the request
+                    // instead of panicking; the health plane re-issues its
+                    // client (closed loop) or the retry budget takes over
+                    // (overload).
+                    self.shed_qp += 1;
                     if let Some(tok) = self.ingress.as_mut().expect("ingress shard").tx.remove(wr_id.0)
                     {
                         let _ = self.pools[li].free(tok);
                     }
                     self.post_step = step;
+                    self.overload_send_failed(now, fx, req);
                     return;
                 };
                 self.meters[li].record(MoveKind::RnicDma, data.len() as u64);
@@ -1089,11 +1892,12 @@ impl ShardEngine for ClusterShard {
                     )
                     .is_err()
                 {
-                    self.shed += 1;
+                    self.shed_qp += 1;
                     if let Some(tok) = self.ingress.as_mut().expect("ingress shard").tx.remove(wr_id.0)
                     {
                         let _ = self.pools[li].free(tok);
                     }
+                    self.overload_send_failed(now, fx, req);
                 }
                 fx.extend_drain(&mut step.events, Ev::Rdma);
                 self.route_egress(now, out, &mut step);
@@ -1135,9 +1939,11 @@ impl ShardEngine for ClusterShard {
                     .post_send_into(now, NodeId(n as u16), qpn, wr, &mut step)
                     .is_err()
                 {
-                    // Errored QP (chaos-exhausted retries): shed the send —
-                    // the ingress abandons and re-issues the request.
-                    self.shed += 1;
+                    // Errored QP (transport retries exhausted): shed the
+                    // send — the ingress abandons and re-issues (closed
+                    // loop) or retries within budget (overload) once the
+                    // health plane reports the loss.
+                    self.shed_qp += 1;
                 }
                 fx.extend_drain(&mut step.events, Ev::Rdma);
                 self.route_egress(now, out, &mut step);
@@ -1200,17 +2006,45 @@ impl ShardEngine for ClusterShard {
                 ing.gw.leg_done(worker);
                 let finish = now + client_wire;
                 let st = &mut ing.reqs[req as usize];
-                if !st.done {
-                    st.done = true;
-                    let issued = st.issued;
-                    let client = st.client;
-                    let pair = st.pair;
-                    ing.stats.complete(finish, issued);
-                    // Feed the pair's gray-failure score with the
-                    // end-to-end latency this request observed.
-                    if let Some(cx) = ing.chaosx.as_mut() {
-                        cx.observe(alpha, pair, finish - issued);
+                if st.done {
+                    return;
+                }
+                st.done = true;
+                st.inflight = false;
+                let issued = st.issued;
+                let client = st.client;
+                let pair = st.pair;
+                let deadline = st.deadline;
+                let admitted_at = st.admitted_at;
+                ing.stats.complete(finish, issued);
+                // Feed the pair's gray-failure score with the
+                // end-to-end latency this request observed.
+                if let Some(cx) = ing.chaosx.as_mut() {
+                    cx.observe(alpha, pair, finish - issued);
+                }
+                if let Some(ov) = ing.overload.as_mut() {
+                    // Open loop: release the in-flight slot, update the
+                    // service estimate, classify against the deadline —
+                    // and never re-issue.
+                    ov.inflight = ov.inflight.saturating_sub(1);
+                    let sample = (finish - admitted_at).as_nanos() as f64;
+                    ov.est += 0.125 * (sample - ov.est);
+                    ov.breaker_ok(now, pair);
+                    if finish >= ov.warmup {
+                        if finish <= deadline {
+                            ov.goodput += 1;
+                            if finish >= ov.recovery_lo {
+                                ov.recovery_goodput += 1;
+                            }
+                        } else {
+                            ov.late += 1;
+                        }
                     }
+                    if finish >= ov.ramp_lo && finish <= ov.ramp_hi {
+                        ov.ramp.record(finish - issued);
+                    }
+                    self.drain_queue(now, fx);
+                } else {
                     fx.at(finish, Ev::Issue { client });
                 }
             }
@@ -1246,10 +2080,14 @@ impl ShardEngine for ClusterShard {
                         .check_into(now, &mut newly);
                     ing.suspected += newly.len() as u64;
                 }
-                // Abandon in-flight requests whose pair lost a node and
-                // re-issue their clients against a surviving pair.
-                // Scanning `reqs` in index order keeps the accounting (and
-                // the re-issue schedule) deterministic.
+                // Abandon in-flight requests whose pair lost a node:
+                // closed-loop runs re-issue their clients against a
+                // surviving pair; overload runs hand the loss to the retry
+                // budget (and charge the pair's breaker). Scanning `reqs`
+                // in index order keeps the accounting (and the retry
+                // schedule) deterministic.
+                let mut lost = std::mem::take(&mut self.lost_scratch);
+                lost.clear();
                 for s in &newly {
                     let pair = s.node / 2;
                     let ing = self.ingress.as_mut().expect("ingress shard");
@@ -1263,9 +2101,25 @@ impl ShardEngine for ClusterShard {
                             cx.rejoin_epoch[s.node] += 1;
                         }
                     }
+                    let overload_on = ing.overload.is_some();
                     for req in 0..ing.reqs.len() {
                         let st = &mut ing.reqs[req];
-                        if !st.done && st.pair == pair {
+                        if overload_on {
+                            // Only *admitted* requests ride the lost pair;
+                            // queued and backing-off ones have no live
+                            // attempt to abandon.
+                            if st.inflight && st.pair == pair {
+                                st.inflight = false;
+                                ing.inflight_lost += 1;
+                                if let Some(cx) = ing.chaosx.as_mut() {
+                                    cx.observe(alpha, pair, loss_penalty);
+                                }
+                                let ov = ing.overload.as_mut().unwrap();
+                                ov.inflight = ov.inflight.saturating_sub(1);
+                                ov.breaker_fail(now, pair);
+                                lost.push(req as u64);
+                            }
+                        } else if !st.done && st.pair == pair {
                             st.done = true;
                             ing.inflight_lost += 1;
                             let client = st.client;
@@ -1278,6 +2132,13 @@ impl ShardEngine for ClusterShard {
                         }
                     }
                 }
+                for &req in &lost {
+                    self.fail_or_retry(now, fx, req);
+                }
+                if !lost.is_empty() {
+                    self.drain_queue(now, fx);
+                }
+                self.lost_scratch = lost;
                 self.health_scratch = newly;
                 self.gray_sweep();
                 fx.after(self.heartbeat_period, Ev::HealthCheck);
@@ -1296,6 +2157,105 @@ impl ShardEngine for ClusterShard {
                     cx.rejoins += 1;
                     cx.ttr.record(now - cx.suspected_at[n]);
                 }
+            }
+            Ev::Arrive => {
+                // One open-loop arrival: materialize the pre-drawn request,
+                // pump the next one, and run the admission pipeline.
+                let req = {
+                    let ing = self.ingress.as_mut().expect("arrivals on ingress shard");
+                    let ov = ing.overload.as_mut().expect("overload mode");
+                    let a = ov.next;
+                    debug_assert_eq!(a.at, now, "arrival lands at its drawn time");
+                    let nxt = ov.gen.next_arrival();
+                    ov.next = nxt;
+                    fx.at(nxt.at, Ev::Arrive);
+                    if now >= ov.warmup {
+                        ov.offered += 1;
+                    }
+                    let deadline = now + ov.ov.deadline;
+                    let hint = ov.route.get(a.fn_id as usize).copied().unwrap_or(0);
+                    let req = ing.reqs.len() as u64;
+                    ing.reqs.push(ReqState {
+                        client: a.fn_id as usize,
+                        issued: now,
+                        done: false,
+                        pair: 0,
+                        deadline,
+                        queued_at: Nanos::ZERO,
+                        admitted_at: Nanos::ZERO,
+                        attempts: 1,
+                        inflight: false,
+                        hint,
+                    });
+                    req
+                };
+                self.try_admit(now, fx, req);
+            }
+            Ev::Retry { req } => {
+                let done = {
+                    let ing = self.ingress.as_mut().expect("retry on ingress shard");
+                    ing.reqs[req as usize].done
+                };
+                if !done {
+                    self.try_admit(now, fx, req);
+                }
+            }
+            Ev::ScaleTick => {
+                let total_pairs = self.pairs;
+                let ing = self.ingress.as_mut().expect("scale tick on ingress shard");
+                let ov = ing.overload.as_mut().expect("overload mode");
+                let Some(pol) = ov.ov.autoscale else {
+                    return;
+                };
+                // Evaluation pauses while an activation is paying its bill
+                // — scale-out in progress is its own cooldown.
+                if ov.activating == 0 {
+                    let denom =
+                        (ov.active_pairs as u64 * pol.target_inflight_per_pair).max(1) as f64;
+                    let util = (ov.inflight + ov.queue.len() as u64) as f64 / denom;
+                    let scaler = ov.scaler.as_mut().expect("autoscale on");
+                    match scaler.evaluate_at(now, util) {
+                        ScaleAction::Up => {
+                            // The new pair is wired (QPNs are invariant)
+                            // but must pay the control-plane bill — full
+                            // rejoin, or a leased warm worker's fraction —
+                            // before serving.
+                            ov.activating = 1;
+                            let full = ov.scaleout_bill;
+                            let bill = if ov.leases_left > 0 {
+                                ov.leases_left -= 1;
+                                ov.lease_hits += 1;
+                                full.scale(pol.lease_fraction)
+                            } else {
+                                ov.rejoin_bills += 1;
+                                full
+                            };
+                            fx.after(
+                                bill.max(Nanos(1)),
+                                Ev::ScaleOutDone { pair: ov.active_pairs },
+                            );
+                        }
+                        ScaleAction::Down => {
+                            debug_assert!(ov.active_pairs > 1, "scaler min bounds this");
+                            ov.active_pairs = (ov.active_pairs - 1).min(total_pairs).max(1);
+                            ov.scale_downs += 1;
+                        }
+                        ScaleAction::Hold => {}
+                    }
+                }
+                fx.after(pol.scaler.eval_interval, Ev::ScaleTick);
+            }
+            Ev::ScaleOutDone { pair } => {
+                let total_pairs = self.pairs;
+                {
+                    let ing = self.ingress.as_mut().expect("scale-out on ingress shard");
+                    let ov = ing.overload.as_mut().expect("overload mode");
+                    ov.active_pairs = (pair + 1).min(total_pairs);
+                    ov.activating = 0;
+                    ov.scale_ups += 1;
+                }
+                // New capacity: refill the in-flight window immediately.
+                self.drain_queue(now, fx);
             }
         }
     }
@@ -1385,9 +2345,17 @@ impl ClusterShardedSim {
             // at the default rto (500 µs) the stock retry budget (7)
             // gives up after ~3.5 ms of outage and kills the QP. Raise
             // it so go-back-N redelivers once the window ends; failover
-            // comes from the health plane, not from QP suicide.
-            rdma_cfg.retry_limit = 100_000;
-            rdma_cfg.rnr_retry_limit = 100_000;
+            // comes from the health plane, not from QP suicide. An
+            // overload config can bound the transport budget instead —
+            // the undying loop is what turns a transient fault into a
+            // retry-storm metastable failure.
+            let limit = cfg
+                .overload
+                .as_ref()
+                .map(|o| o.retry.transport_retry.unwrap_or(UNDYING_RETRY))
+                .unwrap_or(UNDYING_RETRY);
+            rdma_cfg.retry_limit = limit;
+            rdma_cfg.rnr_retry_limit = limit;
         }
 
         // Per-shard fabric spans in sharded-egress mode. Every instance
@@ -1423,7 +2391,7 @@ impl ClusterShardedSim {
         // Pools + MR registration on the owning shard, global node order.
         let mut pools = Vec::with_capacity(n_nodes);
         for n in 0..n_nodes {
-            let pool = UnifiedPool::new(PoolId(n as u16), TENANT, POOL_BUFS, BUF_SIZE);
+            let pool = UnifiedPool::new(PoolId(n as u16), TENANT, cfg.pool_bufs, BUF_SIZE);
             let mut exporter =
                 MmapExporter::new(PoolId(n as u16), TENANT, Region::hugepages(pool.backing_len()));
             nets[part.shard_of(n)]
@@ -1505,6 +2473,23 @@ impl ClusterShardedSim {
             inflight_lost: 0,
             reroutes: 0,
             chaosx: chaos.as_ref().map(|_| IngressChaos::new(2 * cfg.pairs, cfg.pairs)),
+            overload: cfg.overload.as_ref().map(|o| {
+                IngressOverload::new(
+                    o.clone(),
+                    cfg.pairs,
+                    cfg.seed,
+                    cfg.warmup,
+                    cfg.warmup + cfg.duration,
+                    cfg.rejoin.cost(2 * cpp, cfg.pool_bufs as u64 * BUF_SIZE as u64),
+                )
+            }),
+        });
+        // First arrival time + scale-tick interval, captured before the
+        // ingress state moves into its shard.
+        let overload_first = ingress_state.as_ref().and_then(|i| {
+            i.overload
+                .as_ref()
+                .map(|o| (o.next.at, o.ov.autoscale.map(|p| p.scaler.eval_interval)))
         });
         let mut engines: Vec<ClusterShard> = Vec::with_capacity(shards);
         for (s, net) in nets.into_iter().enumerate() {
@@ -1545,8 +2530,10 @@ impl ClusterShardedSim {
                 rejoin: cfg.rejoin,
                 gray: cfg.gray,
                 worker_qps: 2 * cpp,
-                pool_bytes: POOL_BUFS as u64 * BUF_SIZE as u64,
-                shed: 0,
+                pool_bytes: cfg.pool_bufs as u64 * BUF_SIZE as u64,
+                shed_qp: 0,
+                shed_pool: 0,
+                lost_scratch: Vec::new(),
                 health_scratch: Vec::new(),
                 rdma_step: Step::default(),
                 post_step: Step::default(),
@@ -1602,8 +2589,17 @@ impl ClusterShardedSim {
                     }
                 }
                 if s == ingress_shard {
-                    for client in 0..clients {
-                        h.schedule_at(Nanos::ZERO, Ev::Issue { client });
+                    if let Some((first, tick)) = overload_first {
+                        // Open loop: arrivals come from the generator, not
+                        // from completions — overload is reachable.
+                        h.schedule_at(first, Ev::Arrive);
+                        if let Some(interval) = tick {
+                            h.schedule_at(interval, Ev::ScaleTick);
+                        }
+                    } else {
+                        for client in 0..clients {
+                            h.schedule_at(Nanos::ZERO, Ev::Issue { client });
+                        }
                     }
                     if chaos_on {
                         h.schedule_at(heartbeat_period, Ev::HealthCheck);
@@ -1647,7 +2643,8 @@ impl ClusterShardedSim {
             chaos_rep.crash_drops += e.net.counters.get("crash_drop");
             chaos_rep.corrupt += e.net.counters.get("corrupt");
             chaos_rep.rto += e.net.counters.get("rto");
-            chaos_rep.shed += e.shed;
+            chaos_rep.shed_qp += e.shed_qp;
+            chaos_rep.shed_pool += e.shed_pool;
         }
         let mut ing = engines[ingress_shard].ingress.take().expect("ingress state");
         chaos_rep.suspected = ing.suspected;
@@ -1664,6 +2661,28 @@ impl ClusterShardedSim {
             chaos_rep.gray_demoted = cx.gray_demoted;
             chaos_rep.gray_restored = cx.gray_restored;
             chaos_rep.gray_reroutes = cx.gray_reroutes;
+        }
+        let mut overload_rep = OverloadReport::default();
+        if let Some(ov) = &ing.overload {
+            chaos_rep.shed_admission = ov.shed_admission;
+            chaos_rep.shed_deadline = ov.shed_deadline;
+            chaos_rep.shed_breaker = ov.shed_breaker;
+            overload_rep = OverloadReport {
+                offered: ov.offered,
+                admitted: ov.admitted,
+                goodput: ov.goodput,
+                late: ov.late,
+                recovery_goodput: ov.recovery_goodput,
+                retries: ov.retries,
+                retry_exhausted: ov.retry_exhausted,
+                breaker_opens: ov.breaker_opens,
+                breaker_closes: ov.breaker_closes,
+                scale_ups: ov.scale_ups,
+                scale_downs: ov.scale_downs,
+                rejoin_bills: ov.rejoin_bills,
+                lease_hits: ov.lease_hits,
+                ramp_p99: if ov.ramp.is_empty() { Nanos::ZERO } else { ov.ramp.p99() },
+            };
         }
         let (p50, p99, p999) = {
             let h = ing.stats.histogram();
@@ -1694,6 +2713,7 @@ impl ClusterShardedSim {
             p99,
             p999,
             chaos: chaos_rep,
+            overload: overload_rep,
         }
     }
 }

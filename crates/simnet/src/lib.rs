@@ -25,6 +25,7 @@ pub mod arena;
 pub mod chaos;
 pub mod fault;
 pub mod harness;
+pub mod openloop;
 pub mod queue;
 pub mod rate;
 pub mod rng;
@@ -42,6 +43,7 @@ pub use chaos::{
 };
 pub use fault::{FaultPlan, FaultTimeline, Verdict};
 pub use harness::{Effects, Engine, Harness, LoadReport, RunStats};
+pub use openloop::{tenant_stream, Arrival, ArrivalProcess, OpenLoop, OpenLoopConfig, ZipfSampler};
 pub use queue::{
     adaptive_threshold, queue_kind, set_adaptive_threshold, set_queue_kind, EventId, EventQueue,
     QueueKind, ADAPTIVE_THRESHOLD,

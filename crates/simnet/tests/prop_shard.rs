@@ -14,7 +14,8 @@
 use proptest::prelude::*;
 
 use palladium_simnet::{
-    run_sharded, Effects, Execution, Nanos, Outbox, Partition, ShardConfig, ShardEngine,
+    run_sharded, Arrival, ArrivalProcess, Effects, Execution, Nanos, OpenLoop, OpenLoopConfig,
+    Outbox, Partition, ShardConfig, ShardEngine,
 };
 
 const NODES: usize = 8;
@@ -307,6 +308,130 @@ fn run_cluster_storm(
     run.engines.into_iter().flat_map(|e| e.logs).collect()
 }
 
+// ---------------------------------------------------------------------------
+// The open-loop storm: node 0 plays ingress, consuming a real `OpenLoop`
+// generator (Poisson / bursty / flash-crowd arrival processes over a Zipf
+// population) exactly the way the overload driver does — the next arrival
+// pre-drawn and scheduled as a node-local event, each arrival dispatched
+// across the fabric to the worker its function id hashes to. The per-node
+// traces must be byte-identical at every shard count and execution mode:
+// this is the kernel-level statement of the "arrivals are byte-identical
+// regardless of sharding" contract the overload goldens pin end-to-end.
+
+#[derive(Debug)]
+enum OpenEv {
+    /// The next open-loop arrival lands at the ingress (node 0).
+    Arrive,
+    /// A dispatched request reaches its worker.
+    Work { node: u32, fn_id: u64 },
+}
+
+struct OpenStorm {
+    lo: u32,
+    part: Partition,
+    /// The generator plus its pre-drawn next arrival (ingress shard only).
+    gen: Option<(OpenLoop, Arrival)>,
+    horizon: Nanos,
+    logs: Vec<Vec<(u64, u8, u64)>>,
+}
+
+impl ShardEngine for OpenStorm {
+    type Ev = OpenEv;
+    type Msg = (u32, u64);
+
+    fn on_event(
+        &mut self,
+        now: Nanos,
+        ev: OpenEv,
+        fx: &mut Effects<'_, OpenEv>,
+        out: &mut Outbox<(u32, u64)>,
+    ) {
+        match ev {
+            OpenEv::Arrive => {
+                let (gen, next) = self.gen.as_mut().expect("arrivals on the ingress shard");
+                let a = *next;
+                assert_eq!(a.at, now, "arrival lands at its drawn time");
+                *next = gen.next_arrival();
+                if next.at <= self.horizon {
+                    fx.at(next.at, OpenEv::Arrive);
+                }
+                self.logs[0].push((now.0, 0, a.fn_id));
+                let dst = 1 + (a.fn_id % (NODES as u64 - 1)) as u32;
+                let delay = LOOKAHEAD + Nanos(mix(a.seq ^ a.fn_id) % (2 * LOOKAHEAD.0));
+                out.send(self.part.shard_of(dst as usize), now + delay, 0, (dst, a.fn_id));
+            }
+            OpenEv::Work { node, fn_id } => {
+                self.logs[(node - self.lo) as usize].push((now.0, 1, fn_id));
+            }
+        }
+    }
+
+    fn lift(&mut self, _at: Nanos, _src: u32, (dst, fn_id): (u32, u64)) -> OpenEv {
+        OpenEv::Work { node: dst, fn_id }
+    }
+}
+
+fn run_open_storm(
+    cfg: &OpenLoopConfig,
+    seed: u64,
+    shards: usize,
+    execution: Execution,
+) -> Vec<Vec<(u64, u8, u64)>> {
+    let horizon = Nanos(400_000);
+    let part = Partition::new(NODES, shards);
+    let ingress_shard = part.shard_of(0);
+    let engines: Vec<OpenStorm> = (0..shards)
+        .map(|s| OpenStorm {
+            lo: part.range(s).start as u32,
+            part,
+            gen: (s == ingress_shard).then(|| {
+                let mut gen = OpenLoop::new(cfg, seed);
+                let next = gen.next_arrival();
+                (gen, next)
+            }),
+            horizon,
+            logs: part.range(s).map(|_| Vec::new()).collect(),
+        })
+        .collect();
+    let first = engines[ingress_shard].gen.as_ref().map(|(_, a)| a.at).unwrap();
+    let scfg = ShardConfig::new(shards, LOOKAHEAD).execution(execution);
+    let run = run_sharded(
+        &scfg,
+        engines,
+        |s, h| {
+            if s == ingress_shard && first <= horizon {
+                h.schedule_at(first, OpenEv::Arrive);
+            }
+        },
+        horizon,
+    );
+    run.engines.into_iter().flat_map(|e| e.logs).collect()
+}
+
+fn arrival_process_strategy() -> impl Strategy<Value = ArrivalProcess> {
+    prop_oneof![
+        (20_000.0f64..400_000.0).prop_map(|rps| ArrivalProcess::Poisson { rps }),
+        (20_000.0f64..100_000.0, 2.0f64..6.0, 0.2f64..0.8).prop_map(|(base, mult, duty)| {
+            ArrivalProcess::Bursty {
+                base_rps: base,
+                burst_rps: base * mult,
+                period: Nanos(120_000),
+                duty,
+            }
+        }),
+        (20_000.0f64..80_000.0, 3.0f64..8.0).prop_map(|(base, mult)| {
+            ArrivalProcess::FlashCrowd {
+                base_rps: base,
+                peak_rps: base * mult,
+                start: Nanos(80_000),
+                ramp: Nanos(40_000),
+                hold: Nanos(120_000),
+                decay: Nanos(80_000),
+            }
+        }),
+    ]
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -364,5 +489,32 @@ proptest! {
         let strided =
             run_cluster_storm(seed, tokens, 4, Execution::Threads, Nanos(LOOKAHEAD.0 / 2), 2);
         prop_assert_eq!(&strided, &reference, "stride 2 × half width diverged");
+    }
+
+    // Open-loop arrivals through the kernel: a real generator (random
+    // process shape, rate, population and seed) drives node 0; the fused
+    // arrival + dispatch traces must be byte-identical at every shard
+    // count and execution mode, because every draw is a stateless
+    // function of (seed, seq) — never of partitioning.
+    #[test]
+    fn open_loop_arrival_storms_are_shard_count_invariant(
+        process in arrival_process_strategy(),
+        population in 1u64..50_000,
+        zipf_s in 0.5f64..1.5,
+        seed in any::<u64>(),
+    ) {
+        let cfg = OpenLoopConfig { process, population, zipf_s };
+        let reference = run_open_storm(&cfg, seed, 1, Execution::Sequential);
+        let total: usize = reference.iter().map(Vec::len).sum();
+        prop_assert!(total > 0, "the horizon must see at least one arrival");
+        for shards in [2usize, 4, 8] {
+            for execution in [Execution::Sequential, Execution::Threads] {
+                let got = run_open_storm(&cfg, seed, shards, execution);
+                prop_assert_eq!(
+                    &got, &reference,
+                    "{} shards / {:?} diverged", shards, execution
+                );
+            }
+        }
     }
 }

@@ -6,6 +6,10 @@
 //!   plus the deeper Checkout chain used by the examples.
 //! * [`wrk`] — wrk-like closed-loop load shapes and the client sweeps /
 //!   ramps used across the figures.
+//! * [`openloop`] — open-loop overload regimes (Poisson sweeps, flash
+//!   crowds with costed scale-out, the metastable negative control) over
+//!   the sharded cluster, shared by `slo_smoke`, `alloc_smoke` and the
+//!   overload test suite.
 
 // The simulation's memory-safety story is that only the shard mailbox ring
 // (simnet) and the bench counting allocator contain `unsafe` at all; this
@@ -14,7 +18,12 @@
 #![forbid(unsafe_code)]
 
 pub mod boutique;
+pub mod openloop;
 pub mod wrk;
 
 pub use boutique::{app, checkout_chain, config, ChainKind};
+pub use openloop::{
+    flash_autoscale, metastable, poisson_overload, OVERLOAD_DEADLINE, OVERLOAD_PAIRS,
+    OVERLOAD_POPULATION, SWEEP_RPS,
+};
 pub use wrk::{Ramp, WrkLoad, BOUTIQUE_SWEEP, CLIENT_SWEEP};

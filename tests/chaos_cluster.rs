@@ -90,7 +90,8 @@ fn trace(name: &str, r: &ClusterShardedReport) -> String {
         "chaos/{name}: rps={:016x} mean={} p50={} p99={} p999={} completed={} \
          sw_bytes={} dma_bytes={} events={} messages={} \
          fault_drops={} crash_drops={} corrupt={} rto={} suspected={} \
-         recovered={} inflight_lost={} reroutes={} shed={} \
+         recovered={} inflight_lost={} reroutes={} shed_qp={} shed_pool={} \
+         shed_admission={} shed_deadline={} shed_breaker={} \
          rejoins={} rejoins_aborted={} ttr_p50={} ttr_p99={} \
          gray_demoted={} gray_restored={} gray_reroutes={}\n",
         r.chain.load.rps.to_bits(),
@@ -111,7 +112,11 @@ fn trace(name: &str, r: &ClusterShardedReport) -> String {
         c.recovered,
         c.inflight_lost,
         c.reroutes,
-        c.shed,
+        c.shed_qp,
+        c.shed_pool,
+        c.shed_admission,
+        c.shed_deadline,
+        c.shed_breaker,
         c.rejoins,
         c.rejoins_aborted,
         c.ttr_p50.as_nanos(),

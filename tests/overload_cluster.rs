@@ -1,0 +1,254 @@
+//! Overload-regime pins for the sharded Fig 16 cluster.
+//!
+//! PR 10 makes overload a *survivable, measured* regime: open-loop
+//! arrivals (so offered load decouples from completions), admission
+//! control with deadline-aware shedding, per-request retry budgets, a
+//! per-pair circuit breaker, and costed autoscaler scale-out. This suite
+//! pins three things:
+//!
+//! 1. **Invariance** — every overload scenario (steady Poisson below and
+//!    past saturation, the flash-crowd scale-out, both metastable
+//!    controls) is byte-identical at 1/2/4/8 shards under both execution
+//!    modes, via a golden snapshot like the chaos suite's.
+//! 2. **Degradation shape** — past saturation the cluster sheds honestly
+//!    (every drop path attributed) while goodput stays near its peak
+//!    instead of collapsing.
+//! 3. **The metastable contrast** — under a transient rack crash at
+//!    saturation, the budgeted configuration recovers goodput and the
+//!    legacy unbounded-retry configuration does not.
+//!
+//! To regenerate after an *intentional* change:
+//! `GOLDEN_REGEN=1 cargo test -q --test overload_cluster` and commit the
+//! updated snapshot together with the change that explains it.
+#![recursion_limit = "512"]
+
+use palladium_core::driver::cluster_sharded::{
+    ClusterShardedConfig, ClusterShardedReport, ClusterShardedSim,
+};
+use palladium_simnet::Execution;
+use palladium_workloads::openloop::{flash_autoscale, metastable, poisson_overload};
+
+/// Hex-exact rendering of the overload view of a run (no
+/// shortest-repr float ambiguity).
+fn trace(name: &str, r: &ClusterShardedReport) -> String {
+    let o = &r.overload;
+    let c = &r.chaos;
+    format!(
+        "overload/{name}: offered={} admitted={} goodput={} late={} recovery={} \
+         retries={} exhausted={} shed_qp={} shed_pool={} shed_admission={} \
+         shed_deadline={} shed_breaker={} breaker_opens={} breaker_closes={} \
+         scale_ups={} scale_downs={} rejoin_bills={} lease_hits={} ramp_p99={} \
+         p50={} p99={} p999={} completed={} events={} messages={} \
+         suspected={} reroutes={} rejoins={}\n",
+        o.offered,
+        o.admitted,
+        o.goodput,
+        o.late,
+        o.recovery_goodput,
+        o.retries,
+        o.retry_exhausted,
+        c.shed_qp,
+        c.shed_pool,
+        c.shed_admission,
+        c.shed_deadline,
+        c.shed_breaker,
+        o.breaker_opens,
+        o.breaker_closes,
+        o.scale_ups,
+        o.scale_downs,
+        o.rejoin_bills,
+        o.lease_hits,
+        o.ramp_p99.as_nanos(),
+        r.p50.as_nanos(),
+        r.p99.as_nanos(),
+        r.p999.as_nanos(),
+        r.chain.load.completed,
+        r.events,
+        r.messages,
+        c.suspected,
+        c.reroutes,
+        c.rejoins,
+    )
+}
+
+fn scenarios() -> Vec<(&'static str, ClusterShardedConfig)> {
+    vec![
+        ("poisson_60k", poisson_overload(60_000.0)),
+        ("poisson_140k", poisson_overload(140_000.0)),
+        ("flash_autoscale", flash_autoscale()),
+        ("metastable_budgeted", metastable(true)),
+        ("metastable_unbounded", metastable(false)),
+    ]
+}
+
+#[test]
+fn overload_scenarios_reproduce_the_snapshot_at_every_shard_count() {
+    let mut serial = String::new();
+    let mut sims = Vec::new();
+    for (name, cfg) in scenarios() {
+        let sim = ClusterShardedSim::new(cfg);
+        let r = sim.run(1, Execution::Sequential);
+        assert!(r.overload.goodput > 0, "{name}: overload must not kill the cluster");
+        serial.push_str(&trace(name, &r));
+        sims.push((name, sim));
+    }
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/overload_cluster_golden.txt");
+    if std::env::var("GOLDEN_REGEN").is_ok() {
+        std::fs::create_dir_all(std::path::Path::new(path).parent().unwrap()).unwrap();
+        std::fs::write(path, &serial).unwrap();
+    } else {
+        let want = std::fs::read_to_string(path)
+            .expect("golden snapshot missing — run with GOLDEN_REGEN=1 to create it");
+        assert_eq!(serial, want, "--shards 1 diverged from the golden snapshot");
+    }
+
+    for (name, sim) in &sims {
+        let one = trace(name, &sim.run(1, Execution::Sequential));
+        for shards in [2usize, 4, 8] {
+            for execution in [Execution::Sequential, Execution::Threads] {
+                let got = trace(name, &sim.run(shards, execution));
+                assert_eq!(
+                    got, one,
+                    "{name}: {shards} shards / {execution:?} diverged from the serial bytes"
+                );
+            }
+        }
+    }
+}
+
+/// Past saturation the admission machinery sheds honestly — queue
+/// overflow, stale-queue eviction and deadline-infeasible drops are all
+/// attributed, retry budgets exhaust visibly — and goodput stays near
+/// the peak instead of collapsing (the no-congestion-collapse claim the
+/// `slo_smoke --load-sweep` gate pins on the full grid).
+#[test]
+fn saturation_sheds_honestly_without_collapsing_goodput() {
+    let near = ClusterShardedSim::new(poisson_overload(100_000.0)).run(1, Execution::Sequential);
+    let over = ClusterShardedSim::new(poisson_overload(200_000.0)).run(1, Execution::Sequential);
+    let o = &over.overload;
+    assert!(o.offered > near.overload.offered, "open loop: offered load is not throttled");
+    assert!(o.offered > o.admitted, "past saturation some arrivals must be refused");
+    assert!(
+        over.chaos.shed_admission > 0 && over.chaos.shed_deadline > 0,
+        "both admission shed paths must fire and be attributed: {:?}",
+        over.chaos
+    );
+    assert!(o.retries > 0, "shed requests must ride the backoff machinery");
+    assert!(
+        o.retry_exhausted > 0,
+        "budget exhaustion is an honest, counted client-visible failure"
+    );
+    assert!(
+        2 * o.goodput >= near.overload.goodput,
+        "goodput at 2x saturation must stay >= half the near-knee goodput \
+         ({} vs {})",
+        o.goodput,
+        near.overload.goodput
+    );
+}
+
+/// Satellite regression for the once-silent shed at the ingress pool:
+/// with the pool sized to leave only a couple of TX buffers beyond the
+/// receive-queue priming (`INITIAL_RQ`), exhaustion must fire and be
+/// *attributed* (`shed_pool`), while the cluster keeps serving.
+#[test]
+fn pool_exhaustion_is_attributed_not_silent() {
+    let r = ClusterShardedSim::new(poisson_overload(140_000.0).pool_bufs(514))
+        .run(1, Execution::Sequential);
+    assert!(
+        r.chaos.shed_pool > 0,
+        "a 2-spare-buffer pool must exhaust under overload: {:?}",
+        r.chaos
+    );
+    assert!(r.overload.goodput > 0, "pool sheds must not kill the cluster");
+    let healthy = ClusterShardedSim::new(poisson_overload(140_000.0)).run(1, Execution::Sequential);
+    assert_eq!(healthy.chaos.shed_pool, 0, "the default pool never exhausts");
+}
+
+/// The flash crowd over a half-active cluster must trigger costed
+/// scale-out: the autoscaler activates the spare pairs, the first
+/// activation claims the pre-leased warm worker at a fraction of the
+/// bill, later ones pay the full rejoin cost, and the surge-window p99
+/// is recorded. After the decay the scaler releases capacity again.
+#[test]
+fn flash_crowd_pays_costed_scale_out() {
+    let r = ClusterShardedSim::new(flash_autoscale()).run(1, Execution::Sequential);
+    let o = &r.overload;
+    assert!(o.scale_ups >= 1, "the surge must activate spare pairs: {o:?}");
+    assert!(o.lease_hits >= 1, "the first activation claims the warm lease: {o:?}");
+    assert!(o.rejoin_bills >= 1, "further activations pay the full bill: {o:?}");
+    assert!(o.scale_downs >= 1, "the decay must release capacity: {o:?}");
+    assert!(!o.ramp_p99.is_zero(), "the surge-window tail must be measured: {o:?}");
+    assert!(o.goodput > 0, "the cluster serves through the ramp: {o:?}");
+}
+
+/// The headline robustness contrast. A transient rack crash at
+/// saturation: the budgeted configuration sheds the stale backlog and
+/// *recovers* — within-deadline completions resume in the last quarter
+/// of the run — while the legacy unbounded-retry configuration keeps
+/// serving a queue whose delay exceeds every deadline: completions
+/// continue (late), goodput does not. Same fault, same offered load.
+#[test]
+fn budgets_recover_from_the_transient_crash_unbounded_retries_do_not() {
+    let good = ClusterShardedSim::new(metastable(true)).run(1, Execution::Sequential);
+    let bad = ClusterShardedSim::new(metastable(false)).run(1, Execution::Sequential);
+    let (g, b) = (&good.overload, &bad.overload);
+    assert_eq!(g.offered, b.offered, "identical offered load by construction");
+    assert!(
+        g.recovery_goodput > 0,
+        "budgeted: goodput must recover after the fault clears: {g:?}"
+    );
+    assert_eq!(
+        b.recovery_goodput, 0,
+        "unbounded: the backlog outlives the fault — the metastable signature: {b:?}"
+    );
+    assert!(
+        g.goodput > b.goodput,
+        "budgets must beat the retry storm on goodput ({} vs {})",
+        g.goodput,
+        b.goodput
+    );
+    assert!(
+        b.late > b.goodput,
+        "unbounded keeps serving, but mostly worthless (late) work: {b:?}"
+    );
+    assert!(g.retry_exhausted > 0, "budget exhaustion is visible, not hidden: {g:?}");
+    assert_eq!(b.retry_exhausted, 0, "the unbounded config never gives up: {b:?}");
+    assert!(g.breaker_opens > 0, "pair loss must trip the breaker: {g:?}");
+    assert_eq!(b.breaker_opens, 0, "the legacy config has no breaker: {b:?}");
+}
+
+/// The breaker composes with deadlines: while it sheds at the source the
+/// drops are attributed to `shed_breaker`/`shed_deadline`, never lost.
+#[test]
+fn every_drop_path_is_attributed() {
+    let r = ClusterShardedSim::new(metastable(true)).run(1, Execution::Sequential);
+    let c = &r.chaos;
+    let o = &r.overload;
+    let dropped = c.shed_qp
+        + c.shed_pool
+        + c.shed_admission
+        + c.shed_deadline
+        + c.shed_breaker
+        + c.inflight_lost;
+    assert!(dropped > 0, "the scenario must exercise the drop paths: {c:?}");
+    // Conservation: every in-window completion is classified exactly once
+    // — as goodput (within deadline) or as late. A gap here means a drop
+    // path went back to being silent.
+    assert_eq!(
+        o.goodput + o.late,
+        r.chain.load.completed,
+        "every completion must be classified as goodput or late: {o:?}"
+    );
+}
+
+/// Deterministic replay: the same sim object runs the same scenario to
+/// the same bytes twice (no hidden state leaks between runs).
+#[test]
+fn overload_runs_are_replayable() {
+    let sim = ClusterShardedSim::new(metastable(true));
+    let a = trace("replay", &sim.run(2, Execution::Sequential));
+    let b = trace("replay", &sim.run(2, Execution::Sequential));
+    assert_eq!(a, b, "re-running the same sim must reproduce the bytes");
+}
